@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the substrate's hot paths.
+
+These use pytest-benchmark's normal calibration (they are fast and
+side-effect free) and guard against performance regressions in the
+kernels that dominate campaign wall-clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, conv2d, no_grad
+from repro.core import FitReLU
+from repro.fault import BitFlipFaultModel, FaultInjector
+from repro.models import build_model
+from repro.nn import ReLU
+from repro.quant import decode, encode, quantize_module
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_conv2d_forward(benchmark):
+    x = Tensor(RNG.standard_normal((32, 16, 16, 16)).astype(np.float32))
+    w = Tensor(RNG.standard_normal((32, 16, 3, 3)).astype(np.float32))
+
+    def run():
+        with no_grad():
+            return conv2d(x, w, padding=1)
+
+    out = benchmark(run)
+    assert out.shape == (32, 32, 16, 16)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_relu_throughput(benchmark):
+    x = Tensor(RNG.standard_normal((64, 32, 16, 16)).astype(np.float32))
+    act = ReLU()
+
+    def run():
+        with no_grad():
+            return act(x)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_fitrelu_throughput(benchmark):
+    """The Table I runtime overhead in isolation: FitReLU vs ReLU."""
+    x = Tensor(RNG.standard_normal((64, 32, 16, 16)).astype(np.float32))
+    bounds = np.abs(RNG.standard_normal((32, 16, 16))).astype(np.float32) + 0.5
+    act = FitReLU(bounds)
+
+    def run():
+        with no_grad():
+            return act(x)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_q15_16_roundtrip(benchmark):
+    values = RNG.standard_normal(1_000_000).astype(np.float32)
+    result = benchmark(lambda: decode(encode(values)))
+    assert result.shape == values.shape
+
+
+@pytest.mark.benchmark(group="micro")
+def test_fault_injection_cycle(benchmark):
+    """One full sample → inject → restore cycle on a real model."""
+    model = quantize_module(build_model("lenet", scale=1.0, image_size=16, seed=0))
+    injector = FaultInjector(model)
+    spec = BitFlipFaultModel.exact(64)
+    seeds = iter(range(10_000_000))
+
+    def run():
+        sites = injector.sample(spec, rng=next(seeds))
+        with injector.inject(sites) as count:
+            return count
+
+    assert benchmark(run) == 64
+
+
+@pytest.mark.benchmark(group="micro")
+def test_model_forward_vgg16(benchmark):
+    model = build_model("vgg16", scale=0.0625, seed=0)
+    model.eval()
+    x = Tensor(RNG.standard_normal((16, 3, 32, 32)).astype(np.float32))
+
+    def run():
+        with no_grad():
+            return model(x)
+
+    out = benchmark(run)
+    assert out.shape == (16, 10)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Transient activation faults: testing bounds on Ranger's home turf.
+
+The paper injects faults into *stored parameters*.  Ranger — one of its
+baselines — was designed against transient soft errors that corrupt
+*feature maps in flight*.  This example instruments every activation
+site of a small protected model with the library's transient-fault
+layers and sweeps the upsets-per-layer count for four schemes:
+
+  unprotected ReLU | Ranger (saturate) | Clip-Act (zero) | neuron-wise
+
+The corruption lands after one activation and before the next layer, so
+only the *next* bounded activation can stop it — the same propagation
+argument as the paper's Fig. 5, on a different fault location.
+
+Run:  python examples/activation_faults.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ProtectionConfig, Trainer, TrainingConfig, evaluate_accuracy, protect_model
+from repro.data import DataLoader, Normalize, SYNTH_MEAN, SYNTH_STD, SyntheticImageDataset
+from repro.eval.reporting import format_curves
+from repro.fault import (
+    ActivationFaultCampaign,
+    ActivationFaultInjector,
+    ActivationFaultModel,
+)
+from repro.models import build_model
+from repro.quant import quantize_module
+
+UPSETS = (1, 4, 16, 64)
+TRIALS = 5
+
+
+def main() -> None:
+    normalize = Normalize(SYNTH_MEAN, SYNTH_STD)
+    train_set = SyntheticImageDataset(num_samples=800, image_size=16, seed=5)
+    test_set = SyntheticImageDataset(
+        num_samples=300, image_size=16, seed=5, split="test"
+    )
+    train_loader = DataLoader(
+        train_set, batch_size=64, shuffle=True, rng=0, transform=normalize
+    )
+    test_loader = DataLoader(test_set, batch_size=128, transform=normalize)
+
+    base = build_model("lenet", num_classes=10, image_size=16, seed=0)
+    Trainer(base, TrainingConfig(epochs=15, lr=0.05, momentum=0.95)).fit(train_loader)
+    state = base.state_dict()
+    print(
+        f"[setup]  trained LeNet, clean accuracy "
+        f"{evaluate_accuracy(base, test_loader):.2%}\n"
+    )
+
+    schemes = {
+        "unprotected": None,
+        "ranger": ProtectionConfig(method="ranger"),
+        "clipact": ProtectionConfig(method="clipact"),
+        "neuron-wise": ProtectionConfig(method="fitact-naive"),
+    }
+    series: dict[str, list[float]] = {}
+    for label, config in schemes.items():
+        model = build_model("lenet", num_classes=10, image_size=16, seed=0)
+        model.load_state_dict(state)
+        if config is not None:
+            protect_model(model, train_loader, config)
+        quantize_module(model)
+
+        injector = ActivationFaultInjector(model)
+        campaign = ActivationFaultCampaign(
+            injector,
+            lambda m=model: evaluate_accuracy(m, test_loader),
+            trials=TRIALS,
+            seed=0,
+        )
+        series[label] = [
+            campaign.run(ActivationFaultModel.exact(n), tag=label).mean
+            for n in UPSETS
+        ]
+        print(f"[swept]  {label}: {['%.1f%%' % (100 * v) for v in series[label]]}")
+
+    print()
+    print(
+        format_curves(
+            [str(n) for n in UPSETS],
+            series,
+            x_label="upsets/layer/pass",
+            title="Mean accuracy under transient activation faults",
+        )
+    )
+    print(
+        "\nReading: at high upset counts the bounded schemes hold while\n"
+        "the unprotected model collapses; saturate-to-bound (Ranger)\n"
+        "passes large corrupted values one layer further than\n"
+        "squash-to-zero (Clip-Act), and per-neuron bounds clip closest\n"
+        "to each neuron's true range."
+    )
+
+
+if __name__ == "__main__":
+    main()

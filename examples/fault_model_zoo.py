@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Tour of the fault-model zoo: iid flips, bursts, stuck-at cells, ECC.
+
+The paper evaluates one fault model — uniform transient bit-flips in
+parameter memory.  This example runs a small protected model against
+every fault model the library implements, at a matched damage budget,
+plus a SEC-DED ECC memory in front of the same injector:
+
+1. train a LeNet on SynthCIFAR-10 and protect it with neuron-wise
+   bounds (FitReLU-Naive: profiled bounds, no post-training, so the
+   example stays fast);
+2. run campaigns under iid flips, 4-bit bursts, stuck-at-0/1 cells;
+3. re-run the iid campaign behind a Hamming(39,32) SEC-DED memory and
+   print the decoder's correction statistics.
+
+Run:  python examples/fault_model_zoo.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ProtectionConfig, Trainer, TrainingConfig, evaluate_accuracy, protect_model
+from repro.data import DataLoader, Normalize, SYNTH_MEAN, SYNTH_STD, SyntheticImageDataset
+from repro.eval.reporting import format_table, percent
+from repro.fault import (
+    BitFlipFaultModel,
+    BurstFaultModel,
+    ECCProtectedInjector,
+    FaultCampaign,
+    FaultInjector,
+    StuckAtFaultModel,
+    ecc_memory_bytes,
+)
+from repro.models import build_model
+from repro.quant import model_memory_bytes, quantize_module
+
+BUDGET = 24  # flips per trial, matched across fault models
+TRIALS = 6
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # A trained, bounded, quantised model.
+    # ------------------------------------------------------------------
+    normalize = Normalize(SYNTH_MEAN, SYNTH_STD)
+    train_set = SyntheticImageDataset(num_samples=800, image_size=16, seed=3)
+    test_set = SyntheticImageDataset(
+        num_samples=300, image_size=16, seed=3, split="test"
+    )
+    train_loader = DataLoader(
+        train_set, batch_size=64, shuffle=True, rng=0, transform=normalize
+    )
+    test_loader = DataLoader(test_set, batch_size=128, transform=normalize)
+
+    model = build_model("lenet", num_classes=10, image_size=16, seed=0)
+    Trainer(model, TrainingConfig(epochs=15, lr=0.05, momentum=0.95)).fit(train_loader)
+    protect_model(model, train_loader, ProtectionConfig(method="fitact-naive"))
+    quantize_module(model)
+    clean = evaluate_accuracy(model, test_loader)
+    print(f"[setup]  neuron-wise bounded LeNet, clean accuracy {clean:.2%}\n")
+
+    injector = FaultInjector(model)
+    campaign = FaultCampaign(
+        injector,
+        lambda: evaluate_accuracy(model, test_loader),
+        trials=TRIALS,
+        seed=0,
+    )
+
+    # ------------------------------------------------------------------
+    # The zoo, at a matched budget of BUDGET flips per trial.
+    # ------------------------------------------------------------------
+    zoo = {
+        "iid flips": BitFlipFaultModel.exact(BUDGET),
+        "burst L=4": BurstFaultModel.exact(4, BUDGET // 4),
+        "burst L=8": BurstFaultModel.exact(8, BUDGET // 8),
+        "stuck-at-0": StuckAtFaultModel.exact(0, BUDGET),
+        "stuck-at-1": StuckAtFaultModel.exact(1, BUDGET),
+    }
+    rows = []
+    for label, fault_model in zoo.items():
+        result = campaign.run(fault_model, tag=label)
+        rows.append(
+            [
+                label,
+                percent(result.mean),
+                percent(result.min),
+                f"{result.flip_counts.mean():.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["fault model", "mean acc", "worst trial", "mean flips"],
+            rows,
+            title=f"Fault-model zoo ({BUDGET}-flip budget, {TRIALS} trials)",
+        )
+    )
+    print(
+        "\nNote the stuck-at rows: masking drops the *effective* flip\n"
+        "count below the budget (a stuck cell already holding the stuck\n"
+        "value corrupts nothing), and stuck-at-1 damage concentrates in\n"
+        "positive words' high bits.\n"
+    )
+
+    # ------------------------------------------------------------------
+    # The same memory behind SEC-DED ECC.
+    # ------------------------------------------------------------------
+    ecc = ECCProtectedInjector(injector)
+    ecc_campaign = FaultCampaign(
+        ecc, lambda: evaluate_accuracy(model, test_loader), trials=TRIALS, seed=0
+    )
+    result = ecc_campaign.run(BitFlipFaultModel.exact(BUDGET), tag="ecc")
+    outcome = ecc.lifetime_outcome
+    print(
+        format_table(
+            ["memory", "mean acc", "worst trial", "memory bytes"],
+            [
+                [
+                    "plain",
+                    percent(campaign.run(zoo["iid flips"], tag="plain").mean),
+                    "-",
+                    f"{model_memory_bytes(model):,}",
+                ],
+                [
+                    "SEC-DED(39,32)",
+                    percent(result.mean),
+                    percent(result.min),
+                    f"{ecc_memory_bytes(model):,}",
+                ],
+            ],
+            title="ECC versus plain memory (same raw fault budget)",
+        )
+    )
+    print(
+        f"\ndecoder: {outcome.summary()}\n"
+        "Isolated flips vanish (corrected); only multi-bit words reach\n"
+        "the parameters — at this sparse budget that is nearly none,\n"
+        "bought with ~22% extra memory."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Protecting a depthwise-separable network (MobileNetV1).
+
+The paper evaluates dense architectures (AlexNet/VGG16/ResNet50);
+MobileNet is what actually ships on the edge devices it motivates with.
+Depthwise convolutions change the fault-propagation picture: each
+depthwise filter touches exactly one channel, so a corrupted depthwise
+weight damages one feature map, while a corrupted *pointwise* (1×1)
+weight mixes into every spatial position of one output channel.
+
+This example trains a narrow CIFAR MobileNetV1 on SynthCIFAR-10,
+protects it with neuron-wise bounds, and compares bit-flip resilience
+against the unprotected copy — including a per-group vulnerability
+split between depthwise and pointwise weights.
+
+Run:  python examples/mobilenet_protection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ProtectionConfig, Trainer, TrainingConfig, evaluate_accuracy, protect_model
+from repro.data import DataLoader, Normalize, SYNTH_MEAN, SYNTH_STD, SyntheticImageDataset
+from repro.eval.reporting import format_table, percent
+from repro.fault import BitFlipFaultModel, FaultCampaign, FaultInjector
+from repro.models import build_model
+from repro.quant import quantize_module
+
+TRIALS = 5
+FLIP_BUDGETS = (8, 32, 128)
+
+
+def main() -> None:
+    normalize = Normalize(SYNTH_MEAN, SYNTH_STD)
+    train_set = SyntheticImageDataset(num_samples=800, image_size=32, seed=21)
+    test_set = SyntheticImageDataset(
+        num_samples=300, image_size=32, seed=21, split="test"
+    )
+    train_loader = DataLoader(
+        train_set, batch_size=64, shuffle=True, rng=0, transform=normalize
+    )
+    test_loader = DataLoader(test_set, batch_size=128, transform=normalize)
+
+    model = build_model("mobilenet", num_classes=10, scale=0.125, seed=0)
+    print(f"[setup]  mobilenet x0.125: {model.num_parameters():,} parameters")
+    report = Trainer(model, TrainingConfig(epochs=10, lr=0.1, momentum=0.9)).fit(
+        train_loader
+    )
+    print(f"[train]  {report.summary()}")
+    state = model.state_dict()
+
+    variants = {}
+    for label, method in (("unprotected", "none"), ("neuron-wise", "fitact-naive")):
+        variant = build_model("mobilenet", num_classes=10, scale=0.125, seed=0)
+        variant.load_state_dict(state)
+        if method != "none":
+            protect_model(variant, train_loader, ProtectionConfig(method=method))
+        quantize_module(variant)
+        variants[label] = variant
+    clean = evaluate_accuracy(variants["unprotected"], test_loader)
+    print(f"[eval]   clean accuracy {clean:.2%}\n")
+
+    # ------------------------------------------------------------------
+    # Whole-memory campaigns at growing flip budgets.
+    # ------------------------------------------------------------------
+    rows = []
+    for budget in FLIP_BUDGETS:
+        cells = [str(budget)]
+        for label, variant in variants.items():
+            campaign = FaultCampaign(
+                FaultInjector(variant),
+                lambda v=variant: evaluate_accuracy(v, test_loader),
+                trials=TRIALS,
+                seed=0,
+            )
+            cells.append(percent(campaign.run(BitFlipFaultModel.exact(budget)).mean))
+        rows.append(cells)
+    print(
+        format_table(
+            ["flips/trial", *variants.keys()],
+            rows,
+            title="Mean accuracy under parameter bit-flips",
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Depthwise vs pointwise vulnerability (unprotected model).
+    # ------------------------------------------------------------------
+    unprotected = variants["unprotected"]
+
+    def depthwise_filter(name: str) -> bool:
+        return ".depthwise." in name
+
+    def pointwise_filter(name: str) -> bool:
+        return ".pointwise." in name
+
+    campaign = FaultCampaign(
+        FaultInjector(unprotected),
+        lambda: evaluate_accuracy(unprotected, test_loader),
+        trials=TRIALS,
+        seed=0,
+    )
+    rows = []
+    for label, param_filter in (
+        ("depthwise 3x3", depthwise_filter),
+        ("pointwise 1x1", pointwise_filter),
+    ):
+        result = campaign.run(
+            BitFlipFaultModel.exact(32, param_filter=param_filter), tag=label
+        )
+        rows.append([label, percent(result.mean), percent(result.min)])
+    print()
+    print(
+        format_table(
+            ["weight group (32 flips)", "mean acc", "worst trial"],
+            rows,
+            title="Unprotected vulnerability by weight role",
+        )
+    )
+    print(
+        "\nReading: pointwise weights dominate the parameter count and\n"
+        "their corruption spreads across channels; neuron-wise bounds on\n"
+        "every ReLU recover most of the loss either way."
+    )
+
+
+if __name__ == "__main__":
+    main()

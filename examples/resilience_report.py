@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Vulnerability assessment report for a trained model.
+
+Pulls the library's analysis tools together into the report a
+safety-engineering team would actually want before deployment:
+
+1. bit-position profile — which bits of a Q15.16 word are critical;
+2. layer profile — which parameter groups are most exposed;
+3. outcome classification — masked / degraded / critical trial
+   fractions with Wilson confidence intervals;
+4. the protection decision — the same numbers after FitAct-style
+   neuron-wise bounding.
+
+Run:  python examples/resilience_report.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ProtectionConfig, Trainer, TrainingConfig, evaluate_accuracy, protect_model
+from repro.data import DataLoader, Normalize, SYNTH_MEAN, SYNTH_STD, SyntheticImageDataset
+from repro.eval.reporting import format_table, percent
+from repro.fault import (
+    BitFlipFaultModel,
+    FaultCampaign,
+    FaultInjector,
+    bit_position_vulnerability,
+    classify_outcomes,
+    critical_bit_threshold,
+    mean_confidence_interval,
+    parameter_group_vulnerability,
+    wilson_interval,
+)
+from repro.models import build_model
+from repro.quant import quantize_module
+
+TRIALS = 5
+BITS = (0, 12, 20, 26, 30, 31)
+
+
+def main() -> None:
+    normalize = Normalize(SYNTH_MEAN, SYNTH_STD)
+    train_set = SyntheticImageDataset(num_samples=800, image_size=16, seed=13)
+    test_set = SyntheticImageDataset(
+        num_samples=300, image_size=16, seed=13, split="test"
+    )
+    train_loader = DataLoader(
+        train_set, batch_size=64, shuffle=True, rng=0, transform=normalize
+    )
+    test_loader = DataLoader(test_set, batch_size=128, transform=normalize)
+
+    model = build_model("lenet", num_classes=10, image_size=16, seed=0)
+    Trainer(model, TrainingConfig(epochs=15, lr=0.05, momentum=0.95)).fit(train_loader)
+    quantize_module(model)
+    clean = evaluate_accuracy(model, test_loader)
+    print(f"=== Resilience report: LeNet/SynthCIFAR-10, clean {clean:.2%} ===\n")
+
+    injector = FaultInjector(model)
+    campaign = FaultCampaign(
+        injector,
+        lambda: evaluate_accuracy(model, test_loader),
+        trials=TRIALS,
+        seed=0,
+    )
+
+    # ------------------------------------------------------------------
+    # 1. Bit-position profile (16 flips per trial, one bit index each).
+    # ------------------------------------------------------------------
+    profile = bit_position_vulnerability(campaign, list(BITS), flips_per_trial=16)
+    rows = [
+        [str(bit), percent(result.mean), percent(result.min)]
+        for bit, result in profile.items()
+    ]
+    print(
+        format_table(
+            ["bit", "mean acc", "worst trial"],
+            rows,
+            title="1. Bit-position vulnerability (16 flips/trial)",
+        )
+    )
+    threshold = critical_bit_threshold(profile, baseline=clean, tolerance=0.02)
+    print(f"   first critical bit index: {threshold}\n")
+
+    # ------------------------------------------------------------------
+    # 2. Layer profile (flips confined per parameter group).
+    # ------------------------------------------------------------------
+    owners: list[str] = []
+    for name, _ in model.named_parameters():
+        if name.endswith(".weight"):
+            owners.append(name[: -len("weight")])
+    groups = parameter_group_vulnerability(campaign, owners, flips_per_trial=8)
+    rows = [
+        [prefix.rstrip("."), percent(result.mean)]
+        for prefix, result in groups.items()
+    ]
+    print(
+        format_table(
+            ["parameter group", "mean acc (8 flips)"],
+            rows,
+            title="2. Layer vulnerability",
+        )
+    )
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Outcome classification at a deployment-relevant budget.
+    # ------------------------------------------------------------------
+    result = campaign.run(BitFlipFaultModel.exact(24), tag="assessment")
+    breakdown = classify_outcomes(result, baseline=clean)
+    low, high = mean_confidence_interval(result)
+    sdc_low, sdc_high = wilson_interval(
+        breakdown.degraded + breakdown.critical, breakdown.trials
+    )
+    print("3. Outcome classification (24 flips/trial)")
+    print(f"   {breakdown.summary()}")
+    print(f"   mean accuracy {result.mean:.2%}  (95% CI [{low:.2%}, {high:.2%}])")
+    print(f"   P(observable corruption) in [{sdc_low:.2%}, {sdc_high:.2%}] (Wilson)\n")
+
+    # ------------------------------------------------------------------
+    # 4. After protection.
+    # ------------------------------------------------------------------
+    protect_model(model, train_loader, ProtectionConfig(method="fitact-naive"))
+    quantize_module(model)
+    injector.refresh()
+    protected_clean = evaluate_accuracy(model, test_loader)
+    result = campaign.run(BitFlipFaultModel.exact(24), tag="protected")
+    breakdown = classify_outcomes(result, baseline=protected_clean)
+    print("4. Same budget with neuron-wise bounds")
+    print(f"   clean {protected_clean:.2%}")
+    print(f"   {breakdown.summary()}")
+    print(f"   mean accuracy {result.mean:.2%}")
+
+
+if __name__ == "__main__":
+    main()

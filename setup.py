@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+``pip install -e .`` in a fully offline environment (no wheel package
+available for PEP-517 builds) falls back to this legacy entry point:
+``python setup.py develop`` installs the package in editable mode.
+"""
+
+from setuptools import setup
+
+setup()

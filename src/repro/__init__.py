@@ -1,0 +1,30 @@
+"""repro — a from-scratch reproduction of FitAct (DATE 2022).
+
+FitAct hardens DNN inference against memory bit-flips by giving every
+neuron its own *post-trainable* activation bound.  This package rebuilds
+the paper's full stack on numpy: an autograd engine (:mod:`repro.autograd`),
+a neural-network layer library (:mod:`repro.nn`), optimisers
+(:mod:`repro.optim`), synthetic CIFAR-like data (:mod:`repro.data`), the
+Q15.16 fixed-point codec (:mod:`repro.quant`), a bit-flip fault injector
+(:mod:`repro.fault`), the CIFAR model zoo (:mod:`repro.models`), the FitAct
+contribution itself plus the Clip-Act/Ranger baselines (:mod:`repro.core`),
+and the paper's evaluation harness (:mod:`repro.eval`).
+
+Quickstart::
+
+    from repro import nn, optim
+    from repro.models import build_model
+    from repro.core import FitActPipeline, ProtectionConfig
+
+    model = build_model("vgg16", num_classes=10, scale=0.25)
+    # ... train, then:
+    # pipeline = FitActPipeline(ProtectionConfig(method="fitact"))
+    # protected = pipeline.protect(model, train_loader)
+"""
+
+from repro import autograd
+from repro.autograd import Tensor, no_grad
+
+__version__ = "1.0.0"
+
+__all__ = ["Tensor", "__version__", "autograd", "no_grad"]

@@ -1,0 +1,79 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This subpackage is the substrate replacing PyTorch's autograd for the
+FitAct reproduction: a :class:`Tensor` type, a library of differentiable
+primitives, and gradient-mode switches for cheap inference.
+
+>>> from repro.autograd import Tensor
+>>> x = Tensor([1.0, -2.0, 3.0], requires_grad=True)
+>>> (x.relu().sum()).backward()
+>>> x.grad.tolist()
+[1.0, 0.0, 1.0]
+"""
+
+from repro.autograd import ops_basic, ops_conv, ops_nn, ops_reduce, ops_shape
+from repro.autograd.function import Function, unbroadcast
+from repro.autograd.grad_mode import enable_grad, is_grad_enabled, no_grad
+from repro.autograd.numeric import gradcheck, numeric_gradient
+from repro.autograd.ops_basic import (
+    add,
+    div,
+    exp,
+    log,
+    matmul,
+    maximum,
+    minimum,
+    mul,
+    neg,
+    sqrt,
+    sub,
+    where,
+)
+from repro.autograd.ops_conv import avg_pool2d, conv2d, max_pool2d
+from repro.autograd.ops_nn import leaky_relu, log_softmax, relu, sigmoid, softmax, tanh
+from repro.autograd.ops_shape import concat, gather, getitem, pad2d, reshape, transpose
+from repro.autograd.tensor import Tensor, as_tensor
+
+__all__ = [
+    "Function",
+    "Tensor",
+    "add",
+    "as_tensor",
+    "avg_pool2d",
+    "concat",
+    "conv2d",
+    "div",
+    "enable_grad",
+    "exp",
+    "gather",
+    "getitem",
+    "gradcheck",
+    "is_grad_enabled",
+    "leaky_relu",
+    "log",
+    "log_softmax",
+    "matmul",
+    "max_pool2d",
+    "maximum",
+    "minimum",
+    "mul",
+    "neg",
+    "no_grad",
+    "numeric_gradient",
+    "ops_basic",
+    "ops_conv",
+    "ops_nn",
+    "ops_reduce",
+    "ops_shape",
+    "pad2d",
+    "relu",
+    "reshape",
+    "sigmoid",
+    "softmax",
+    "sqrt",
+    "sub",
+    "tanh",
+    "transpose",
+    "unbroadcast",
+    "where",
+]

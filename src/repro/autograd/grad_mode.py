@@ -1,0 +1,48 @@
+"""Global gradient-recording switch.
+
+Inference (fault-injection campaigns run thousands of forward passes) must
+not pay for graph construction, so ops consult :func:`is_grad_enabled`
+before linking themselves into the autograd graph.
+
+>>> from repro.autograd import no_grad, is_grad_enabled
+>>> with no_grad():
+...     assert not is_grad_enabled()
+>>> assert is_grad_enabled()
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["enable_grad", "is_grad_enabled", "no_grad"]
+
+_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradients."""
+    return getattr(_state, "enabled", True)
+
+
+@contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables gradient recording."""
+    previous = is_grad_enabled()
+    _state.enabled = False
+    try:
+        yield
+    finally:
+        _state.enabled = previous
+
+
+@contextmanager
+def enable_grad() -> Iterator[None]:
+    """Context manager that re-enables gradient recording inside no_grad."""
+    previous = is_grad_enabled()
+    _state.enabled = True
+    try:
+        yield
+    finally:
+        _state.enabled = previous

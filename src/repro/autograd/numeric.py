@@ -1,0 +1,78 @@
+"""Numeric gradient checking — the autograd test oracle.
+
+Compares analytic gradients against central finite differences computed in
+float64.  Used throughout ``tests/autograd`` and handy when adding new
+primitives.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["gradcheck", "numeric_gradient"]
+
+
+def numeric_gradient(
+    fn: Callable[[Sequence[np.ndarray]], float],
+    inputs: Sequence[np.ndarray],
+    which: int,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` w.r.t. ``inputs[which]``."""
+    arrays = [np.array(arr, dtype=np.float64) for arr in inputs]
+    target = arrays[which]
+    grad = np.zeros_like(target)
+    flat = target.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn(arrays)
+        flat[i] = original - eps
+        lower = fn(arrays)
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    eps: float = 1e-5,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+) -> bool:
+    """Verify analytic gradients of ``fn`` against finite differences.
+
+    ``fn`` maps input Tensors to a Tensor of any shape; the check reduces
+    the output with a fixed random weighting so every output element
+    participates.  Raises ``AssertionError`` with a diagnostic on mismatch.
+    """
+    rng = np.random.default_rng(0)
+    inputs64 = [np.array(arr, dtype=np.float64) for arr in inputs]
+
+    # Analytic pass.
+    tensors = [Tensor(arr, requires_grad=True, dtype=np.float64) for arr in inputs64]
+    out = fn(*tensors)
+    weights = rng.standard_normal(out.shape)
+    (out * Tensor(weights, dtype=np.float64)).sum().backward()
+    analytic = [t.grad if t.grad is not None else np.zeros_like(t.data) for t in tensors]
+
+    def scalar_fn(arrays: Sequence[np.ndarray]) -> float:
+        ts = [Tensor(arr, dtype=np.float64) for arr in arrays]
+        result = fn(*ts)
+        return float((result.data * weights).sum())
+
+    for index in range(len(inputs64)):
+        numeric = numeric_gradient(scalar_fn, inputs64, index, eps=eps)
+        if not np.allclose(analytic[index], numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic[index] - numeric))
+            raise AssertionError(
+                f"gradient mismatch for input {index}: max abs err {worst:.3e}\n"
+                f"analytic:\n{analytic[index]}\nnumeric:\n{numeric}"
+            )
+    return True

@@ -1,0 +1,128 @@
+"""Neural-network primitives: activations and stable (log-)softmax."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.autograd.function import Function
+from repro.autograd.tensor import Tensor, as_tensor
+
+__all__ = ["leaky_relu", "log_softmax", "relu", "sigmoid", "softmax", "tanh"]
+
+
+class _ReLU(Function):
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        mask = a > 0
+        self.save_for_backward(mask)
+        return a * mask
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray]:
+        (mask,) = self.saved
+        return (grad_out * mask,)
+
+
+class _LeakyReLU(Function):
+    def forward(self, a: np.ndarray, negative_slope: float) -> np.ndarray:
+        self.slope = float(negative_slope)
+        mask = a > 0
+        self.save_for_backward(mask)
+        return np.where(mask, a, self.slope * a)
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray]:
+        (mask,) = self.saved
+        return (np.where(mask, grad_out, self.slope * grad_out),)
+
+
+class _Sigmoid(Function):
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        # Numerically stable piecewise evaluation avoids overflow in exp.
+        out = np.empty_like(a)
+        positive = a >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-a[positive]))
+        exp_a = np.exp(a[~positive])
+        out[~positive] = exp_a / (1.0 + exp_a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray]:
+        (out,) = self.saved
+        return (grad_out * out * (1.0 - out),)
+
+
+class _Tanh(Function):
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        out = np.tanh(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray]:
+        (out,) = self.saved
+        return (grad_out * (1.0 - out * out),)
+
+
+class _LogSoftmax(Function):
+    """Log-softmax along ``axis`` via the logsumexp trick."""
+
+    def forward(self, a: np.ndarray, axis: int) -> np.ndarray:
+        self.axis = axis
+        shifted = a - a.max(axis=axis, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out = shifted - log_norm
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray]:
+        (out,) = self.saved
+        softmax = np.exp(out)
+        return (grad_out - softmax * grad_out.sum(axis=self.axis, keepdims=True),)
+
+
+class _Softmax(Function):
+    def forward(self, a: np.ndarray, axis: int) -> np.ndarray:
+        self.axis = axis
+        shifted = a - a.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out = exp / exp.sum(axis=axis, keepdims=True)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray]:
+        (out,) = self.saved
+        inner = (grad_out * out).sum(axis=self.axis, keepdims=True)
+        return (out * (grad_out - inner),)
+
+
+def relu(a: Any) -> Tensor:
+    """``max(0, x)`` — the baseline activation the paper hardens."""
+    return _ReLU.apply(as_tensor(a))
+
+
+def leaky_relu(a: Any, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU with configurable negative slope."""
+    return _LeakyReLU.apply(as_tensor(a), negative_slope)
+
+
+def sigmoid(a: Any) -> Tensor:
+    """Numerically stable logistic sigmoid.
+
+    FitReLU (paper Eq. 6) is built from this primitive, so its stability
+    for large ``|x|`` matters: faulty activations can reach ~1e4.
+    """
+    return _Sigmoid.apply(as_tensor(a))
+
+
+def tanh(a: Any) -> Tensor:
+    """Hyperbolic tangent."""
+    return _Tanh.apply(as_tensor(a))
+
+
+def log_softmax(a: Any, axis: int = -1) -> Tensor:
+    """Stable log-softmax along ``axis``."""
+    return _LogSoftmax.apply(as_tensor(a), axis)
+
+
+def softmax(a: Any, axis: int = -1) -> Tensor:
+    """Stable softmax along ``axis``."""
+    return _Softmax.apply(as_tensor(a), axis)

@@ -1,0 +1,117 @@
+"""Reduction primitives (sum/mean/max/min) with analytic gradients."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.autograd.function import Function
+from repro.autograd.tensor import Tensor, as_tensor
+
+__all__ = ["max", "mean", "min", "sum"]
+
+Axis = int | tuple[int, ...] | None
+
+
+def _normalize_axis(axis: Axis, ndim: int) -> tuple[int, ...]:
+    if axis is None:
+        return tuple(range(ndim))
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(a % ndim for a in axis)
+
+
+def _expand_reduced(grad: np.ndarray, shape: tuple[int, ...], axes: tuple[int, ...], keepdims: bool) -> np.ndarray:
+    """Reinsert reduced axes as size-1 dims so grad broadcasts to ``shape``."""
+    if not keepdims:
+        for axis in sorted(axes):
+            grad = np.expand_dims(grad, axis)
+    return np.broadcast_to(grad, shape)
+
+
+class _Sum(Function):
+    def forward(self, a: np.ndarray, axis: Axis, keepdims: bool) -> np.ndarray:
+        self.in_shape = a.shape
+        self.axes = _normalize_axis(axis, a.ndim)
+        self.keepdims = keepdims
+        return a.sum(axis=self.axes, keepdims=keepdims)
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray]:
+        grad = _expand_reduced(grad_out, self.in_shape, self.axes, self.keepdims)
+        return (np.ascontiguousarray(grad),)
+
+
+class _Mean(Function):
+    def forward(self, a: np.ndarray, axis: Axis, keepdims: bool) -> np.ndarray:
+        self.in_shape = a.shape
+        self.axes = _normalize_axis(axis, a.ndim)
+        self.keepdims = keepdims
+        self.count = int(np.prod([a.shape[ax] for ax in self.axes])) if self.axes else 1
+        return a.mean(axis=self.axes, keepdims=keepdims)
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray]:
+        grad = _expand_reduced(grad_out, self.in_shape, self.axes, self.keepdims)
+        return (np.ascontiguousarray(grad) / self.count,)
+
+
+class _MinMaxBase(Function):
+    """Shared machinery for max/min: route gradient to extremum positions.
+
+    Ties split the gradient equally among tied positions, a symmetric
+    subgradient choice that keeps gradcheck well-behaved away from exact
+    ties.
+    """
+
+    _reducer = None  # set by subclass: np.max or np.min
+
+    def forward(self, a: np.ndarray, axis: Axis, keepdims: bool) -> np.ndarray:
+        self.in_shape = a.shape
+        self.axes = _normalize_axis(axis, a.ndim)
+        self.keepdims = keepdims
+        out = type(self)._reducer(a, axis=self.axes, keepdims=True)
+        self.save_for_backward(a, out)
+        if not keepdims:
+            return out.reshape(self._squeezed_shape(a.shape))
+        return out
+
+    def _squeezed_shape(self, shape: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(n for i, n in enumerate(shape) if i not in self.axes)
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray]:
+        a, out = self.saved
+        mask = (a == out).astype(a.dtype)
+        tie_counts = mask.sum(axis=self.axes, keepdims=True)
+        grad = grad_out
+        if not self.keepdims:
+            for axis in sorted(self.axes):
+                grad = np.expand_dims(grad, axis)
+        return (mask * (grad / tie_counts),)
+
+
+class _Max(_MinMaxBase):
+    _reducer = staticmethod(np.max)
+
+
+class _Min(_MinMaxBase):
+    _reducer = staticmethod(np.min)
+
+
+def sum(a: Any, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Sum over ``axis`` (all axes when ``None``)."""
+    return _Sum.apply(as_tensor(a), axis, keepdims)
+
+
+def mean(a: Any, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Arithmetic mean over ``axis`` (all axes when ``None``)."""
+    return _Mean.apply(as_tensor(a), axis, keepdims)
+
+
+def max(a: Any, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Maximum over ``axis``; gradient splits equally among ties."""
+    return _Max.apply(as_tensor(a), axis, keepdims)
+
+
+def min(a: Any, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Minimum over ``axis``; gradient splits equally among ties."""
+    return _Min.apply(as_tensor(a), axis, keepdims)

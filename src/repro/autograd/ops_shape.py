@@ -1,0 +1,141 @@
+"""Shape-manipulation primitives: reshape, transpose, indexing, pad, concat."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.autograd.function import Function
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.errors import ShapeError
+
+__all__ = ["concat", "gather", "getitem", "pad2d", "reshape", "transpose"]
+
+
+class _Reshape(Function):
+    def forward(self, a: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+        self.in_shape = a.shape
+        return a.reshape(shape)
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray]:
+        return (grad_out.reshape(self.in_shape),)
+
+
+class _Transpose(Function):
+    def forward(self, a: np.ndarray, axes: tuple[int, ...] | None) -> np.ndarray:
+        self.axes = tuple(range(a.ndim))[::-1] if axes is None else tuple(axes)
+        return np.transpose(a, self.axes)
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray]:
+        inverse = np.argsort(self.axes)
+        return (np.transpose(grad_out, inverse),)
+
+
+class _GetItem(Function):
+    """Basic and integer-array indexing with scatter-add backward."""
+
+    def forward(self, a: np.ndarray, index: Any) -> np.ndarray:
+        self.in_shape = a.shape
+        self.in_dtype = a.dtype
+        self.index = index
+        return a[index]
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray]:
+        grad = np.zeros(self.in_shape, dtype=grad_out.dtype)
+        # add.at handles repeated indices correctly (scatter-add).
+        np.add.at(grad, self.index, grad_out)
+        return (grad,)
+
+
+class _Gather(Function):
+    """``take_along_axis`` with scatter-add backward.
+
+    Used by the cross-entropy loss to pick the log-probability of the
+    target class per sample.
+    """
+
+    def forward(self, a: np.ndarray, index: np.ndarray, axis: int) -> np.ndarray:
+        self.in_shape = a.shape
+        self.axis = axis
+        self.save_for_backward(index)
+        return np.take_along_axis(a, index, axis=axis)
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray]:
+        (index,) = self.saved
+        grad = np.zeros(self.in_shape, dtype=grad_out.dtype)
+        # No np.put_along_axis accumulation mode; build advanced index.
+        indices = list(np.indices(index.shape, sparse=False))
+        indices[self.axis] = index
+        np.add.at(grad, tuple(indices), grad_out)
+        return (grad,)
+
+
+class _Pad2d(Function):
+    """Zero-pad the two trailing (spatial) axes of an NCHW tensor."""
+
+    def forward(self, a: np.ndarray, padding: tuple[int, int, int, int]) -> np.ndarray:
+        top, bottom, left, right = padding
+        self.padding = padding
+        pad_spec = [(0, 0)] * (a.ndim - 2) + [(top, bottom), (left, right)]
+        return np.pad(a, pad_spec)
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray]:
+        top, bottom, left, right = self.padding
+        h_stop = grad_out.shape[-2] - bottom
+        w_stop = grad_out.shape[-1] - right
+        return (grad_out[..., top:h_stop, left:w_stop],)
+
+
+class _Concat(Function):
+    def forward(self, *arrays: np.ndarray, axis: int) -> np.ndarray:
+        self.axis = axis
+        self.split_points = np.cumsum([arr.shape[axis] for arr in arrays])[:-1]
+        return np.concatenate(arrays, axis=axis)
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, ...]:
+        return tuple(np.split(grad_out, self.split_points, axis=self.axis))
+
+
+def reshape(a: Any, shape: Sequence[int]) -> Tensor:
+    """Reshape to ``shape`` (supports a single -1 wildcard)."""
+    return _Reshape.apply(as_tensor(a), tuple(shape))
+
+
+def transpose(a: Any, axes: Sequence[int] | None = None) -> Tensor:
+    """Permute axes (full reversal when ``axes`` is None)."""
+    return _Transpose.apply(as_tensor(a), None if axes is None else tuple(axes))
+
+
+def getitem(a: Any, index: Any) -> Tensor:
+    """Index/slice a tensor; gradient scatter-adds into the source."""
+    if isinstance(index, Tensor):
+        index = index.data.astype(np.int64)
+    return _GetItem.apply(as_tensor(a), index)
+
+
+def gather(a: Any, index: Any, axis: int) -> Tensor:
+    """Differentiable ``np.take_along_axis``."""
+    index = np.asarray(index.data if isinstance(index, Tensor) else index, dtype=np.int64)
+    return _Gather.apply(as_tensor(a), index, axis)
+
+
+def pad2d(a: Any, padding: int | tuple[int, int, int, int]) -> Tensor:
+    """Zero-pad the two trailing axes.
+
+    ``padding`` is either a single symmetric amount or
+    ``(top, bottom, left, right)``.
+    """
+    if isinstance(padding, int):
+        padding = (padding, padding, padding, padding)
+    if len(padding) != 4:
+        raise ShapeError(f"padding must be int or 4-tuple, got {padding!r}")
+    return _Pad2d.apply(as_tensor(a), tuple(int(p) for p in padding))
+
+
+def concat(tensors: Sequence[Any], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    if not tensors:
+        raise ShapeError("concat requires at least one tensor")
+    return _Concat.apply(*tensors, axis=axis)

@@ -1,0 +1,339 @@
+"""Argument parsing and command dispatch for the ``repro`` CLI.
+
+Every command is a plain function taking the parsed namespace and
+returning a process exit code, so tests drive :func:`main` directly
+with argv lists and assert on captured stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["build_parser", "main"]
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _preset_from_args(args: argparse.Namespace):
+    """Resolve the preset name plus any size overrides from the CLI."""
+    from repro.eval.experiments import get_preset
+
+    preset = get_preset(args.preset)
+    overrides = {}
+    if getattr(args, "train_samples", None) is not None:
+        overrides["train_samples"] = args.train_samples
+    if getattr(args, "test_samples", None) is not None:
+        overrides["test_samples"] = args.test_samples
+    if getattr(args, "epochs", None) is not None:
+        overrides["train_epochs"] = args.epochs
+    if getattr(args, "post_epochs", None) is not None:
+        overrides["post_epochs"] = args.post_epochs
+    if getattr(args, "trials", None) is not None:
+        overrides["trials"] = args.trials
+    if getattr(args, "image_size", None) is not None:
+        overrides["image_size"] = args.image_size
+    if overrides:
+        preset = preset.with_overrides(**overrides)
+    return preset
+
+
+def _add_preset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset",
+        default="quick",
+        help="experiment size preset: smoke | quick | full (default: quick)",
+    )
+    parser.add_argument("--train-samples", type=int, help="override training set size")
+    parser.add_argument("--test-samples", type=int, help="override test set size")
+    parser.add_argument("--epochs", type=int, help="override training epochs")
+    parser.add_argument("--post-epochs", type=int, help="override post-training epochs")
+    parser.add_argument("--trials", type=int, help="override fault-campaign trials")
+    parser.add_argument("--image-size", type=int, help="override input resolution")
+
+
+def _evaluator_for(dataset_name: str, preset):
+    """Build the test-set evaluator the experiment contexts use."""
+    from repro.data.loader import DataLoader
+    from repro.data.synthetic import SYNTH_MEAN, SYNTH_STD, SyntheticImageDataset
+    from repro.data.transforms import Normalize
+    from repro.eval.evaluator import Evaluator
+    from repro.eval.experiments.context import DATASETS
+    from repro.utils.rng import derive_seed
+
+    num_classes = DATASETS[dataset_name]
+    test_set = SyntheticImageDataset(
+        num_classes=num_classes,
+        num_samples=preset.test_samples,
+        image_size=preset.image_size,
+        seed=derive_seed(preset.seed, "data", dataset_name),
+        split="test",
+    )
+    loader = DataLoader(
+        test_set,
+        batch_size=max(preset.batch_size, 128),
+        transform=Normalize(SYNTH_MEAN, SYNTH_STD),
+    )
+    return Evaluator(loader, max_batches=preset.eval_batches)
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _cmd_list_models(args: argparse.Namespace) -> int:
+    from repro.eval.reporting import format_table
+    from repro.models.registry import MODEL_NAMES, PAPER_MODELS, build_model
+
+    rows = []
+    for name in sorted(MODEL_NAMES):
+        model = build_model(
+            name,
+            num_classes=args.classes,
+            scale=args.scale,
+            image_size=args.image_size,
+            seed=0,
+        )
+        tag = "paper" if name in PAPER_MODELS else "extra"
+        rows.append([name, tag, f"{model.num_parameters():,}"])
+    print(
+        format_table(
+            ["model", "origin", f"parameters (scale {args.scale:g})"],
+            rows,
+            title="Model zoo",
+        )
+    )
+    return 0
+
+
+def _cmd_list_experiments(args: argparse.Namespace) -> int:
+    from repro.eval.experiments import EXPERIMENTS
+    from repro.eval.reporting import format_table
+
+    rows = []
+    for exp_id, runner in EXPERIMENTS.items():
+        doc = (runner.__doc__ or "").strip().splitlines()
+        rows.append([exp_id, doc[0] if doc else ""])
+    print(format_table(["id", "description"], rows, title="Experiments"))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.core.surgery import find_activation_sites
+    from repro.models.registry import build_model
+    from repro.quant.model import model_memory_bytes
+
+    model = build_model(
+        args.model,
+        num_classes=args.classes,
+        scale=args.scale,
+        image_size=args.image_size,
+        seed=0,
+    )
+    sites = find_activation_sites(model)
+    print(f"model       : {args.model} (scale {args.scale:g})")
+    print(f"parameters  : {model.num_parameters():,}")
+    print(f"memory      : {model_memory_bytes(model) / 1e6:.2f} MB (Q15.16)")
+    print(f"ReLU sites  : {len(sites)}")
+    if args.verbose:
+        print(model)
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.eval.experiments import prepare_context
+
+    preset = _preset_from_args(args)
+    context = prepare_context(args.model, args.dataset, preset)
+    print(
+        f"trained {args.model}/{args.dataset} ({preset.name} preset): "
+        f"accuracy {context.reference_accuracy:.2%} "
+        f"in {context.training_seconds:.1f}s (cached runs report the "
+        f"original training time)"
+    )
+    return 0
+
+
+def _cmd_protect(args: argparse.Namespace) -> int:
+    from repro.core.checkpoint import save_protected
+    from repro.eval.experiments import prepare_context
+
+    preset = _preset_from_args(args)
+    context = prepare_context(args.model, args.dataset, preset)
+    model, info = context.protected_model(args.method)
+    meta = {
+        "model": args.model,
+        "dataset": args.dataset,
+        "method": args.method,
+        "num_classes": context.num_classes,
+        "scale": preset.scale_for(args.model),
+        "image_size": preset.image_size,
+        "seed": preset.seed,
+        "clean_accuracy": info["clean_accuracy"],
+    }
+    save_protected(args.out, model, meta=meta)
+    print(
+        f"protected {args.model}/{args.dataset} with {args.method}: "
+        f"clean accuracy {info['clean_accuracy']:.2%} -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.core.checkpoint import load_protected
+    from repro.fault.campaign import FaultCampaign
+    from repro.fault.injector import FaultInjector
+    from repro.models.registry import build_model
+
+    preset = _preset_from_args(args)
+
+    probe_meta: dict[str, object] = {}
+
+    def builder():
+        from repro.utils.serialization import load_state
+        import json
+
+        state = load_state(args.checkpoint)
+        manifest = json.loads(str(state["__repro_checkpoint__"]))
+        probe_meta.update(manifest.get("meta", {}))
+        return build_model(
+            str(probe_meta["model"]),
+            num_classes=int(probe_meta["num_classes"]),
+            scale=float(probe_meta["scale"]),
+            image_size=int(probe_meta["image_size"]),
+            seed=int(probe_meta.get("seed", 0)),
+        )
+
+    model, meta = load_protected(args.checkpoint, builder)
+    preset = preset.with_overrides(image_size=int(meta["image_size"]))
+    evaluator = _evaluator_for(str(meta["dataset"]), preset)
+    clean = evaluator.accuracy(model)
+    print(
+        f"checkpoint {args.checkpoint}: {meta['model']}/{meta['dataset']} "
+        f"({meta['method']})"
+    )
+    print(f"clean accuracy: {clean:.2%}")
+    if not args.rates:
+        return 0
+    campaign = FaultCampaign(
+        FaultInjector(model),
+        evaluator.bind(model),
+        trials=preset.trials,
+        seed=preset.seed,
+    )
+    from repro.fault.fault_model import BitFlipFaultModel
+
+    for rate in args.rates:
+        result = campaign.run(BitFlipFaultModel.at_rate(rate))
+        print(
+            f"rate {rate:.1e}: mean {result.mean:.2%}  median "
+            f"{result.median:.2%}  min {result.min:.2%}  "
+            f"({result.trials} trials, mean {result.flip_counts.mean():.1f} flips)"
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import inspect
+
+    from repro.eval.experiments import EXPERIMENTS
+
+    if args.id not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.id!r}; run 'repro list-experiments'",
+            file=sys.stderr,
+        )
+        return 2
+    runner = EXPERIMENTS[args.id]
+    preset = _preset_from_args(args)  # validates the preset name either way
+    kwargs = {}
+    if "preset" in inspect.signature(runner).parameters:
+        kwargs["preset"] = preset
+    result = runner(**kwargs)
+    print(result.to_text())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "FitAct reproduction: error-resilient DNNs via fine-grained "
+            "post-trainable activation functions (DATE 2022)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list-models", help="model zoo with parameter counts")
+    p.add_argument("--scale", type=float, default=0.125, help="width multiplier")
+    p.add_argument("--classes", type=int, default=10)
+    p.add_argument("--image-size", type=int, default=32)
+    p.set_defaults(func=_cmd_list_models)
+
+    p = sub.add_parser("list-experiments", help="experiment registry by id")
+    p.set_defaults(func=_cmd_list_experiments)
+
+    p = sub.add_parser("info", help="one model's structure and memory")
+    p.add_argument("--model", required=True)
+    p.add_argument("--scale", type=float, default=0.125)
+    p.add_argument("--classes", type=int, default=10)
+    p.add_argument("--image-size", type=int, default=32)
+    p.add_argument("--verbose", action="store_true", help="print the module tree")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("train", help="train (or load cached) base weights")
+    p.add_argument("--model", required=True)
+    p.add_argument("--dataset", default="synth10", help="synth10 | synth100")
+    _add_preset_arguments(p)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("protect", help="protect a trained model, save checkpoint")
+    p.add_argument("--model", required=True)
+    p.add_argument("--dataset", default="synth10")
+    p.add_argument(
+        "--method",
+        default="fitact",
+        help="fitact | fitact-naive | clipact | ranger | tanh | none",
+    )
+    p.add_argument("--out", required=True, help="checkpoint path (.npz)")
+    _add_preset_arguments(p)
+    p.set_defaults(func=_cmd_protect)
+
+    p = sub.add_parser("evaluate", help="evaluate a protected checkpoint")
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument(
+        "--rates",
+        type=float,
+        nargs="*",
+        default=(),
+        help="fault rates for an under-fault campaign (e.g. 1e-6 3e-6)",
+    )
+    _add_preset_arguments(p)
+    p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser("experiment", help="regenerate a paper artefact by id")
+    p.add_argument("--id", required=True, help="see 'repro list-experiments'")
+    _add_preset_arguments(p)
+    p.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    np.seterr(over="ignore")  # faulty Q15.16 extremes overflow exp() benignly
+    try:
+        return int(args.func(args))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1

@@ -1,0 +1,73 @@
+"""The paper's contribution: FitReLU activations, bound profiling, model
+surgery, decoupled post-training, and the FitAct pipeline — plus the
+Clip-Act, Ranger, and Tanh-swap baselines it is evaluated against."""
+
+from repro.core.bounded_relu import BoundedReLU, FitReLUNaive, GBReLU
+from repro.core.bounded_tanh import BoundedTanh
+from repro.core.checkpoint import load_protected, save_protected
+from repro.core.fitact import FitActConfig, FitActPipeline, FitActResult
+from repro.core.fitrelu import DEFAULT_SLOPE, FitReLU
+from repro.core.post_training import (
+    BoundPostTrainer,
+    PostTrainingConfig,
+    PostTrainingReport,
+)
+from repro.core.profiler import (
+    ActivationProfile,
+    RecordingReLU,
+    profile_activations,
+)
+from repro.core.protection import (
+    PROTECTION_METHODS,
+    ProtectionConfig,
+    ProtectionReport,
+    protect_model,
+)
+from repro.core.surgery import (
+    bound_modules,
+    bound_parameter_count,
+    find_activation_sites,
+    make_factory,
+    replace_activations,
+    restore_relu,
+)
+from repro.core.training import (
+    Trainer,
+    TrainingConfig,
+    TrainingReport,
+    evaluate_accuracy,
+)
+
+__all__ = [
+    "DEFAULT_SLOPE",
+    "PROTECTION_METHODS",
+    "ActivationProfile",
+    "BoundPostTrainer",
+    "BoundedReLU",
+    "BoundedTanh",
+    "FitActConfig",
+    "FitActPipeline",
+    "FitActResult",
+    "FitReLU",
+    "FitReLUNaive",
+    "GBReLU",
+    "PostTrainingConfig",
+    "PostTrainingReport",
+    "ProtectionConfig",
+    "ProtectionReport",
+    "RecordingReLU",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingReport",
+    "bound_modules",
+    "bound_parameter_count",
+    "evaluate_accuracy",
+    "find_activation_sites",
+    "load_protected",
+    "make_factory",
+    "profile_activations",
+    "protect_model",
+    "replace_activations",
+    "restore_relu",
+    "save_protected",
+]

@@ -1,0 +1,114 @@
+"""Hard-bounded ReLU activations: GBReLU (Clip-Act) and Ranger semantics.
+
+Paper Eq. 4 defines the globally bounded ReLU used by the baselines::
+
+              ⎧ 0   if x > λ        (out-of-bound handling — see modes)
+    GBReLU(x) ⎨ x   if 0 < x ≤ λ
+              ⎩ 0   if x ≤ 0
+
+Two out-of-bound policies appear in the literature the paper compares
+against (§VI-B):
+
+- ``"zero"``   — squash to 0 (Clip-Act, Hoang et al. [18]);
+- ``"saturate"`` — truncate to λ (Ranger, Chen et al. [16]) — the paper
+  attributes Ranger's weaker protection to exactly this choice: "Ranger
+  truncates an output faulty value to a big positive bound, which still
+  propagates in the network".
+
+The same module also implements FitReLU-Naive (paper Eq. 5) by passing a
+*per-neuron* bound array instead of a scalar: the piecewise definition is
+identical, only the bound granularity changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops_basic, ops_nn
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+__all__ = ["BoundedReLU", "FitReLUNaive", "GBReLU"]
+
+_MODES = ("zero", "saturate")
+
+
+class BoundedReLU(Module):
+    """ReLU with an upper bound, at any bound granularity.
+
+    Parameters
+    ----------
+    bound:
+        Scalar (layer-global, as in Clip-Act/Ranger) or array broadcastable
+        against the unbatched activation shape (per-channel or per-neuron).
+    mode:
+        ``"zero"`` squashes out-of-bound values to 0 (Eq. 4 / Clip-Act);
+        ``"saturate"`` clips them to the bound (Ranger).
+
+    The bound is registered as a parameter so it lives in the fault space
+    (paper §VI-A2 includes "parameters of activation functions"), but it
+    receives no gradient — the piecewise form is not trainable, which is
+    precisely the limitation motivating FitReLU (paper §IV-B).
+    """
+
+    def __init__(self, bound: float | np.ndarray, mode: str = "zero") -> None:
+        super().__init__()
+        if mode not in _MODES:
+            raise ConfigurationError(f"mode must be one of {_MODES}, got {mode!r}")
+        bound_array = np.atleast_1d(np.asarray(bound, dtype=np.float32))
+        if np.any(bound_array <= 0):
+            raise ConfigurationError("activation bounds must be positive")
+        self.mode = mode
+        self.bound = Parameter(bound_array, requires_grad=False)
+
+    def forward(self, x: Tensor) -> Tensor:
+        positive = ops_nn.relu(x)
+        if self.mode == "saturate":
+            return ops_basic.minimum(positive, self.bound)
+        over = x.data > self.bound.data
+        return ops_basic.where(over, Tensor(np.zeros((), dtype=x.dtype)), positive)
+
+    @property
+    def bound_count(self) -> int:
+        """Number of stored bound words (Table I memory accounting)."""
+        return int(self.bound.size)
+
+    def extra_repr(self) -> str:
+        summary = (
+            f"{float(self.bound.data.reshape(-1)[0]):.4g}"
+            if self.bound.size == 1
+            else f"array{self.bound.shape}"
+        )
+        return f"bound={summary}, mode={self.mode!r}"
+
+
+class GBReLU(BoundedReLU):
+    """Layer-globally bounded ReLU (paper Eq. 4): one bound for the layer.
+
+    The activation used by the Clip-Act (``mode="zero"``) and Ranger
+    (``mode="saturate"``) baselines, with λ set from the observed maximum
+    activation over all the layer's neurons (paper §III-C).
+    """
+
+    def __init__(self, bound: float, mode: str = "zero") -> None:
+        bound = float(np.asarray(bound).reshape(-1)[0])
+        super().__init__(np.float32(bound), mode=mode)
+
+
+class FitReLUNaive(BoundedReLU):
+    """Neuron-wise bounded ReLU (paper Eq. 5): one bound per neuron.
+
+    Piecewise like GBReLU but with λᵢ per neuron.  Not trainable — its
+    derivative w.r.t. λᵢ is zero almost everywhere (paper §IV-B), which is
+    why the differentiable :class:`~repro.core.fitrelu.FitReLU` exists.
+    Useful as a post-training-free ablation and as the deployment form of
+    already-learned bounds.
+    """
+
+    def __init__(self, bounds: np.ndarray) -> None:
+        bounds = np.asarray(bounds, dtype=np.float32)
+        if bounds.size < 1:
+            raise ConfigurationError("bounds array must not be empty")
+        super().__init__(bounds, mode="zero")

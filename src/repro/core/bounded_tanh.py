@@ -1,0 +1,76 @@
+"""Bounded Tanh: the activation-swap baseline of Hong et al. [17].
+
+The paper's related work (§II-D) cites *Terminal Brain Damage* (Hong et
+al., USENIX Security 2019), which mitigates memory faults by replacing
+unbounded ReLUs with the naturally bounded Tanh.  Hong et al. retrain
+with Tanh; FitAct's setting is *post-hoc* protection of an
+already-trained ReLU network, so the deployable swap must preserve the
+ReLU regime — zero for negative pre-activations — and a bare ``tanh``
+(which passes negatives and saturates at ±1, far below trained
+activation ranges) would destroy the model.  The implemented form is
+the rectified, range-scaled variant::
+
+    BoundedTanh(x) = λ · tanh(ReLU(x) / λ)
+
+which is zero for x ≤ 0 (matching ReLU), near-identity for
+0 < x ≪ λ (slope 1 at the origin), and saturates smoothly at λ.  Two
+costs distinguish it from the other baselines, and the EXT comparisons
+quantify both: legitimate activations approaching λ are compressed
+(tanh(1) ≈ 0.76, a clean-accuracy tax no hard-clip scheme pays), and —
+like Ranger — a faulty high value is *truncated to a big positive
+bound* rather than zeroed, so it still propagates.
+
+The bound is a non-trainable parameter so it occupies fault space,
+consistent with every other protected activation (paper §VI-A2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops_nn
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+__all__ = ["BoundedTanh"]
+
+
+class BoundedTanh(Module):
+    """Rectified range-scaled Tanh activation: ``λ·tanh(ReLU(x)/λ)``.
+
+    Parameters
+    ----------
+    bound:
+        Saturation ceiling λ.  Scalar for the layer-global form (the
+        published baseline) or an array broadcastable against the
+        unbatched activation shape for finer granularities.
+    trainable:
+        Whether λ receives gradients.  The published baseline fixes λ
+        from profiled maxima; ``trainable=True`` lets the FitAct
+        post-training loop tune it (a natural extension experiment).
+    """
+
+    def __init__(self, bound: float | np.ndarray, trainable: bool = False) -> None:
+        super().__init__()
+        bound_array = np.atleast_1d(np.asarray(bound, dtype=np.float32))
+        if np.any(bound_array <= 0):
+            raise ConfigurationError("activation bounds must be positive")
+        self.bound = Parameter(bound_array, requires_grad=trainable)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.bound * ops_nn.tanh(ops_nn.relu(x) / self.bound)
+
+    @property
+    def bound_count(self) -> int:
+        """Number of stored bound words (Table I memory accounting)."""
+        return int(self.bound.size)
+
+    def extra_repr(self) -> str:
+        summary = (
+            f"{float(self.bound.data.reshape(-1)[0]):.4g}"
+            if self.bound.size == 1
+            else f"array{self.bound.shape}"
+        )
+        return f"bound={summary}, trainable={self.bound.requires_grad}"

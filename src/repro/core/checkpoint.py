@@ -1,0 +1,142 @@
+"""Persistence for protected models.
+
+A protected model is a trained base network whose ReLUs were surgically
+replaced by bounded activations (possibly post-trained).  A plain
+``state_dict`` is not enough to rebuild one: the loader must first
+recreate the surgery — which activation class sits at which path, with
+which configuration — before the state can be poured back in.
+
+``save_protected`` stores the full state dict plus a JSON manifest of
+every protected site; ``load_protected`` replays the surgery on a fresh
+base model from a user-supplied builder and restores the state.  The
+round trip is exact: outputs of the reloaded model are bit-identical.
+
+This is the deploy/exchange format used by the CLI (``repro protect`` /
+``repro evaluate``) and the checkpoint example.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.bounded_relu import BoundedReLU, FitReLUNaive, GBReLU
+from repro.core.bounded_tanh import BoundedTanh
+from repro.core.fitrelu import FitReLU
+from repro.core.surgery import bound_modules
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+from repro.utils.serialization import load_state, save_state
+
+__all__ = ["load_protected", "save_protected"]
+
+_META_KEY = "__repro_checkpoint__"
+_FORMAT_VERSION = 1
+
+
+def _site_spec(module: Module) -> dict[str, object]:
+    """JSON-serialisable reconstruction recipe for one protected site."""
+    if isinstance(module, FitReLU):
+        return {
+            "type": "fitrelu",
+            "k": float(module.k),
+            "slope_mode": module.slope_mode,
+            "trainable": bool(module.bound.requires_grad),
+        }
+    if isinstance(module, GBReLU):
+        return {"type": "gbrelu", "mode": module.mode}
+    if isinstance(module, FitReLUNaive):
+        return {"type": "fitrelu-naive"}
+    if isinstance(module, BoundedReLU):
+        return {"type": "bounded-relu", "mode": module.mode}
+    if isinstance(module, BoundedTanh):
+        return {"type": "bounded-tanh", "trainable": bool(module.bound.requires_grad)}
+    raise ConfigurationError(
+        f"cannot checkpoint protected module of type {type(module).__name__}"
+    )
+
+
+def _build_site(spec: dict[str, object], bounds: np.ndarray) -> Module:
+    """Inverse of :func:`_site_spec`."""
+    kind = spec.get("type")
+    if kind == "fitrelu":
+        return FitReLU(
+            bounds,
+            k=float(spec["k"]),
+            slope_mode=str(spec["slope_mode"]),
+            trainable=bool(spec["trainable"]),
+        )
+    if kind == "gbrelu":
+        return GBReLU(float(bounds.reshape(-1)[0]), mode=str(spec["mode"]))
+    if kind == "fitrelu-naive":
+        return FitReLUNaive(bounds)
+    if kind == "bounded-relu":
+        return BoundedReLU(bounds, mode=str(spec["mode"]))
+    if kind == "bounded-tanh":
+        return BoundedTanh(bounds, trainable=bool(spec["trainable"]))
+    raise ConfigurationError(f"unknown protected-site type {kind!r} in checkpoint")
+
+
+def save_protected(
+    path: str | os.PathLike,
+    model: Module,
+    meta: dict[str, object] | None = None,
+) -> None:
+    """Save a protected (or plain) model with its surgery manifest.
+
+    ``meta`` may carry arbitrary JSON-serialisable metadata (method name,
+    clean accuracy, preset…) returned verbatim by :func:`load_protected`.
+    """
+    sites = {site_path: _site_spec(m) for site_path, m in bound_modules(model).items()}
+    manifest = {
+        "version": _FORMAT_VERSION,
+        "sites": sites,
+        "meta": meta or {},
+    }
+    state = model.state_dict()
+    if _META_KEY in state:
+        raise ConfigurationError(f"state dict already contains {_META_KEY!r}")
+    state[_META_KEY] = np.array(json.dumps(manifest))
+    save_state(path, state)
+
+
+def load_protected(
+    path: str | os.PathLike,
+    builder: Callable[[], Module],
+) -> tuple[Module, dict[str, object]]:
+    """Rebuild a protected model saved by :func:`save_protected`.
+
+    ``builder`` must return a fresh *base* model — same architecture and
+    shapes as the one that was protected, with its original (ReLU)
+    activations; typically ``lambda: build_model(name, ...)``.  Returns
+    ``(model, meta)``.
+    """
+    state = load_state(path)
+    raw_manifest = state.pop(_META_KEY, None)
+    if raw_manifest is None:
+        raise ConfigurationError(
+            f"{os.fspath(path)!r} is not a protected-model checkpoint "
+            f"(missing {_META_KEY!r})"
+        )
+    manifest = json.loads(str(raw_manifest))
+    version = manifest.get("version")
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported checkpoint version {version!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    model = builder()
+    for site_path, spec in manifest["sites"].items():
+        bound_key = f"{site_path}.bound"
+        if bound_key not in state:
+            raise ConfigurationError(
+                f"checkpoint manifest lists {site_path!r} but the state "
+                f"has no {bound_key!r}"
+            )
+        bounds = np.asarray(state[bound_key], dtype=np.float32)
+        model.set_submodule(site_path, _build_site(spec, bounds))
+    model.load_state_dict(state, strict=True)
+    return model, dict(manifest.get("meta", {}))

@@ -1,0 +1,131 @@
+"""The FitAct two-stage pipeline (paper Fig. 4).
+
+Stage 1 — conventional training for accuracy (ΘA), or accept an already
+trained model.  Stage 2 — replace ReLUs with FitReLU (bounds initialised
+from profiled maxima) and post-train only the bounds (ΘR) for resilience.
+
+    pipeline = FitActPipeline(FitActConfig())
+    result = pipeline.protect(model, train_loader, eval_loader)
+    # model is now protected in place; result carries all stage reports
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.post_training import (
+    BoundPostTrainer,
+    PostTrainingConfig,
+    PostTrainingReport,
+)
+from repro.core.protection import ProtectionConfig, ProtectionReport, protect_model
+from repro.core.training import Trainer, TrainingConfig, TrainingReport, evaluate_accuracy
+from repro.data.loader import DataLoader
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+from repro.quant.fixed_point import FixedPointFormat, Q15_16
+from repro.quant.model import quantize_module
+from repro.utils.logging import get_logger
+
+__all__ = ["FitActConfig", "FitActPipeline", "FitActResult"]
+
+_logger = get_logger("core.fitact")
+
+
+@dataclass(frozen=True)
+class FitActConfig:
+    """End-to-end pipeline configuration."""
+
+    protection: ProtectionConfig = field(default_factory=ProtectionConfig)
+    post_training: PostTrainingConfig = field(default_factory=PostTrainingConfig)
+    quantize: bool = True
+    fmt: FixedPointFormat = Q15_16
+
+
+@dataclass
+class FitActResult:
+    """Everything the pipeline produced."""
+
+    protection: ProtectionReport
+    post_training: PostTrainingReport | None
+    reference_accuracy: float
+    protected_accuracy: float
+    training: TrainingReport | None = None
+
+    def summary(self) -> str:
+        lines = [self.protection.summary()]
+        if self.post_training is not None:
+            lines.append(self.post_training.summary())
+        lines.append(
+            f"clean accuracy: reference {self.reference_accuracy:.2%}, "
+            f"protected {self.protected_accuracy:.2%}"
+        )
+        return "\n".join(lines)
+
+
+class FitActPipeline:
+    """Drives profile → surgery → post-training → (optional) quantise."""
+
+    def __init__(self, config: FitActConfig | None = None) -> None:
+        self.config = config or FitActConfig()
+
+    def train(
+        self,
+        model: Module,
+        train_loader: DataLoader,
+        eval_loader: DataLoader | None = None,
+        training: TrainingConfig | None = None,
+    ) -> TrainingReport:
+        """Stage 1: conventional accuracy training (convenience wrapper)."""
+        return Trainer(model, training).fit(train_loader, eval_loader)
+
+    def protect(
+        self,
+        model: Module,
+        train_loader: DataLoader,
+        eval_loader: DataLoader,
+        reference_accuracy: float | None = None,
+    ) -> FitActResult:
+        """Stage 2: modify the trained model and post-train its bounds.
+
+        The model is modified *in place*.  ``reference_accuracy`` (the
+        Eq. 8 constraint reference A(ΘA)) defaults to the model's clean
+        accuracy measured before surgery.
+        """
+        config = self.config
+        if reference_accuracy is None:
+            reference_accuracy = evaluate_accuracy(model, eval_loader)
+            _logger.info("reference accuracy A(ΘA) = %.2f%%", 100 * reference_accuracy)
+
+        protection = protect_model(model, train_loader, config.protection)
+        _logger.info(protection.summary())
+
+        post_report: PostTrainingReport | None = None
+        if config.protection.method == "fitact":
+            trainer = BoundPostTrainer(model, config.post_training)
+            post_report = trainer.run(
+                train_loader, eval_loader, reference_accuracy=reference_accuracy
+            )
+        elif config.protection.method == "none":
+            pass
+        # fitact-naive / clipact / ranger have fixed bounds: nothing to train.
+
+        if config.quantize and config.protection.method != "none":
+            quantize_module(model, config.fmt)
+
+        protected_accuracy = evaluate_accuracy(model, eval_loader)
+        delta = config.post_training.delta
+        drop = reference_accuracy - protected_accuracy
+        if config.protection.method == "fitact" and drop >= delta + 0.01:
+            # Quantisation after rollback can nudge accuracy; flag only
+            # clear violations of the Eq. 8 constraint.
+            raise ConfigurationError(
+                f"post-training violated the accuracy constraint: drop "
+                f"{drop:.2%} exceeds δ={delta:.2%}"
+            )
+        return FitActResult(
+            protection=protection,
+            post_training=post_report,
+            reference_accuracy=reference_accuracy,
+            protected_accuracy=protected_accuracy,
+        )

@@ -1,0 +1,138 @@
+"""FitReLU: the trainable fine-grained bounded activation (paper §IV-C).
+
+Paper Eq. 6 writes the function as::
+
+    ξ(x) = max(0, x − x / (1 + e^{k(x − λᵢ)}))
+
+Using ``x − x/(1+e^{z}) = x·σ(z)`` (σ the logistic sigmoid), this equals
+``max(0, x·σ(k(x−λᵢ)))``.  As printed — with positive k — that *passes*
+large faulty values and suppresses in-range ones, the opposite of the
+behaviour plotted in the paper's Fig. 3 and of the stated goal of
+squashing values above the bound.  The intended function (matching Fig. 3
+and the "descent slope" description of k) is obtained with the gate
+reversed, i.e. Eq. 6 with a negative k::
+
+    ξ_FitReLU(x) = max(0, x · σ(k(λᵢ − x)))      with k > 0
+
+which passes x for x ≪ λᵢ, descends smoothly through λᵢ (ξ(λᵢ) = λᵢ/2),
+and squashes x ≫ λᵢ to ~0 like Clip-Act — but per neuron and, crucially,
+with well-defined gradients ∂ξ/∂λᵢ everywhere, making the bounds
+learnable by gradient descent.  We implement this reconciled form; the
+sign convention is recorded here and in DESIGN.md.
+
+Slope scaling
+-------------
+The paper computes k "empirically".  A single absolute k cannot serve
+bounds of very different magnitudes: the transition band has width ~4/k,
+so a k tuned for λ≈4 grossly distorts a neuron with λ≈0.3.  The default
+``slope_mode="relative"`` therefore uses a per-neuron effective slope
+kᵢ = k/λᵢ, making the band a fixed *fraction* (~4/k) of each neuron's
+bound; ``slope_mode="absolute"`` keeps Eq. 6's fixed-k form for the
+faithfulness ablation (bench ABL-K sweeps both).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops_nn
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+__all__ = ["DEFAULT_SLOPE", "FitReLU"]
+
+DEFAULT_SLOPE = 40.0
+"""Default slope coefficient k.
+
+In the default relative mode the smooth descent band spans roughly
+λ·4/k = 10% of each neuron's bound — sharp enough to behave like the
+hard FitReLU-Naive on faulty values, smooth enough for stable λ
+gradients.
+"""
+
+_SLOPE_MODES = ("relative", "absolute")
+
+
+class FitReLU(Module):
+    """Trainable neuron-wise bounded ReLU.
+
+    Parameters
+    ----------
+    bounds:
+        Initial bound values λᵢ.  Shape defines the granularity: the full
+        unbatched activation shape for neuron-wise bounds (FitAct's
+        default), ``(C, 1, 1)`` for channel-wise, or ``(1,)``/scalar for a
+        single layer-global bound — anything broadcastable against the
+        activation.  Initialise from profiled per-neuron maxima (paper §V:
+        "initialize the bound parameters ΘR for each neuron to their
+        maximum values over the training dataset").
+    k:
+        Slope coefficient (> 0); larger is closer to the hard piecewise
+        FitReLU-Naive.
+    slope_mode:
+        ``"relative"`` (default): effective slope k/λᵢ per neuron;
+        ``"absolute"``: Eq. 6's fixed k.
+    trainable:
+        Whether λ receives gradients (True for post-training; freeze for
+        deployment studies).
+    """
+
+    def __init__(
+        self,
+        bounds: float | np.ndarray,
+        k: float = DEFAULT_SLOPE,
+        slope_mode: str = "relative",
+        trainable: bool = True,
+    ) -> None:
+        super().__init__()
+        bounds_array = np.atleast_1d(np.asarray(bounds, dtype=np.float32))
+        if np.any(bounds_array <= 0):
+            raise ConfigurationError("initial bounds must be positive")
+        if k <= 0:
+            raise ConfigurationError(f"slope k must be positive, got {k}")
+        if slope_mode not in _SLOPE_MODES:
+            raise ConfigurationError(
+                f"slope_mode must be one of {_SLOPE_MODES}, got {slope_mode!r}"
+            )
+        self.k = float(k)
+        self.slope_mode = slope_mode
+        self.bound = Parameter(bounds_array, requires_grad=trainable)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.slope_mode == "relative":
+            # Effective slope k/λ: treat the *scale* as a constant w.r.t.
+            # the graph (detached denominator) so the λ gradient keeps the
+            # clean σ′ form instead of picking up a 1/λ² correction term.
+            scale = self.k / np.maximum(np.abs(self.bound.data), 1e-6)
+            gate = ops_nn.sigmoid((self.bound - x) * Tensor(scale.astype(np.float32)))
+        else:
+            gate = ops_nn.sigmoid((self.bound - x) * self.k)
+        return ops_nn.relu(x * gate)
+
+    @property
+    def bound_count(self) -> int:
+        """Number of λ words this layer adds (Table I memory accounting)."""
+        return int(self.bound.size)
+
+    def effective_slope(self) -> np.ndarray:
+        """Per-neuron slope actually applied at the current bounds."""
+        if self.slope_mode == "relative":
+            return (self.k / np.maximum(np.abs(self.bound.data), 1e-6)).astype(
+                np.float32
+            )
+        return np.full_like(self.bound.data, self.k)
+
+    def hard_equivalent(self) -> np.ndarray:
+        """Copy of the current bounds, for exporting to FitReLU-Naive."""
+        return self.bound.data.copy()
+
+    def extra_repr(self) -> str:
+        data = self.bound.data
+        return (
+            f"bounds=array{tuple(data.shape)} "
+            f"[mean={float(data.mean()):.4g}, max={float(data.max()):.4g}], "
+            f"k={self.k}, slope_mode={self.slope_mode!r}, "
+            f"trainable={self.bound.requires_grad}"
+        )

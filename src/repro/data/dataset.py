@@ -1,0 +1,69 @@
+"""Dataset abstractions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["ArrayDataset", "Dataset", "Subset"]
+
+
+class Dataset:
+    """Minimal map-style dataset: ``__len__`` and ``__getitem__``.
+
+    ``__getitem__`` returns ``(image, label)`` with the image a float32
+    CHW array and the label a python int.
+    """
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Dataset over pre-materialised arrays.
+
+    Parameters
+    ----------
+    data:
+        (N, ...) float array of samples.
+    targets:
+        (N,) integer labels.
+    """
+
+    def __init__(self, data: np.ndarray, targets: np.ndarray) -> None:
+        data = np.asarray(data, dtype=np.float32)
+        targets = np.asarray(targets, dtype=np.int64)
+        if len(data) != len(targets):
+            raise ShapeError(
+                f"data length {len(data)} != targets length {len(targets)}"
+            )
+        self.data = data
+        self.targets = targets
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        return self.data[index], int(self.targets[index])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.targets.max()) + 1 if len(self.targets) else 0
+
+
+class Subset(Dataset):
+    """View of a dataset restricted to the given indices."""
+
+    def __init__(self, dataset: Dataset, indices: np.ndarray) -> None:
+        self.dataset = dataset
+        self.indices = np.asarray(indices, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        return self.dataset[int(self.indices[index])]

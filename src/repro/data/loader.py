@@ -1,0 +1,85 @@
+"""Mini-batch loader."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.data.dataset import ArrayDataset, Dataset
+from repro.errors import ConfigurationError
+from repro.utils.rng import new_rng
+
+__all__ = ["DataLoader"]
+
+Transform = Callable[[np.ndarray], np.ndarray]
+
+
+class DataLoader:
+    """Iterate a dataset in (optionally shuffled) mini-batches.
+
+    Yields ``(Tensor inputs, int64 target array)`` pairs.  Array-backed
+    datasets are batched with fancy indexing; generic datasets fall back
+    to a per-sample gather.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    batch_size:
+        Samples per batch (the final batch may be smaller unless
+        ``drop_last``).
+    shuffle:
+        Reshuffle at the start of every epoch.
+    transform:
+        Optional batched transform applied to the stacked inputs.
+    rng:
+        Shuffle generator or seed (ignored when ``shuffle`` is False).
+    drop_last:
+        Drop the final ragged batch.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        transform: Transform | None = None,
+        rng: np.random.Generator | int | None = None,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.transform = transform
+        self.drop_last = bool(drop_last)
+        self._rng = new_rng(rng)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[Tensor, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            indices = order[start : start + self.batch_size]
+            if self.drop_last and len(indices) < self.batch_size:
+                break
+            inputs, targets = self._gather(indices)
+            if self.transform is not None:
+                inputs = self.transform(inputs)
+            yield Tensor(np.ascontiguousarray(inputs)), targets
+
+    def _gather(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if isinstance(self.dataset, ArrayDataset):
+            return self.dataset.data[indices], self.dataset.targets[indices]
+        samples = [self.dataset[int(i)] for i in indices]
+        inputs = np.stack([s[0] for s in samples]).astype(np.float32)
+        targets = np.asarray([s[1] for s in samples], dtype=np.int64)
+        return inputs, targets

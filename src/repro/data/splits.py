@@ -1,0 +1,56 @@
+"""Dataset splitting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset, Subset
+from repro.errors import ConfigurationError
+from repro.utils.rng import new_rng
+
+__all__ = ["random_split", "stratified_split"]
+
+
+def random_split(
+    dataset: Dataset,
+    fractions: tuple[float, ...],
+    rng: np.random.Generator | int | None = None,
+) -> list[Subset]:
+    """Split a dataset into random subsets with the given fractions."""
+    if abs(sum(fractions) - 1.0) > 1e-6:
+        raise ConfigurationError(f"fractions must sum to 1, got {fractions}")
+    n = len(dataset)
+    order = new_rng(rng).permutation(n)
+    sizes = [int(round(f * n)) for f in fractions]
+    sizes[-1] = n - sum(sizes[:-1])
+    subsets = []
+    start = 0
+    for size in sizes:
+        subsets.append(Subset(dataset, order[start : start + size]))
+        start += size
+    return subsets
+
+
+def stratified_split(
+    targets: np.ndarray,
+    fraction: float,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Index split preserving class proportions.
+
+    Returns ``(first_indices, second_indices)`` where the first part holds
+    roughly ``fraction`` of every class.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ConfigurationError(f"fraction must be in (0, 1), got {fraction}")
+    targets = np.asarray(targets)
+    generator = new_rng(rng)
+    first: list[np.ndarray] = []
+    second: list[np.ndarray] = []
+    for class_id in np.unique(targets):
+        class_indices = np.flatnonzero(targets == class_id)
+        generator.shuffle(class_indices)
+        cut = max(1, int(round(fraction * len(class_indices))))
+        first.append(class_indices[:cut])
+        second.append(class_indices[cut:])
+    return np.sort(np.concatenate(first)), np.sort(np.concatenate(second))

@@ -1,0 +1,102 @@
+"""Batched data transforms.
+
+Transforms operate on (N, C, H, W) float arrays so the loader can apply
+them per batch without a per-sample python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.utils.rng import new_rng
+
+__all__ = ["Compose", "Normalize", "RandomCrop", "RandomHorizontalFlip"]
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: list) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            batch = transform(batch)
+        return batch
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.transforms)
+        return f"Compose([{inner}])"
+
+
+class Normalize:
+    """Per-channel standardisation: ``(x - mean) / std``."""
+
+    def __init__(self, mean: tuple[float, ...], std: tuple[float, ...]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(1, -1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(1, -1, 1, 1)
+        if np.any(self.std <= 0):
+            raise ConfigurationError("std entries must be positive")
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        if batch.ndim != 4 or batch.shape[1] != self.mean.shape[1]:
+            raise ShapeError(
+                f"Normalize expects (N, {self.mean.shape[1]}, H, W), got {batch.shape}"
+            )
+        return (batch - self.mean) / self.std
+
+    def __repr__(self) -> str:
+        return (
+            f"Normalize(mean={self.mean.reshape(-1).tolist()}, "
+            f"std={self.std.reshape(-1).tolist()})"
+        )
+
+
+class RandomHorizontalFlip:
+    """Flip each sample left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | int | None = None) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"p must be in [0, 1], got {p}")
+        self.p = float(p)
+        self._rng = new_rng(rng)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        flips = self._rng.random(len(batch)) < self.p
+        if not flips.any():
+            return batch
+        out = batch.copy()
+        out[flips] = out[flips, :, :, ::-1]
+        return out
+
+    def __repr__(self) -> str:
+        return f"RandomHorizontalFlip(p={self.p})"
+
+
+class RandomCrop:
+    """Zero-pad by ``padding`` then crop back to the original size at a
+    random offset per sample — the standard CIFAR augmentation."""
+
+    def __init__(self, padding: int = 4, rng: np.random.Generator | int | None = None) -> None:
+        if padding < 1:
+            raise ConfigurationError(f"padding must be >= 1, got {padding}")
+        self.padding = int(padding)
+        self._rng = new_rng(rng)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        if batch.ndim != 4:
+            raise ShapeError(f"RandomCrop expects (N, C, H, W), got {batch.shape}")
+        n, _, h, w = batch.shape
+        pad = self.padding
+        padded = np.pad(batch, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        offsets_y = self._rng.integers(0, 2 * pad + 1, size=n)
+        offsets_x = self._rng.integers(0, 2 * pad + 1, size=n)
+        out = np.empty_like(batch)
+        for i in range(n):
+            oy, ox = offsets_y[i], offsets_x[i]
+            out[i] = padded[i, :, oy : oy + h, ox : ox + w]
+        return out
+
+    def __repr__(self) -> str:
+        return f"RandomCrop(padding={self.padding})"

@@ -1,0 +1,30 @@
+"""Library-wide exception types.
+
+A small hierarchy so callers can catch everything from this package with
+one ``except ReproError`` while tests can assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ConfigurationError",
+    "GraphError",
+    "ReproError",
+    "ShapeError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An operation received arrays with incompatible shapes."""
+
+
+class GraphError(ReproError, RuntimeError):
+    """The autograd graph was used incorrectly (e.g. backward twice)."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or module was configured with invalid options."""

@@ -1,0 +1,36 @@
+"""Evaluation harness: metrics, fast evaluators, overhead measurement,
+text reporting, machine-readable export, and the per-figure experiment
+runners."""
+
+from repro.eval.evaluator import Evaluator
+from repro.eval.export import result_to_dict, save_csv, save_json
+from repro.eval.metrics import (
+    class_accuracy,
+    confusion_matrix,
+    top1_accuracy,
+    topk_accuracy,
+)
+from repro.eval.overhead import (
+    OverheadReport,
+    measure_inference_seconds,
+    measure_overhead,
+)
+from repro.eval.reporting import format_curves, format_table, percent, text_histogram
+
+__all__ = [
+    "Evaluator",
+    "OverheadReport",
+    "class_accuracy",
+    "confusion_matrix",
+    "format_curves",
+    "format_table",
+    "measure_inference_seconds",
+    "measure_overhead",
+    "percent",
+    "result_to_dict",
+    "save_csv",
+    "save_json",
+    "text_histogram",
+    "top1_accuracy",
+    "topk_accuracy",
+]

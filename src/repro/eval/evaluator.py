@@ -1,0 +1,62 @@
+"""Fast repeated model evaluation.
+
+Fault campaigns evaluate the same test set dozens-to-hundreds of times
+(once per trial).  :class:`Evaluator` materialises the batches once so
+each evaluation is pure forward compute, and exposes the zero-argument
+closure interface :class:`repro.fault.FaultCampaign` expects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.grad_mode import no_grad
+from repro.autograd.tensor import Tensor
+from repro.data.loader import DataLoader
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+
+__all__ = ["Evaluator"]
+
+
+class Evaluator:
+    """Materialised test set with top-1 accuracy evaluation.
+
+    Parameters
+    ----------
+    loader:
+        Source of evaluation batches (consumed once, at construction).
+    max_batches:
+        Optional cap for quicker campaigns.
+    """
+
+    def __init__(self, loader: DataLoader, max_batches: int | None = None) -> None:
+        self._batches: list[tuple[Tensor, np.ndarray]] = []
+        for index, (inputs, targets) in enumerate(loader):
+            if max_batches is not None and index >= max_batches:
+                break
+            self._batches.append((inputs, targets))
+        if not self._batches:
+            raise ConfigurationError("evaluation loader produced no batches")
+        self.total_samples = sum(len(t) for _, t in self._batches)
+
+    def accuracy(self, model: Module) -> float:
+        """Top-1 accuracy of ``model`` on the materialised set."""
+        was_training = model.training
+        model.eval()
+        correct = 0
+        try:
+            with no_grad():
+                for inputs, targets in self._batches:
+                    logits = model(inputs)
+                    correct += int((logits.data.argmax(axis=1) == targets).sum())
+        finally:
+            model.train(was_training)
+        return correct / self.total_samples
+
+    def bind(self, model: Module):
+        """Zero-argument closure for :class:`repro.fault.FaultCampaign`."""
+        return lambda: self.accuracy(model)
+
+    def __len__(self) -> int:
+        return self.total_samples

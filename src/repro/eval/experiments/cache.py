@@ -1,0 +1,82 @@
+"""Disk cache for trained model states.
+
+Training the scaled model zoo dominates experiment wall-clock, and the
+same trained weights feed every figure.  States are cached under
+``.cache/repro-experiments`` keyed by a hash of everything that affects
+the weights (model, dataset, preset sizes, seed), with a JSON sidecar
+carrying scalar metadata (accuracy, training duration — the Table I /
+§VI-C1 inputs).  Delete the directory to force retraining.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils.logging import get_logger
+from repro.utils.serialization import load_state, save_state
+
+__all__ = ["StateCache", "default_cache_dir"]
+
+_logger = get_logger("eval.cache")
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``.cache/repro-experiments``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.cwd() / ".cache" / "repro-experiments"
+
+
+class StateCache:
+    """Content-addressed store of ``(state_dict, metadata)`` pairs."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _paths(self, key: dict[str, object]) -> tuple[Path, Path]:
+        digest = hashlib.sha256(
+            json.dumps(key, sort_keys=True, default=str).encode()
+        ).hexdigest()[:24]
+        base = self.root / digest
+        return base.with_suffix(".npz"), base.with_suffix(".json")
+
+    def load(
+        self, key: dict[str, object]
+    ) -> tuple[dict[str, np.ndarray], dict[str, object]] | None:
+        """Return ``(state, metadata)`` or None on miss/corruption."""
+        state_path, meta_path = self._paths(key)
+        if not state_path.exists() or not meta_path.exists():
+            return None
+        try:
+            state = load_state(state_path)
+            with open(meta_path, encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError, KeyError) as error:
+            _logger.warning("cache entry unreadable (%s); retraining", error)
+            return None
+        if meta.get("__key__") != json.dumps(key, sort_keys=True, default=str):
+            # Hash collision or stale entry: treat as a miss.
+            return None
+        meta.pop("__key__", None)
+        return state, meta
+
+    def store(
+        self,
+        key: dict[str, object],
+        state: dict[str, np.ndarray],
+        metadata: dict[str, object],
+    ) -> None:
+        """Persist ``state`` and ``metadata`` under ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        state_path, meta_path = self._paths(key)
+        save_state(state_path, state)
+        payload = dict(metadata)
+        payload["__key__"] = json.dumps(key, sort_keys=True, default=str)
+        with open(meta_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=float)

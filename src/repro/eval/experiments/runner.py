@@ -1,0 +1,91 @@
+"""Shared campaign runner: protection methods × fault rates.
+
+Figs. 5/6 and several ablations all reduce to the same loop — protect the
+trained model with each scheme, then sweep fault rates with a campaign —
+so it lives here once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.eval.experiments.context import ExperimentContext
+from repro.fault.campaign import FaultCampaign, SweepResult
+from repro.fault.injector import FaultInjector
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_seed
+
+__all__ = ["MethodSweep", "run_method_sweep"]
+
+_logger = get_logger("eval.runner")
+
+
+@dataclass
+class MethodSweep:
+    """Campaign results for several protection methods on one context."""
+
+    model_name: str
+    dataset_name: str
+    rates: tuple[float, ...]
+    clean_accuracy: dict[str, float] = field(default_factory=dict)
+    sweeps: dict[str, SweepResult] = field(default_factory=dict)
+    expected_flips: dict[float, float] = field(default_factory=dict)
+    reference_accuracy: float = 0.0
+
+    def mean_accuracy(self, method: str) -> list[float]:
+        """Mean accuracy per rate for one method (a Fig. 6 line)."""
+        return self.sweeps[method].mean_curve()
+
+
+def run_method_sweep(
+    context: ExperimentContext,
+    methods: tuple[str, ...] = ("fitact", "clipact", "ranger", "none"),
+    rates: tuple[float, ...] | None = None,
+    trials: int | None = None,
+    protection_overrides: dict[str, dict[str, object]] | None = None,
+    tag: str = "",
+) -> MethodSweep:
+    """Protect with each method and run the fault-rate sweep.
+
+    All methods share the campaign seed, so they face statistically
+    identical fault streams.  ``protection_overrides`` maps method name to
+    extra :class:`ProtectionConfig` fields (ablations use this).
+    """
+    preset = context.preset
+    rates = rates if rates is not None else preset.rates
+    trials = trials if trials is not None else preset.trials
+    overrides = protection_overrides or {}
+    result = MethodSweep(
+        model_name=context.model_name,
+        dataset_name=context.dataset_name,
+        rates=tuple(rates),
+        reference_accuracy=context.reference_accuracy,
+    )
+    for method in methods:
+        model, info = context.protected_model(
+            method, protection_overrides=overrides.get(method)
+        )
+        result.clean_accuracy[method] = info["clean_accuracy"]
+        injector = FaultInjector(model)
+        if not result.expected_flips:
+            for rate in rates:
+                result.expected_flips[rate] = rate * injector.total_bits
+        campaign = FaultCampaign(
+            injector,
+            context.evaluator.bind(model),
+            trials=trials,
+            seed=derive_seed(preset.seed, "campaign", tag, context.model_name,
+                             context.dataset_name),
+        )
+        result.sweeps[method] = campaign.run_sweep(rates, tag=f"{tag}:{method}")
+        _logger.info(
+            "%s/%s %s: clean %.1f%%, means %s",
+            context.model_name,
+            context.dataset_name,
+            method,
+            100 * result.clean_accuracy[method],
+            [f"{v:.2f}" for v in result.sweeps[method].mean_curve()],
+        )
+    return result

@@ -1,0 +1,87 @@
+"""TAB1 — FitAct inference runtime & memory overhead (paper Table I).
+
+For every model × dataset: time one inference batch with plain ReLU vs
+FitAct activations (same trained weights) and compare parameter memory
+under Q15.16.  The paper reports < 12% runtime and < 6% memory overhead;
+absolute milliseconds/megabytes are host-specific, the ratios are the
+reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.eval.experiments.context import prepare_context
+from repro.eval.experiments.presets import Preset, QUICK
+from repro.eval.overhead import OverheadReport, measure_overhead
+from repro.eval.reporting import format_table
+
+__all__ = ["Table1Result", "run_table1"]
+
+
+@dataclass
+class Table1Result:
+    """One overhead row per (dataset, model)."""
+
+    rows: list[OverheadReport] = field(default_factory=list)
+
+    def max_runtime_overhead(self) -> float:
+        return max(row.runtime_overhead for row in self.rows)
+
+    def max_memory_overhead(self) -> float:
+        return max(row.memory_overhead for row in self.rows)
+
+    def to_text(self) -> str:
+        table = format_table(
+            [
+                "model",
+                "ReLU ms",
+                "FitAct ms",
+                "runtime O/H",
+                "ReLU MB",
+                "FitAct MB",
+                "memory O/H",
+            ],
+            [row.row() for row in self.rows],
+            title="TAB1  FitAct inference overheads (runtime per batch, Q15.16 memory)",
+        )
+        summary = (
+            f"\nmax runtime overhead {self.max_runtime_overhead():.2%} "
+            f"(paper: <12%), max memory overhead "
+            f"{self.max_memory_overhead():.2%} (paper: <6%)"
+        )
+        return table + summary
+
+
+def run_table1(
+    preset: Preset = QUICK,
+    models: tuple[str, ...] = ("resnet50", "vgg16", "alexnet"),
+    datasets: tuple[str, ...] = ("synth10", "synth100"),
+    batch_size: int = 64,
+    repeats: int = 10,
+) -> Table1Result:
+    """Regenerate Table I over the model/dataset grid."""
+    result = Table1Result()
+    rng = np.random.default_rng(preset.seed)
+    for dataset_name in datasets:
+        for model_name in models:
+            context = prepare_context(model_name, dataset_name, preset)
+            baseline = context.fresh_model()
+            protected, _ = context.protected_model("fitact")
+            inputs = Tensor(
+                rng.standard_normal(
+                    (batch_size, 3, preset.image_size, preset.image_size)
+                ).astype(np.float32)
+            )
+            report = measure_overhead(
+                baseline,
+                protected,
+                inputs,
+                label=f"{dataset_name}/{model_name}",
+                repeats=repeats,
+            )
+            result.rows.append(report)
+    return result

@@ -1,0 +1,60 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ShapeError
+
+__all__ = ["class_accuracy", "confusion_matrix", "top1_accuracy", "topk_accuracy"]
+
+
+def _as_logits(logits: Tensor | np.ndarray) -> np.ndarray:
+    array = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    if array.ndim != 2:
+        raise ShapeError(f"expected (N, classes) logits, got shape {array.shape}")
+    return array
+
+
+def top1_accuracy(logits: Tensor | np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of samples whose argmax matches the target (paper §VI-A1)."""
+    array = _as_logits(logits)
+    targets = np.asarray(targets)
+    if len(targets) == 0:
+        raise ShapeError("empty target array")
+    return float((array.argmax(axis=1) == targets).mean())
+
+
+def topk_accuracy(logits: Tensor | np.ndarray, targets: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose target lands in the top-k logits."""
+    array = _as_logits(logits)
+    targets = np.asarray(targets)
+    if k < 1 or k > array.shape[1]:
+        raise ShapeError(f"k must be in [1, {array.shape[1]}], got {k}")
+    topk = np.argpartition(-array, k - 1, axis=1)[:, :k]
+    return float((topk == targets[:, None]).any(axis=1).mean())
+
+
+def confusion_matrix(
+    logits: Tensor | np.ndarray, targets: np.ndarray, num_classes: int | None = None
+) -> np.ndarray:
+    """(true, predicted) count matrix."""
+    array = _as_logits(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    predictions = array.argmax(axis=1)
+    if num_classes is None:
+        num_classes = array.shape[1]
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (targets, predictions), 1)
+    return matrix
+
+
+def class_accuracy(
+    logits: Tensor | np.ndarray, targets: np.ndarray, num_classes: int | None = None
+) -> np.ndarray:
+    """Per-class accuracy vector (NaN for classes with no samples)."""
+    matrix = confusion_matrix(logits, targets, num_classes)
+    totals = matrix.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(matrix) / totals, np.nan)

@@ -1,0 +1,93 @@
+"""Plain-text reporting: tables, curves and histograms.
+
+Every experiment regenerates its paper artefact as text — the tables
+print the same rows the paper reports, the "figures" print aligned series
+and unicode histograms so shapes are inspectable in a terminal or log.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_curves", "format_table", "percent", "text_histogram"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def percent(value: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_curves(
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "x",
+    value_format: str = "{:.2%}",
+    title: str = "",
+) -> str:
+    """Aligned multi-series table: one row per x, one column per series.
+
+    The text equivalent of a line plot (Figs. 1, 5, 6).
+    """
+    headers = [x_label, *series.keys()]
+    rows = []
+    for index, x in enumerate(xs):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(value_format.format(values[index]))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def text_histogram(
+    values: np.ndarray,
+    bins: int = 20,
+    width: int = 50,
+    value_format: str = "{:.2f}",
+    title: str = "",
+) -> str:
+    """Unicode bar histogram (the text rendering of Fig. 2)."""
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if values.size == 0:
+        return "(no data)"
+    counts, edges = np.histogram(values, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines = []
+    if title:
+        lines.append(title)
+    for index, count in enumerate(counts):
+        bar_units = count / peak * width
+        full = int(bar_units)
+        frac = bar_units - full
+        bar = "█" * full
+        if frac > 0 and full < width:
+            bar += _BLOCKS[max(1, int(frac * (len(_BLOCKS) - 1)))]
+        low = value_format.format(edges[index])
+        high = value_format.format(edges[index + 1])
+        lines.append(f"[{low:>8}, {high:>8}) {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,297 @@
+"""Transient activation faults: bit-flips in feature maps during inference.
+
+The paper evaluates *parameter-memory* faults (§VI-A2).  Ranger — one of
+its baselines — was originally designed against a different fault model:
+transient soft errors striking the datapath, which corrupt *activation
+values in flight* rather than stored weights.  This module adds that
+fault model so the reproduction can also compare the protection schemes
+on Ranger's home turf (bench EXT-A).
+
+Mechanism
+---------
+:class:`ActivationFaultInjector` performs reversible surgery: every
+activation site (ReLU or any protected activation) is wrapped so its
+output passes through an :class:`ActivationFaultLayer`.  While a trial
+is active, each forward pass encodes the outgoing feature map to
+fixed-point words, flips bits at the configured per-bit rate (fresh
+random sites per pass — transient faults do not persist), and decodes
+back.  Because the flip happens *after* one activation and *before* the
+next layer, downstream bounded activations are the only thing standing
+between a corrupted value and the logits — exactly the propagation path
+the paper's Fig. 5 reasoning describes.
+
+The wrappers change module paths (``features.3`` becomes
+``features.3.wrapped``), so install them only *after* all parameter-
+level work — training, post-training, quantisation, parameter-fault
+snapshotting — is done, or call :meth:`ActivationFaultInjector.remove`
+first.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fault.campaign import CampaignResult
+from repro.fault.sites import sample_sites
+from repro.nn.module import Module
+from repro.quant.fixed_point import FixedPointFormat, Q15_16, decode, encode, flip_bits
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_seed, new_rng
+
+__all__ = [
+    "ActivationFaultCampaign",
+    "ActivationFaultInjector",
+    "ActivationFaultLayer",
+    "ActivationFaultModel",
+]
+
+_logger = get_logger("fault.activation")
+
+
+@dataclass(frozen=True)
+class ActivationFaultModel:
+    """One transient-fault scenario over activation values.
+
+    Exactly one of ``fault_rate`` (per-bit flip probability per forward
+    pass) or ``n_flips`` (exact flips per wrapped layer per forward
+    pass) must be set.
+    """
+
+    fault_rate: float | None = None
+    n_flips: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.fault_rate is None) == (self.n_flips is None):
+            raise ConfigurationError("specify exactly one of fault_rate or n_flips")
+        if self.fault_rate is not None and not 0.0 <= self.fault_rate <= 1.0:
+            raise ConfigurationError(
+                f"fault_rate must be in [0, 1], got {self.fault_rate}"
+            )
+        if self.n_flips is not None and self.n_flips < 0:
+            raise ConfigurationError(f"n_flips must be >= 0, got {self.n_flips}")
+
+    @classmethod
+    def at_rate(cls, fault_rate: float) -> "ActivationFaultModel":
+        """Uniform transient flips at a per-bit probability."""
+        return cls(fault_rate=fault_rate)
+
+    @classmethod
+    def exact(cls, n_flips: int) -> "ActivationFaultModel":
+        """Exactly ``n_flips`` flips per layer per forward pass."""
+        return cls(n_flips=n_flips)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        if self.fault_rate is not None:
+            return f"activation rate={self.fault_rate:g}"
+        return f"activation n_flips={self.n_flips}/layer"
+
+
+class ActivationFaultLayer(Module):
+    """Identity layer that corrupts the values flowing through it.
+
+    Disabled it is a pure pass-through.  Enabled (inference only), each
+    forward pass round-trips the input through the fixed-point format
+    with freshly sampled bit-flips.  The quantisation itself is part of
+    the model: datapaths that carry Q15.16 values quantise activations
+    whether or not a particle strikes.
+    """
+
+    def __init__(self, fmt: FixedPointFormat = Q15_16) -> None:
+        super().__init__()
+        self.fmt = fmt
+        self.fault_model: ActivationFaultModel | None = None
+        self.rng: np.random.Generator | None = None
+        self.enabled = False
+        self.flips_injected = 0
+
+    def arm(self, fault_model: ActivationFaultModel, rng: np.random.Generator) -> None:
+        """Enable fault injection with a dedicated random stream."""
+        self.fault_model = fault_model
+        self.rng = rng
+        self.enabled = True
+        self.flips_injected = 0
+
+    def disarm(self) -> None:
+        """Return to pass-through behaviour."""
+        self.enabled = False
+        self.fault_model = None
+        self.rng = None
+
+    def forward(self, x):  # noqa: ANN001, ANN201 - Tensor in/out
+        if not self.enabled or self.fault_model is None:
+            return x
+        data = np.asarray(x.data)
+        words = encode(data, self.fmt)
+        sites = sample_sites(
+            self.rng,
+            total_words=int(data.size),
+            word_bits=self.fmt.total_bits,
+            fault_rate=self.fault_model.fault_rate,
+            n_flips=self.fault_model.n_flips,
+        )
+        self.flips_injected += len(sites)
+        if len(sites) == 0:
+            faulty = words
+        else:
+            faulty = flip_bits(words, sites.word_positions, sites.bit_positions, self.fmt)
+        from repro.autograd.tensor import Tensor
+
+        return Tensor(decode(faulty, self.fmt).reshape(data.shape))
+
+    def extra_repr(self) -> str:
+        state = "armed" if self.enabled else "pass-through"
+        return f"fmt={self.fmt}, {state}"
+
+
+class _FaultedSite(Module):
+    """An activation site with a fault layer appended to its output."""
+
+    def __init__(self, wrapped: Module, fault: ActivationFaultLayer) -> None:
+        super().__init__()
+        self.wrapped = wrapped
+        self.fault = fault
+
+    def forward(self, x):  # noqa: ANN001, ANN201 - Tensor in/out
+        return self.fault(self.wrapped(x))
+
+
+def _default_site_filter(module: Module) -> bool:
+    """Wrap everything that behaves as an activation function."""
+    from repro.core.bounded_relu import BoundedReLU
+    from repro.core.bounded_tanh import BoundedTanh
+    from repro.core.fitrelu import FitReLU
+    from repro.nn.activations import LeakyReLU, ReLU, Sigmoid, Tanh
+
+    return isinstance(
+        module, (ReLU, LeakyReLU, Sigmoid, Tanh, BoundedReLU, FitReLU, BoundedTanh)
+    )
+
+
+class ActivationFaultInjector:
+    """Install, drive, and remove transient-fault layers on a model.
+
+    Parameters
+    ----------
+    model:
+        The (already protected / quantised) model to instrument.
+    site_filter:
+        Predicate choosing which modules get a fault layer on their
+        output; defaults to every activation-like module (plain and
+        protected).
+    fmt:
+        Fixed-point format of the simulated datapath.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        site_filter: Callable[[Module], bool] | None = None,
+        fmt: FixedPointFormat = Q15_16,
+    ) -> None:
+        self.model = model
+        self.fmt = fmt
+        site_filter = site_filter or _default_site_filter
+        self._layers: dict[str, ActivationFaultLayer] = {}
+        sites = [
+            path
+            for path, module in model.named_modules()
+            if path and site_filter(module) and not isinstance(module, _FaultedSite)
+        ]
+        if not sites:
+            raise ConfigurationError(
+                "no activation sites matched; nothing to instrument"
+            )
+        for path in sites:
+            layer = ActivationFaultLayer(fmt)
+            model.set_submodule(path, _FaultedSite(model.get_submodule(path), layer))
+            self._layers[path] = layer
+        _logger.info("instrumented %d activation sites", len(sites))
+
+    @property
+    def sites(self) -> list[str]:
+        """Instrumented module paths (pre-wrap names)."""
+        return list(self._layers)
+
+    @property
+    def flips_injected(self) -> int:
+        """Total flips across all layers since the last arm."""
+        return sum(layer.flips_injected for layer in self._layers.values())
+
+    def remove(self) -> int:
+        """Undo the surgery, restoring the original module tree."""
+        for path in self._layers:
+            wrapper = self.model.get_submodule(path)
+            if isinstance(wrapper, _FaultedSite):
+                self.model.set_submodule(path, wrapper.wrapped)
+        count = len(self._layers)
+        self._layers = {}
+        return count
+
+    @contextmanager
+    def active(
+        self,
+        fault_model: ActivationFaultModel,
+        seed: int | np.random.Generator | None = None,
+    ) -> Iterator["ActivationFaultInjector"]:
+        """Context manager: arm every layer, yield, disarm.
+
+        Each layer gets an independent stream derived from ``seed`` and
+        its path, so trials are reproducible and layers are decorrelated.
+        """
+        if not self._layers:
+            raise ConfigurationError("injector has been removed; re-instrument first")
+        base = new_rng(seed)
+        root = int(base.integers(0, 2**31 - 1))
+        for path, layer in self._layers.items():
+            layer.arm(fault_model, new_rng(derive_seed(root, "act-fault", path)))
+        try:
+            yield self
+        finally:
+            for layer in self._layers.values():
+                layer.disarm()
+
+
+class ActivationFaultCampaign:
+    """Repeated transient-fault trials (the activation-space analogue of
+    :class:`repro.fault.FaultCampaign`).
+
+    Each trial evaluates the model once with every forward pass subject
+    to fresh transient flips; accuracies across trials form the
+    distribution reported by bench EXT-A.
+    """
+
+    def __init__(
+        self,
+        injector: ActivationFaultInjector,
+        evaluate: Callable[[], float],
+        trials: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if trials < 1:
+            raise ConfigurationError(f"trials must be >= 1, got {trials}")
+        self.injector = injector
+        self.evaluate = evaluate
+        self.trials = int(trials)
+        self.seed = int(seed)
+
+    def run(self, fault_model: ActivationFaultModel, tag: str = "") -> CampaignResult:
+        """Run all trials for one transient-fault configuration."""
+        accuracies = np.empty(self.trials, dtype=np.float64)
+        flip_counts = np.empty(self.trials, dtype=np.int64)
+        for trial in range(self.trials):
+            trial_seed = derive_seed(
+                self.seed, "act-trial", tag, fault_model.describe(), trial
+            )
+            with self.injector.active(fault_model, seed=trial_seed):
+                accuracies[trial] = self.evaluate()
+                flip_counts[trial] = self.injector.flips_injected
+        result = CampaignResult(fault_model, accuracies, flip_counts)
+        _logger.info("activation campaign %s %s", tag, result.summary())
+        return result

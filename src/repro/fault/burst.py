@@ -1,0 +1,170 @@
+"""Multi-bit burst faults: clusters of adjacent flipped bits.
+
+The paper's uniform model flips isolated bits, but real memory upsets
+are frequently *spatially correlated*: a single particle strike or a
+row-hammer disturbance corrupts several physically adjacent cells at
+once (multi-bit upsets, MBUs).  Within one data word that reads as a run
+of ``burst_length`` adjacent flipped bits.
+
+Burst faults stress bounded activations differently from isolated
+flips: a burst across the high integer bits of a Q15.16 word produces a
+*much* larger magnitude error than any single flip, while a burst
+confined to the fraction field is still benign — so the comparison
+against the iid model at a matched total flip count (bench EXT-F)
+isolates the effect of spatial correlation.
+
+Sampling
+--------
+Burst *starts* are uniform over (word, start-bit) pairs with the start
+bit restricted so the burst fits inside the word (no spill into the
+neighbouring word: parameters are not guaranteed to be physically
+adjacent).  Each start expands into ``burst_length`` consecutive
+single-bit sites.  Two bursts can overlap in one word; overlapping
+sites XOR-cancel exactly as two physical disturbances of the same cell
+would re-flip it, and the expansion dedupes identical sites to keep
+:class:`FaultSites` pairs distinct.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fault.fault_model import BitFlipFaultModel
+from repro.fault.injector import FaultInjector
+from repro.fault.sites import FaultSites
+
+__all__ = ["BurstFaultModel", "expand_bursts"]
+
+
+def expand_bursts(starts: FaultSites, burst_length: int) -> FaultSites:
+    """Expand burst start sites into per-bit flip sites.
+
+    Each ``(word, bit)`` start becomes ``(word, bit) … (word,
+    bit+burst_length-1)``.  Duplicate sites produced by overlapping
+    bursts are removed (a cell flipped twice by the same event reads as
+    flipped once in the stored word).
+    """
+    if burst_length < 1:
+        raise ConfigurationError(f"burst_length must be >= 1, got {burst_length}")
+    if len(starts) == 0:
+        return starts
+    words = np.repeat(starts.word_positions, burst_length)
+    bits = (
+        np.repeat(starts.bit_positions, burst_length)
+        + np.tile(np.arange(burst_length, dtype=np.int64), len(starts))
+    )
+    keys = np.unique(words * np.int64(1 << 8) + bits)
+    return FaultSites(keys >> np.int64(8), keys & np.int64((1 << 8) - 1))
+
+
+@dataclass(frozen=True)
+class BurstFaultModel:
+    """Bursts of ``burst_length`` adjacent bit-flips within single words.
+
+    Exactly one of ``burst_rate`` (per-bit rate *of burst starts*) or
+    ``n_bursts`` (exact burst count) must be set.  To compare against the
+    iid :class:`BitFlipFaultModel` at a matched expected flip count, use
+    ``BurstFaultModel.matching_rate``.
+
+    Parameters
+    ----------
+    burst_length:
+        Number of adjacent bits corrupted by one event (2-8 are typical
+        MBU sizes; 1 degenerates to the iid model).
+    burst_rate:
+        Probability per *start position* of a burst beginning there.
+    n_bursts:
+        Exact number of bursts per trial.
+    param_filter:
+        Predicate over dotted parameter names selecting the fault-space
+        subset (None = every parameter).
+    """
+
+    burst_length: int
+    burst_rate: float | None = None
+    n_bursts: int | None = None
+    param_filter: Callable[[str], bool] | None = None
+
+    def __post_init__(self) -> None:
+        if self.burst_length < 1:
+            raise ConfigurationError(
+                f"burst_length must be >= 1, got {self.burst_length}"
+            )
+        if (self.burst_rate is None) == (self.n_bursts is None):
+            raise ConfigurationError("specify exactly one of burst_rate or n_bursts")
+        if self.burst_rate is not None and not 0.0 <= self.burst_rate <= 1.0:
+            raise ConfigurationError(
+                f"burst_rate must be in [0, 1], got {self.burst_rate}"
+            )
+        if self.n_bursts is not None and self.n_bursts < 0:
+            raise ConfigurationError(f"n_bursts must be >= 0, got {self.n_bursts}")
+
+    @classmethod
+    def exact(
+        cls, burst_length: int, n_bursts: int, **kwargs: object
+    ) -> "BurstFaultModel":
+        """Exactly ``n_bursts`` bursts per trial."""
+        return cls(burst_length=burst_length, n_bursts=n_bursts, **kwargs)
+
+    @classmethod
+    def matching_rate(
+        cls,
+        burst_length: int,
+        bit_rate: float,
+        word_bits: int = 32,
+        **kwargs: object,
+    ) -> "BurstFaultModel":
+        """Bursts whose expected *total flips* match an iid per-bit rate.
+
+        An iid model at ``bit_rate`` flips ``bit_rate × words × word_bits``
+        cells in expectation.  Burst starts are drawn from the
+        ``word_bits − L + 1`` in-word start positions, so the start rate
+        that matches is ``bit_rate × word_bits / (L × (word_bits − L + 1))``
+        (exact up to the rare overlap of two bursts in one word).
+        ``word_bits`` must match the injector's format (32 for Q15.16).
+        """
+        starts_per_word = word_bits - burst_length + 1
+        if starts_per_word < 1:
+            raise ConfigurationError(
+                f"burst_length {burst_length} exceeds the {word_bits}-bit word"
+            )
+        start_rate = bit_rate * word_bits / (burst_length * starts_per_word)
+        return cls(burst_length=burst_length, burst_rate=start_rate, **kwargs)
+
+    def _start_bits(self, word_bits: int) -> tuple[int, ...]:
+        """Start-bit indices keeping the whole burst inside the word."""
+        last = word_bits - self.burst_length
+        if last < 0:
+            raise ConfigurationError(
+                f"burst_length {self.burst_length} exceeds the "
+                f"{word_bits}-bit word"
+            )
+        return tuple(range(last + 1))
+
+    def sample_sites(
+        self, injector: FaultInjector, rng: np.random.Generator
+    ) -> FaultSites:
+        """Draw burst starts uniformly and expand them into flip sites."""
+        starts_model = BitFlipFaultModel(
+            fault_rate=self.burst_rate,
+            n_flips=self.n_bursts,
+            allowed_bits=self._start_bits(injector.fmt.total_bits),
+            param_filter=self.param_filter,
+        )
+        starts = injector.sample(starts_model, rng=rng)
+        return expand_bursts(starts, self.burst_length)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        base = f"burst(L={self.burst_length})"
+        if self.burst_rate is not None:
+            base += f", start_rate={self.burst_rate:g}"
+        else:
+            base += f", n_bursts={self.n_bursts}"
+        if self.param_filter is not None:
+            base += ", filtered"
+        return base

@@ -1,0 +1,158 @@
+"""Fault-injection campaigns: repeated trials with accuracy collection.
+
+A campaign fixes a model + evaluation closure, then for each fault
+configuration runs K independent trials (fresh fault sites each time),
+recording the accuracy under fault.  The resulting distributions are the
+raw material of the paper's Fig. 5 (distribution) and Fig. 6 (means).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fault.fault_model import BitFlipFaultModel, FaultModel
+from repro.fault.injector import FaultInjector
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_seed
+
+__all__ = ["CampaignResult", "FaultCampaign", "SweepResult"]
+
+_logger = get_logger("fault.campaign")
+
+
+@dataclass
+class CampaignResult:
+    """Accuracy distribution from one fault configuration.
+
+    ``accuracies`` has one entry per trial; ``flip_counts`` records how
+    many bits actually flipped in each trial (Binomial draws vary).
+    """
+
+    fault_model: FaultModel
+    accuracies: np.ndarray
+    flip_counts: np.ndarray
+
+    @property
+    def trials(self) -> int:
+        return int(self.accuracies.size)
+
+    @property
+    def mean(self) -> float:
+        return float(self.accuracies.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self.accuracies.std())
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.accuracies))
+
+    @property
+    def min(self) -> float:
+        return float(self.accuracies.min())
+
+    @property
+    def max(self) -> float:
+        return float(self.accuracies.max())
+
+    def quantile(self, q: float) -> float:
+        return float(np.quantile(self.accuracies, q))
+
+    def box_stats(self) -> dict[str, float]:
+        """Five-number summary backing a Fig. 5-style box plot."""
+        return {
+            "min": self.min,
+            "q1": self.quantile(0.25),
+            "median": self.median,
+            "q3": self.quantile(0.75),
+            "max": self.max,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.fault_model.describe()}: mean={self.mean:.2%} "
+            f"median={self.median:.2%} std={self.std:.2%} "
+            f"[{self.min:.2%}, {self.max:.2%}] over {self.trials} trials"
+        )
+
+
+@dataclass
+class SweepResult:
+    """Campaign results across a fault-rate sweep (one Fig. 5/6 panel)."""
+
+    rates: tuple[float, ...]
+    results: dict[float, CampaignResult] = field(default_factory=dict)
+
+    def mean_curve(self) -> list[float]:
+        """Average accuracy per rate — one line of Fig. 6."""
+        return [self.results[rate].mean for rate in self.rates]
+
+    def __getitem__(self, rate: float) -> CampaignResult:
+        return self.results[rate]
+
+
+class FaultCampaign:
+    """Run repeated fault-injection trials against a fixed model.
+
+    Parameters
+    ----------
+    injector:
+        A :class:`FaultInjector` wrapping the (quantised) model.
+    evaluate:
+        Zero-argument closure returning accuracy in [0, 1] of the model in
+        its *current* (possibly faulty) state.
+    trials:
+        Number of independent trials per fault configuration.
+    seed:
+        Base seed; trial t of configuration c derives its own stream, so
+        two campaigns with the same seed see identical fault patterns —
+        the paper's protection schemes are compared on equal footing.
+    """
+
+    def __init__(
+        self,
+        injector: FaultInjector,
+        evaluate: Callable[[], float],
+        trials: int = 20,
+        seed: int = 0,
+    ) -> None:
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        self.injector = injector
+        self.evaluate = evaluate
+        self.trials = int(trials)
+        self.seed = int(seed)
+
+    def run(self, fault_model: FaultModel, tag: str = "") -> CampaignResult:
+        """Run all trials for one fault configuration."""
+        accuracies = np.empty(self.trials, dtype=np.float64)
+        flip_counts = np.empty(self.trials, dtype=np.int64)
+        for trial in range(self.trials):
+            trial_seed = derive_seed(self.seed, "trial", tag, fault_model.describe(), trial)
+            sites = self.injector.sample(fault_model, rng=trial_seed)
+            with self.injector.inject(sites) as count:
+                accuracies[trial] = self.evaluate()
+                flip_counts[trial] = count
+        result = CampaignResult(fault_model, accuracies, flip_counts)
+        _logger.info("campaign %s %s", tag, result.summary())
+        return result
+
+    def run_sweep(
+        self,
+        rates: Sequence[float],
+        tag: str = "",
+        allowed_bits: tuple[int, ...] | None = None,
+        param_filter: Callable[[str], bool] | None = None,
+    ) -> SweepResult:
+        """Run a campaign at each fault rate (a full Fig. 5/6 panel)."""
+        sweep = SweepResult(rates=tuple(rates))
+        for rate in rates:
+            fault_model = BitFlipFaultModel.at_rate(
+                rate, allowed_bits=allowed_bits, param_filter=param_filter
+            )
+            sweep.results[rate] = self.run(fault_model, tag=tag)
+        return sweep

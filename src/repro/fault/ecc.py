@@ -1,0 +1,385 @@
+"""SEC-DED ECC memory: the classic hardware comparator for FitAct.
+
+The paper's related work (§II-A) cites Error Correction Codes as the
+traditional redundancy-based protection for DNN parameter memories.
+This module models a per-word Hamming SEC-DED code (Single Error
+Correct, Double Error Detect — e.g. Hamming(39,32) for 32-bit data) so
+experiments can compare FitAct against ECC and against the two
+*composed* (bench EXT-E).
+
+Model
+-----
+Every parameter word is stored as a codeword of ``data_bits`` data bits
+plus ``parity_bits`` check bits.  Raw faults strike every codeword bit
+independently (the paper's uniform model applied to the *physical*
+memory, which is ``total_bits/data_bits`` ≈ 1.22× larger — ECC's
+storage overhead).  Per codeword, the decoder sees k raw flips:
+
+- k = 1 → corrected: no data corruption;
+- k = 2 → detected but uncorrectable: the system either passes the
+  word through (``double_policy="pass"``) or supplies zeros
+  (``"zero"``, i.e. a detected-error response that blanks the word);
+- k ≥ 3 → *escapes*: syndrome aliases to a legal-looking state.  The
+  decoder applies its (wrong) single-bit "correction", modelled as one
+  extra flip at a uniformly random codeword position
+  (``miscorrect=True``), on top of the raw data flips.
+
+Parity-bit flips corrupt no data themselves but consume the code's
+correction budget — a data flip paired with a parity flip in the same
+word is an uncorrectable double error.  The model tracks parity hits
+for exactly this interaction.
+
+:class:`ECCProtectedInjector` wraps a plain :class:`FaultInjector` with
+this filter and exposes the same ``sample``/``inject`` surface, so any
+campaign can run against ECC-protected memory unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fault.fault_model import BitFlipFaultModel, FaultModel
+from repro.fault.injector import FaultInjector
+from repro.fault.sites import FaultSites, sample_sites
+from repro.nn.module import Module
+from repro.quant.fixed_point import FixedPointFormat, Q15_16
+from repro.utils.rng import new_rng
+
+__all__ = [
+    "ECCOutcome",
+    "ECCProtectedInjector",
+    "SECDEDCode",
+    "ecc_memory_bytes",
+]
+
+_DOUBLE_POLICIES = ("pass", "zero")
+
+
+@dataclass(frozen=True)
+class SECDEDCode:
+    """A per-word Hamming SEC-DED code over ``data_bits`` data bits."""
+
+    data_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.data_bits < 1:
+            raise ConfigurationError(
+                f"data_bits must be >= 1, got {self.data_bits}"
+            )
+
+    @property
+    def parity_bits(self) -> int:
+        """Check bits: smallest r with 2^r ≥ data + r + 1, plus the
+        overall-parity bit that upgrades SEC to SEC-DED."""
+        r = 1
+        while (1 << r) < self.data_bits + r + 1:
+            r += 1
+        return r + 1
+
+    @property
+    def total_bits(self) -> int:
+        """Codeword width (Hamming(39, 32) for 32-bit data)."""
+        return self.data_bits + self.parity_bits
+
+    @property
+    def storage_overhead(self) -> float:
+        """Extra memory fraction ECC costs (≈ 0.219 for 32-bit words)."""
+        return self.parity_bits / self.data_bits
+
+    def __str__(self) -> str:
+        return f"SEC-DED({self.total_bits},{self.data_bits})"
+
+
+@dataclass
+class ECCOutcome:
+    """What the decoder did with one trial's raw faults."""
+
+    raw_flips: int = 0
+    corrected_words: int = 0
+    detected_words: int = 0
+    escaped_words: int = 0
+    zeroed_words: int = 0
+    miscorrections: int = 0
+
+    def merge(self, other: "ECCOutcome") -> None:
+        """Accumulate another outcome (campaign-level statistics)."""
+        self.raw_flips += other.raw_flips
+        self.corrected_words += other.corrected_words
+        self.detected_words += other.detected_words
+        self.escaped_words += other.escaped_words
+        self.zeroed_words += other.zeroed_words
+        self.miscorrections += other.miscorrections
+
+    def summary(self) -> str:
+        return (
+            f"raw flips {self.raw_flips}: corrected {self.corrected_words} "
+            f"words, detected {self.detected_words}, escaped "
+            f"{self.escaped_words} (miscorrections {self.miscorrections}, "
+            f"zeroed {self.zeroed_words})"
+        )
+
+
+def ecc_memory_bytes(
+    module: Module, code: SECDEDCode | None = None, fmt: FixedPointFormat = Q15_16
+) -> int:
+    """Parameter memory footprint in bytes including ECC check bits.
+
+    The EXT-E comparison point for Table I-style accounting: FitAct's
+    λ words versus ECC's parity bits.
+    """
+    code = code or SECDEDCode(fmt.total_bits)
+    total_words = sum(int(np.prod(p.shape)) for p in module.parameters())
+    return int(round(total_words * code.total_bits / 8.0))
+
+
+class ECCProtectedInjector:
+    """A :class:`FaultInjector` view of SEC-DED-protected memory.
+
+    Exposes the campaign-facing injector surface (``sample``, ``inject``,
+    ``total_bits``); raw faults are drawn over the *codeword* bit space
+    and filtered through the decoder before touching parameters.
+
+    Parameters
+    ----------
+    injector:
+        The plain injector over the underlying (quantised) model.
+    code:
+        The SEC-DED code; defaults to the format-matched width
+        (Hamming(39,32) for Q15.16).
+    double_policy:
+        Decoder response to detected-uncorrectable words: ``"pass"``
+        leaves the corrupted data in place, ``"zero"`` blanks the word.
+    miscorrect:
+        Whether ≥3-flip words suffer the decoder's bogus single-bit
+        "correction" (one extra uniformly placed flip).
+    """
+
+    def __init__(
+        self,
+        injector: FaultInjector,
+        code: SECDEDCode | None = None,
+        double_policy: str = "pass",
+        miscorrect: bool = True,
+    ) -> None:
+        if double_policy not in _DOUBLE_POLICIES:
+            raise ConfigurationError(
+                f"double_policy must be one of {_DOUBLE_POLICIES}, "
+                f"got {double_policy!r}"
+            )
+        self.injector = injector
+        self.code = code or SECDEDCode(injector.fmt.total_bits)
+        if self.code.data_bits != injector.fmt.total_bits:
+            raise ConfigurationError(
+                f"code data width {self.code.data_bits} does not match the "
+                f"injector's {injector.fmt.total_bits}-bit words"
+            )
+        self.double_policy = double_policy
+        self.miscorrect = miscorrect
+        self.last_outcome: ECCOutcome = ECCOutcome()
+        self.lifetime_outcome: ECCOutcome = ECCOutcome()
+
+    # ------------------------------------------------------------------
+    # Injector surface (campaign-compatible)
+    # ------------------------------------------------------------------
+    @property
+    def fmt(self) -> FixedPointFormat:
+        return self.injector.fmt
+
+    @property
+    def total_words(self) -> int:
+        return self.injector.total_words
+
+    @property
+    def total_bits(self) -> int:
+        """Physical bit count — codeword bits, including parity storage."""
+        return self.injector.total_words * self.code.total_bits
+
+    def refresh(self) -> None:
+        self.injector.refresh()
+
+    def sample(
+        self,
+        fault_model: BitFlipFaultModel | FaultModel,
+        rng: np.random.Generator | int | None = None,
+    ) -> FaultSites:
+        """Raw faults over codeword bits, decoded down to data flips.
+
+        Only uniform :class:`BitFlipFaultModel` configurations are
+        meaningful here (the decoder model assumes independent raw hits);
+        ``allowed_bits`` restrictions apply to data bits, while parity
+        bits are always eligible.
+        """
+        if not isinstance(fault_model, BitFlipFaultModel):
+            raise ConfigurationError(
+                "ECCProtectedInjector models uniform bit-flip faults; got "
+                f"{type(fault_model).__name__}"
+            )
+        rng = new_rng(rng)
+        raw = self._sample_codeword_sites(fault_model, rng)
+        effective, outcome = self._decode(raw, rng)
+        self.last_outcome = outcome
+        self.lifetime_outcome.merge(outcome)
+        return effective
+
+    def inject(self, sites: FaultSites) -> Iterator[int]:
+        """Delegate to the wrapped injector (sites are already decoded)."""
+        return self.injector.inject(sites)
+
+    def apply(self, sites: FaultSites) -> int:
+        return self.injector.apply(sites)
+
+    def restore(self) -> None:
+        self.injector.restore()
+
+    # ------------------------------------------------------------------
+    # Decoder model
+    # ------------------------------------------------------------------
+    def _sample_codeword_sites(
+        self, fault_model: BitFlipFaultModel, rng: np.random.Generator
+    ) -> FaultSites:
+        """Uniform raw hits over the physical (codeword) bit space."""
+        data_bits = self.code.data_bits
+        if fault_model.allowed_bits is None:
+            allowed = None
+        else:
+            # Data-bit restriction plus every parity position.
+            allowed = tuple(
+                sorted(
+                    set(fault_model.allowed_bits)
+                    | set(range(data_bits, self.code.total_bits))
+                )
+            )
+        if fault_model.param_filter is not None:
+            # Respect name filtering by sampling through the inner
+            # injector's restricted space: one draw for data-bit hits, a
+            # second (rate-scaled) draw whose word positions stand in for
+            # uniformly placed parity hits over the same filtered words.
+            data_model = BitFlipFaultModel(
+                fault_rate=fault_model.fault_rate,
+                n_flips=fault_model.n_flips,
+                allowed_bits=fault_model.allowed_bits,
+                param_filter=fault_model.param_filter,
+            )
+            data_sites = self.injector.sample(data_model, rng=rng)
+            parity_fraction = self.code.parity_bits / data_bits
+            if fault_model.fault_rate is not None:
+                parity_model = BitFlipFaultModel(
+                    fault_rate=min(1.0, fault_model.fault_rate * parity_fraction),
+                    param_filter=fault_model.param_filter,
+                )
+            else:
+                parity_model = BitFlipFaultModel(
+                    n_flips=int(round(fault_model.n_flips * parity_fraction)),
+                    param_filter=fault_model.param_filter,
+                )
+            parity_sites = self.injector.sample(parity_model, rng=rng)
+            parity_bits = rng.integers(
+                data_bits,
+                self.code.total_bits,
+                size=len(parity_sites),
+                dtype=np.int64,
+            )
+            words = np.concatenate(
+                [data_sites.word_positions, parity_sites.word_positions]
+            )
+            bits = np.concatenate([data_sites.bit_positions, parity_bits])
+            return FaultSites(words, bits)
+        return sample_sites(
+            rng,
+            total_words=self.injector.total_words,
+            word_bits=self.code.total_bits,
+            fault_rate=fault_model.fault_rate,
+            n_flips=fault_model.n_flips,
+            allowed_bits=allowed,
+        )
+
+    def _decode(
+        self, raw: FaultSites, rng: np.random.Generator
+    ) -> tuple[FaultSites, ECCOutcome]:
+        """Apply SEC-DED semantics per word; return effective data flips."""
+        outcome = ECCOutcome(raw_flips=len(raw))
+        if len(raw) == 0:
+            return FaultSites.empty(), outcome
+        data_bits = self.code.data_bits
+        words = raw.word_positions
+        bits = raw.bit_positions
+        unique_words, inverse, counts = np.unique(
+            words, return_inverse=True, return_counts=True
+        )
+        hits_per_word = counts[inverse]
+
+        keep_words: list[np.ndarray] = []
+        keep_bits: list[np.ndarray] = []
+
+        # k == 1 → corrected (nothing reaches the data).
+        outcome.corrected_words = int(np.sum(counts == 1))
+
+        # k == 2 → detected; policy decides.
+        double_mask = hits_per_word == 2
+        double_words = np.unique(words[double_mask])
+        outcome.detected_words = int(double_words.size)
+        if self.double_policy == "pass":
+            data_mask = double_mask & (bits < data_bits)
+            keep_words.append(words[data_mask])
+            keep_bits.append(bits[data_mask])
+        else:  # "zero": blank each detected word.
+            zero_sites = self._zeroing_flips(double_words)
+            keep_words.append(zero_sites.word_positions)
+            keep_bits.append(zero_sites.bit_positions)
+            outcome.zeroed_words = int(double_words.size)
+
+        # k >= 3 → escape; data flips pass, plus an optional miscorrection.
+        escape_mask = hits_per_word >= 3
+        escaped_words = np.unique(words[escape_mask])
+        outcome.escaped_words = int(escaped_words.size)
+        data_mask = escape_mask & (bits < data_bits)
+        keep_words.append(words[data_mask])
+        keep_bits.append(bits[data_mask])
+        if self.miscorrect and escaped_words.size:
+            bogus_bits = rng.integers(
+                0, self.code.total_bits, size=escaped_words.size, dtype=np.int64
+            )
+            in_data = bogus_bits < data_bits
+            keep_words.append(escaped_words[in_data])
+            keep_bits.append(bogus_bits[in_data])
+            outcome.miscorrections = int(escaped_words.size)
+
+        all_words = np.concatenate(keep_words) if keep_words else np.empty(0, np.int64)
+        all_bits = np.concatenate(keep_bits) if keep_bits else np.empty(0, np.int64)
+        if all_words.size == 0:
+            return FaultSites.empty(), outcome
+        # XOR semantics collapse duplicate (word, bit) pairs in pairs; a
+        # miscorrection landing on an already-flipped bit *repairs* it,
+        # which is physically right (the decoder flipped it back).
+        keys = all_words * np.int64(256) + all_bits
+        keys, key_counts = np.unique(keys, return_counts=True)
+        keys = keys[key_counts % 2 == 1]
+        return FaultSites(keys >> np.int64(8), keys & np.int64(255)), outcome
+
+    def _zeroing_flips(self, word_positions: np.ndarray) -> FaultSites:
+        """Flip sites that turn each given word's current value into 0."""
+        if word_positions.size == 0:
+            return FaultSites.empty()
+        values = self.injector.word_values(word_positions)
+        fmt = self.injector.fmt
+        modulus = np.int64(1) << np.int64(fmt.total_bits)
+        unsigned = np.where(values < 0, values + modulus, values).astype(np.uint64)
+        out_words: list[int] = []
+        out_bits: list[int] = []
+        for word, pattern in zip(word_positions, unsigned):
+            bit = 0
+            remaining = int(pattern)
+            while remaining:
+                if remaining & 1:
+                    out_words.append(int(word))
+                    out_bits.append(bit)
+                remaining >>= 1
+                bit += 1
+        return FaultSites(
+            np.asarray(out_words, dtype=np.int64),
+            np.asarray(out_bits, dtype=np.int64),
+        )

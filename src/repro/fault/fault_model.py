@@ -1,0 +1,105 @@
+"""Fault model descriptions.
+
+The paper's model (§VI-A2): random bit-flips distributed uniformly over
+the memory words holding model parameters — weights, biases, and the
+activation-function parameters λ — at per-bit fault rates from 1e-7 to
+3e-5.  :class:`BitFlipFaultModel` captures one such configuration;
+restricting ``allowed_bits`` or ``param_filter`` expresses the targeted
+campaigns (Fig. 1 injects only into the first two layers; the
+bit-position ablation flips one bit index at a time).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BitFlipFaultModel", "FaultModel", "PAPER_FAULT_RATES"]
+
+
+class FaultModel(Protocol):
+    """What a campaign needs from any fault model.
+
+    :class:`BitFlipFaultModel` is sampled natively by the injector; every
+    other model (stuck-at, burst, …) additionally provides a
+    ``sample_sites(injector, rng)`` hook that the injector dispatches to.
+    ``describe`` feeds logs and the campaign's per-trial seed derivation,
+    so it must be deterministic.
+    """
+
+    def describe(self) -> str:
+        """Deterministic one-line description (logs + seed derivation)."""
+        ...
+
+PAPER_FAULT_RATES: tuple[float, ...] = (1e-7, 1e-6, 3e-6, 1e-5, 3e-5)
+"""The five fault rates of the paper's evaluation (Figs. 5 and 6)."""
+
+
+@dataclass(frozen=True)
+class BitFlipFaultModel:
+    """Configuration of one bit-flip fault scenario.
+
+    Exactly one of ``fault_rate`` (per-bit flip probability; flip count is
+    Binomial over the fault space) or ``n_flips`` (exact count) must be
+    set.
+
+    Parameters
+    ----------
+    fault_rate:
+        Per-bit flip probability.
+    n_flips:
+        Exact number of distinct bit flips per trial.
+    allowed_bits:
+        Restrict flips to these bit indices within the word (None = all).
+        Bit 0 is the fraction LSB; the top bit is the sign.
+    param_filter:
+        Predicate over dotted parameter names selecting the fault space
+        subset (None = every parameter).
+    """
+
+    fault_rate: float | None = None
+    n_flips: int | None = None
+    allowed_bits: tuple[int, ...] | None = None
+    param_filter: Callable[[str], bool] | None = None
+
+    def __post_init__(self) -> None:
+        if (self.fault_rate is None) == (self.n_flips is None):
+            raise ConfigurationError(
+                "specify exactly one of fault_rate or n_flips"
+            )
+        if self.fault_rate is not None and not 0.0 <= self.fault_rate <= 1.0:
+            raise ConfigurationError(
+                f"fault_rate must be in [0, 1], got {self.fault_rate}"
+            )
+        if self.n_flips is not None and self.n_flips < 0:
+            raise ConfigurationError(f"n_flips must be >= 0, got {self.n_flips}")
+        if self.allowed_bits is not None:
+            if len(self.allowed_bits) == 0:
+                raise ConfigurationError("allowed_bits must not be empty")
+            if len(set(self.allowed_bits)) != len(self.allowed_bits):
+                raise ConfigurationError("allowed_bits contains duplicates")
+
+    @classmethod
+    def at_rate(cls, fault_rate: float, **kwargs: object) -> "BitFlipFaultModel":
+        """Uniform random flips at a per-bit probability (the paper's model)."""
+        return cls(fault_rate=fault_rate, **kwargs)
+
+    @classmethod
+    def exact(cls, n_flips: int, **kwargs: object) -> "BitFlipFaultModel":
+        """Exactly ``n_flips`` distinct flips per trial (targeted studies)."""
+        return cls(n_flips=n_flips, **kwargs)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        if self.fault_rate is not None:
+            base = f"rate={self.fault_rate:g}"
+        else:
+            base = f"n_flips={self.n_flips}"
+        if self.allowed_bits is not None:
+            base += f", bits={list(self.allowed_bits)}"
+        if self.param_filter is not None:
+            base += ", filtered"
+        return base

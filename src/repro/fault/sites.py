@@ -1,0 +1,103 @@
+"""Fault-site sampling over a model's parameter memory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import new_rng
+
+__all__ = ["FaultSites", "sample_distinct", "sample_sites"]
+
+
+@dataclass(frozen=True)
+class FaultSites:
+    """A concrete set of bit-flip locations for one trial.
+
+    ``word_positions`` index into the flattened fault-space word array;
+    ``bit_positions`` give the bit index within each word.  Pairs are
+    distinct.
+    """
+
+    word_positions: np.ndarray
+    bit_positions: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.word_positions.shape != self.bit_positions.shape:
+            raise ConfigurationError("word/bit position arrays must align")
+
+    def __len__(self) -> int:
+        return int(self.word_positions.size)
+
+    @classmethod
+    def empty(cls) -> "FaultSites":
+        return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+
+def sample_distinct(
+    rng: np.random.Generator, population: int, count: int
+) -> np.ndarray:
+    """Sample ``count`` distinct integers from ``range(population)``.
+
+    ``np.random.Generator.choice(..., replace=False)`` materialises a
+    permutation of the whole population — ruinous for fault spaces of 1e8+
+    bits — so for sparse draws we sample with replacement and reject
+    duplicates (expected O(count) rounds since count << population).
+    """
+    if count > population:
+        raise ConfigurationError(
+            f"cannot draw {count} distinct values from a population of {population}"
+        )
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    if count * 4 >= population:
+        # Dense draw: a permutation is affordable.
+        return rng.permutation(population)[:count].astype(np.int64)
+    chosen: set[int] = set()
+    while len(chosen) < count:
+        draw = rng.integers(0, population, size=2 * (count - len(chosen)))
+        chosen.update(int(v) for v in draw)
+        while len(chosen) > count:
+            chosen.pop()
+    return np.fromiter(chosen, dtype=np.int64, count=count)
+
+
+def sample_sites(
+    rng: np.random.Generator | int | None,
+    total_words: int,
+    word_bits: int,
+    fault_rate: float | None = None,
+    n_flips: int | None = None,
+    allowed_bits: tuple[int, ...] | None = None,
+) -> FaultSites:
+    """Draw fault sites uniformly over the (restricted) bit space.
+
+    With ``fault_rate`` the flip count is Binomial(total bits, rate) —
+    each bit of every word in the fault space flips independently, the
+    paper's uniform model.  With ``n_flips`` the count is exact.
+    """
+    rng = new_rng(rng)
+    if total_words <= 0:
+        raise ConfigurationError(f"fault space is empty (total_words={total_words})")
+    bits = (
+        np.arange(word_bits, dtype=np.int64)
+        if allowed_bits is None
+        else np.asarray(sorted(allowed_bits), dtype=np.int64)
+    )
+    if bits.size and (bits.min() < 0 or bits.max() >= word_bits):
+        raise ConfigurationError(
+            f"allowed_bits out of range for a {word_bits}-bit word: {bits.tolist()}"
+        )
+    population = total_words * bits.size
+    if fault_rate is not None:
+        count = int(rng.binomial(population, fault_rate))
+    elif n_flips is not None:
+        count = int(n_flips)
+    else:
+        raise ConfigurationError("specify fault_rate or n_flips")
+    flat = sample_distinct(rng, population, count)
+    word_positions = flat // bits.size
+    bit_positions = bits[flat % bits.size]
+    return FaultSites(word_positions, bit_positions)

@@ -1,0 +1,173 @@
+"""Stuck-at (permanent) memory faults.
+
+The paper's fault model is transient uniform bit-flips (§VI-A2), but the
+memories it targets also fail *permanently*: a worn or manufacturing-
+defective cell reads as a constant 0 or 1 regardless of what was written
+(the classic stuck-at-0 / stuck-at-1 model of memory test literature).
+Protection schemes that survive flips should also survive stuck cells —
+this module lets the same campaigns measure that.
+
+Lowering to flips
+-----------------
+A stuck-at fault is *data dependent*: a cell stuck at 1 that already
+stores a 1 is invisible.  We therefore sample candidate stuck cells
+uniformly (exactly like bit-flip sites), read the currently stored bits
+through :meth:`FaultInjector.read_bits`, and keep only the cells whose
+content differs from the stuck value.  Those survivors are injected as
+ordinary XOR flips — the injector's exact-restore machinery carries over
+unchanged, and the *masking rate* (fraction of stuck cells with no
+effect) is reported alongside.
+
+Masking is strongly *data dependent*.  For Q15.16 two's-complement DNN
+weights the two polarities are roughly balanced overall — positive
+words carry 0s in their high bits (masking stuck-at-0 there) but
+negative words sign-extend with 1s (masking stuck-at-1) — while the
+*damage* is asymmetric: an active stuck-at-1 in a positive word's
+integer field adds a huge magnitude, whereas an active stuck-at-0 can
+only shrink it.  :meth:`StuckAtFaultModel.masking_rate` measures the
+masking split for a concrete model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fault.fault_model import BitFlipFaultModel
+from repro.fault.injector import FaultInjector
+from repro.fault.sites import FaultSites
+
+__all__ = ["StuckAtFaultModel", "active_stuck_sites"]
+
+
+def active_stuck_sites(
+    injector: FaultInjector, cells: FaultSites, stuck_value: int
+) -> FaultSites:
+    """Reduce candidate stuck cells to the ones that corrupt data.
+
+    Keeps exactly the cells whose stored bit differs from ``stuck_value``;
+    flipping those reproduces the stuck read.  The dropped cells are the
+    *masked* faults.
+    """
+    if stuck_value not in (0, 1):
+        raise ConfigurationError(f"stuck_value must be 0 or 1, got {stuck_value}")
+    if len(cells) == 0:
+        return cells
+    stored = injector.read_bits(cells)
+    keep = stored != stuck_value
+    return FaultSites(cells.word_positions[keep], cells.bit_positions[keep])
+
+
+@dataclass(frozen=True)
+class StuckAtFaultModel:
+    """Permanent stuck-at-0/1 cells, uniform over the parameter memory.
+
+    Exactly one of ``fault_rate`` (per-cell probability of being stuck)
+    or ``n_cells`` (exact stuck-cell count) must be set.  The *effective*
+    flip count per trial is data dependent and at most the stuck-cell
+    count; campaigns record it per trial via the injector.
+
+    Parameters
+    ----------
+    stuck_value:
+        What the faulty cells read as: 0 or 1.
+    fault_rate:
+        Per-cell probability of being stuck.
+    n_cells:
+        Exact number of distinct stuck cells per trial.
+    allowed_bits:
+        Restrict candidate cells to these bit indices (None = all).
+    param_filter:
+        Predicate over dotted parameter names selecting the fault-space
+        subset (None = every parameter).
+    """
+
+    stuck_value: int
+    fault_rate: float | None = None
+    n_cells: int | None = None
+    allowed_bits: tuple[int, ...] | None = None
+    param_filter: Callable[[str], bool] | None = None
+
+    def __post_init__(self) -> None:
+        if self.stuck_value not in (0, 1):
+            raise ConfigurationError(
+                f"stuck_value must be 0 or 1, got {self.stuck_value}"
+            )
+        # Reuse BitFlipFaultModel's validation of the shared fields.
+        self._candidate_model()
+
+    def _candidate_model(self) -> BitFlipFaultModel:
+        """The uniform sampling spec for candidate stuck cells."""
+        return BitFlipFaultModel(
+            fault_rate=self.fault_rate,
+            n_flips=self.n_cells,
+            allowed_bits=self.allowed_bits,
+            param_filter=self.param_filter,
+        )
+
+    @classmethod
+    def at_rate(
+        cls, stuck_value: int, fault_rate: float, **kwargs: object
+    ) -> "StuckAtFaultModel":
+        """Uniform stuck cells at a per-cell probability."""
+        return cls(stuck_value=stuck_value, fault_rate=fault_rate, **kwargs)
+
+    @classmethod
+    def exact(
+        cls, stuck_value: int, n_cells: int, **kwargs: object
+    ) -> "StuckAtFaultModel":
+        """Exactly ``n_cells`` stuck cells per trial (targeted studies)."""
+        return cls(stuck_value=stuck_value, n_cells=n_cells, **kwargs)
+
+    def sample_sites(
+        self, injector: FaultInjector, rng: np.random.Generator
+    ) -> FaultSites:
+        """Draw stuck cells, keep the data-corrupting ones as flip sites."""
+        cells = injector.sample(self._candidate_model(), rng=rng)
+        return active_stuck_sites(injector, cells, self.stuck_value)
+
+    def masking_rate(
+        self,
+        injector: FaultInjector,
+        rng: np.random.Generator | int | None = None,
+        sample_cells: int = 4096,
+    ) -> float:
+        """Estimate the fraction of stuck cells that are masked.
+
+        Samples ``sample_cells`` candidate cells and reports how many
+        already store ``stuck_value``.  For Q15.16-encoded DNN weights
+        this is close to 1 for stuck-at-0 (most stored bits are 0) and
+        close to 0 for stuck-at-1.
+        """
+        bits_per_word = (
+            len(self.allowed_bits)
+            if self.allowed_bits is not None
+            else injector.fmt.total_bits
+        )
+        population = injector.count_words(self.param_filter) * bits_per_word
+        probe = BitFlipFaultModel.exact(
+            min(sample_cells, population),
+            allowed_bits=self.allowed_bits,
+            param_filter=self.param_filter,
+        )
+        cells = injector.sample(probe, rng=rng)
+        if len(cells) == 0:
+            return 0.0
+        stored = injector.read_bits(cells)
+        return float(np.mean(stored == self.stuck_value))
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        base = f"stuck-at-{self.stuck_value}"
+        if self.fault_rate is not None:
+            base += f", rate={self.fault_rate:g}"
+        else:
+            base += f", n_cells={self.n_cells}"
+        if self.allowed_bits is not None:
+            base += f", bits={list(self.allowed_bits)}"
+        if self.param_filter is not None:
+            base += ", filtered"
+        return base

@@ -1,0 +1,163 @@
+"""Word-granularity faults: whole-word replacement.
+
+Bit-flips model single-event upsets; real memories also fail at *word*
+granularity — a dead row, a failed burst transfer, or the random-value
+replacement model used by Ares (Reagen et al., DAC 2018 [29]).  This
+model picks whole parameter words and replaces their content:
+
+- ``"random"`` — an independent uniform random word (Ares' model);
+- ``"zero"``   — the word reads as 0 (dead cell column, or an ECC
+  detected-error response — the same semantics as
+  ``ECCProtectedInjector(double_policy="zero")``);
+- ``"max"``    — the word saturates to the format's most positive value
+  (a pathological worst case for unbounded activations).
+
+Lowering: the replacement is expressed as the XOR between the currently
+stored word and the target pattern, which turns into ordinary bit-flip
+sites — the injector's exact-restore machinery carries over, and the
+*effective* flip count per word (popcount of the XOR) is visible in
+campaign records.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fault.fault_model import BitFlipFaultModel
+from repro.fault.injector import FaultInjector
+from repro.fault.sites import FaultSites
+
+__all__ = ["WordFaultModel", "replacement_flips"]
+
+_MODES = ("random", "zero", "max")
+
+
+def replacement_flips(
+    injector: FaultInjector,
+    word_positions: np.ndarray,
+    targets: np.ndarray,
+) -> FaultSites:
+    """Flip sites turning each stored word into its target pattern.
+
+    ``targets`` holds raw (signed two's-complement) word values aligned
+    with ``word_positions``.  Words already equal to their target yield
+    no sites.
+    """
+    word_positions = np.asarray(word_positions, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if word_positions.shape != targets.shape:
+        raise ConfigurationError("word positions and targets must align")
+    if word_positions.size == 0:
+        return FaultSites.empty()
+    current = injector.word_values(word_positions)
+    fmt = injector.fmt
+    modulus = np.int64(1) << np.int64(fmt.total_bits)
+
+    def unsigned(values: np.ndarray) -> np.ndarray:
+        return np.where(values < 0, values + modulus, values).astype(np.uint64)
+
+    diff = unsigned(current) ^ unsigned(targets)
+    out_words: list[np.ndarray] = []
+    out_bits: list[np.ndarray] = []
+    for bit in range(fmt.total_bits):
+        mask = (diff >> np.uint64(bit)) & np.uint64(1) == 1
+        if mask.any():
+            out_words.append(word_positions[mask])
+            out_bits.append(np.full(int(mask.sum()), bit, dtype=np.int64))
+    if not out_words:
+        return FaultSites.empty()
+    return FaultSites(np.concatenate(out_words), np.concatenate(out_bits))
+
+
+@dataclass(frozen=True)
+class WordFaultModel:
+    """Whole-word corruption, uniform over the parameter memory.
+
+    Exactly one of ``fault_rate`` (per-word probability) or ``n_words``
+    (exact corrupted-word count) must be set.
+
+    Parameters
+    ----------
+    mode:
+        ``"random"`` | ``"zero"`` | ``"max"`` — what the corrupted word
+        reads as.
+    fault_rate:
+        Per-word corruption probability.
+    n_words:
+        Exact number of distinct corrupted words per trial.
+    param_filter:
+        Predicate over dotted parameter names selecting the fault-space
+        subset (None = every parameter).
+    """
+
+    mode: str = "random"
+    fault_rate: float | None = None
+    n_words: int | None = None
+    param_filter: Callable[[str], bool] | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ConfigurationError(
+                f"mode must be one of {_MODES}, got {self.mode!r}"
+            )
+        # Word selection reuses bit-flip validation for the shared fields.
+        self._selector()
+
+    def _selector(self) -> BitFlipFaultModel:
+        """Uniform word picker: one candidate bit per word stands in for
+        the word itself."""
+        return BitFlipFaultModel(
+            fault_rate=self.fault_rate,
+            n_flips=self.n_words,
+            allowed_bits=(0,),
+            param_filter=self.param_filter,
+        )
+
+    @classmethod
+    def exact(cls, mode: str, n_words: int, **kwargs: object) -> "WordFaultModel":
+        """Exactly ``n_words`` corrupted words per trial."""
+        return cls(mode=mode, n_words=n_words, **kwargs)
+
+    @classmethod
+    def at_rate(cls, mode: str, fault_rate: float, **kwargs: object) -> "WordFaultModel":
+        """Uniform word corruption at a per-word probability."""
+        return cls(mode=mode, fault_rate=fault_rate, **kwargs)
+
+    def _targets(
+        self, count: int, injector: FaultInjector, rng: np.random.Generator
+    ) -> np.ndarray:
+        fmt = injector.fmt
+        if self.mode == "zero":
+            return np.zeros(count, dtype=np.int64)
+        if self.mode == "max":
+            return np.full(count, fmt.max_raw, dtype=np.int64)
+        modulus = np.int64(1) << np.int64(fmt.total_bits)
+        half = np.int64(1) << np.int64(fmt.total_bits - 1)
+        raw = rng.integers(0, int(modulus), size=count, dtype=np.uint64).astype(
+            np.int64
+        )
+        return np.where(raw >= half, raw - modulus, raw)
+
+    def sample_sites(
+        self, injector: FaultInjector, rng: np.random.Generator
+    ) -> FaultSites:
+        """Pick words, draw target patterns, lower to XOR flip sites."""
+        picked = injector.sample(self._selector(), rng=rng)
+        words = np.unique(picked.word_positions)
+        targets = self._targets(words.size, injector, rng)
+        return replacement_flips(injector, words, targets)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        base = f"word-{self.mode}"
+        if self.fault_rate is not None:
+            base += f", rate={self.fault_rate:g}"
+        else:
+            base += f", n_words={self.n_words}"
+        if self.param_filter is not None:
+            base += ", filtered"
+        return base

@@ -1,0 +1,45 @@
+"""Model zoo: the paper's AlexNet / VGG16 / ResNet50 (CIFAR variants)
+plus lighter members of each family and a MobileNetV1 extension target."""
+
+from repro.models.alexnet import AlexNet, build_alexnet
+from repro.models.common import scaled_width
+from repro.models.lenet import LeNet, build_lenet
+from repro.models.mobilenet import MOBILENET_PLAN, MobileNet, build_mobilenet
+from repro.models.registry import (
+    MODEL_NAMES,
+    PAPER_MODELS,
+    build_model,
+    register_model,
+)
+from repro.models.resnet import (
+    BasicBlock,
+    Bottleneck,
+    ResNet,
+    build_resnet18,
+    build_resnet50,
+)
+from repro.models.vgg import VGG, VGG_CONFIGS, build_vgg11, build_vgg16
+
+__all__ = [
+    "MOBILENET_PLAN",
+    "MODEL_NAMES",
+    "PAPER_MODELS",
+    "VGG",
+    "VGG_CONFIGS",
+    "AlexNet",
+    "BasicBlock",
+    "Bottleneck",
+    "LeNet",
+    "MobileNet",
+    "ResNet",
+    "build_alexnet",
+    "build_lenet",
+    "build_mobilenet",
+    "build_model",
+    "build_resnet18",
+    "build_resnet50",
+    "build_vgg11",
+    "build_vgg16",
+    "register_model",
+    "scaled_width",
+]

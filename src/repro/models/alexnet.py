@@ -1,0 +1,87 @@
+"""AlexNet adapted to CIFAR-scale 32×32 inputs (paper model #3).
+
+The standard CIFAR adaptation of Krizhevsky et al.'s architecture: five
+convolutions (the first strided), three max-pools, and a three-layer
+classifier.  ``scale`` multiplies every width so the same topology runs
+at laptop-simulator size; ``scale=1.0`` is the paper-size network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.models.common import scaled_width
+from repro.utils.rng import derive_seed, new_rng
+
+__all__ = ["AlexNet", "build_alexnet"]
+
+
+class AlexNet(nn.Module):
+    """CIFAR AlexNet: features → flatten → classifier."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        scale: float = 1.0,
+        in_channels: int = 3,
+        image_size: int = 32,
+        dropout: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(derive_seed(seed, "alexnet"))
+        c1 = scaled_width(64, scale)
+        c2 = scaled_width(192, scale)
+        c3 = scaled_width(384, scale)
+        c4 = scaled_width(256, scale)
+        hidden = scaled_width(4096, scale)
+        self.features = nn.Sequential(
+            nn.Conv2d(in_channels, c1, 3, stride=2, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(c1, c2, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(c2, c3, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Conv2d(c3, c4, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Conv2d(c4, c4, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+        )
+        self.flatten = nn.Flatten()
+        # Spatial plan: stride-2 conv, then three 2× max-pools.
+        spatial = (image_size - 1) // 2 + 1
+        for _ in range(3):
+            spatial //= 2
+        if spatial < 1:
+            raise ValueError(
+                f"image_size {image_size} too small for the AlexNet topology"
+            )
+        feature_dim = c4 * spatial * spatial
+        self.classifier = nn.Sequential(
+            nn.Dropout(dropout, rng=derive_seed(seed, "alexnet-drop1")),
+            nn.Linear(feature_dim, hidden, rng=rng),
+            nn.ReLU(),
+            nn.Dropout(dropout, rng=derive_seed(seed, "alexnet-drop2")),
+            nn.Linear(hidden, hidden, rng=rng),
+            nn.ReLU(),
+            nn.Linear(hidden, num_classes, rng=rng),
+        )
+
+    def forward(self, x: object) -> object:
+        x = self.features(x)
+        x = self.flatten(x)
+        return self.classifier(x)
+
+
+def build_alexnet(
+    num_classes: int = 10,
+    scale: float = 1.0,
+    seed: int = 0,
+    **kwargs: object,
+) -> AlexNet:
+    """Registry builder for :class:`AlexNet`."""
+    return AlexNet(num_classes=num_classes, scale=scale, seed=seed, **kwargs)

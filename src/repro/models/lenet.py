@@ -1,0 +1,60 @@
+"""A small LeNet-style CNN.
+
+Not part of the paper's model set — it exists because the reproduction's
+unit/integration tests and quick examples need a network that trains in
+seconds on the numpy substrate while exercising the same code paths
+(conv → ReLU → pool → linear → ReLU) that FitAct surgery targets.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.models.common import scaled_width
+from repro.utils.rng import derive_seed, new_rng
+
+__all__ = ["LeNet", "build_lenet"]
+
+
+class LeNet(nn.Module):
+    """Two conv stages + two-layer classifier for 32×32 (or 16×16) input."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        scale: float = 1.0,
+        in_channels: int = 3,
+        image_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(derive_seed(seed, "lenet"))
+        c1 = scaled_width(8, scale)
+        c2 = scaled_width(16, scale)
+        hidden = scaled_width(32, scale)
+        self.features = nn.Sequential(
+            nn.Conv2d(in_channels, c1, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(c1, c2, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+        )
+        self.flatten = nn.Flatten()
+        spatial = image_size // 4
+        self.classifier = nn.Sequential(
+            nn.Linear(c2 * spatial * spatial, hidden, rng=rng),
+            nn.ReLU(),
+            nn.Linear(hidden, num_classes, rng=rng),
+        )
+
+    def forward(self, x: object) -> object:
+        x = self.features(x)
+        x = self.flatten(x)
+        return self.classifier(x)
+
+
+def build_lenet(
+    num_classes: int = 10, scale: float = 1.0, seed: int = 0, **kwargs: object
+) -> LeNet:
+    """Registry builder for :class:`LeNet`."""
+    return LeNet(num_classes=num_classes, scale=scale, seed=seed, **kwargs)

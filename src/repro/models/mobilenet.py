@@ -1,0 +1,138 @@
+"""MobileNetV1 for CIFAR-scale inputs (beyond-paper architecture).
+
+The paper evaluates AlexNet, VGG16 and ResNet50; MobileNet is the
+architecture actually shipped on the resource-constrained edge devices
+the paper motivates with, so the zoo carries a CIFAR-form MobileNetV1
+as an extension target.  Depthwise-separable convolutions change the
+protection problem in an interesting way: each depthwise filter touches
+only one channel, so a corrupted weight damages exactly one feature map
+— per-neuron bounds align with that failure granularity.
+
+Structure (Howard et al. 2017, CIFAR adaptation): a 3×3 stem, then 13
+depthwise-separable blocks — depthwise 3×3 (groups = channels) + BN +
+ReLU, pointwise 1×1 + BN + ReLU — with stride-2 downsampling moved to
+fit 32×32 inputs, global average pooling, and a linear classifier.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.errors import ConfigurationError
+from repro.models.common import scaled_width
+from repro.nn.module import Module
+from repro.utils.rng import derive_seed, new_rng
+
+__all__ = ["MobileNet", "MOBILENET_PLAN", "build_mobilenet"]
+
+MOBILENET_PLAN: list[tuple[int, int]] = [
+    # (output channels, stride) per depthwise-separable block.
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+]
+"""The 13 separable blocks of MobileNetV1 (CIFAR strides)."""
+
+
+class _SeparableBlock(Module):
+    """Depthwise 3×3 + BN + ReLU, then pointwise 1×1 + BN + ReLU."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int, rng) -> None:
+        super().__init__()
+        self.depthwise = nn.Conv2d(
+            in_channels,
+            in_channels,
+            kernel_size=3,
+            stride=stride,
+            padding=1,
+            groups=in_channels,
+            bias=False,
+            rng=rng,
+        )
+        self.bn_dw = nn.BatchNorm2d(in_channels)
+        self.relu_dw = nn.ReLU()
+        self.pointwise = nn.Conv2d(
+            in_channels, out_channels, kernel_size=1, bias=False, rng=rng
+        )
+        self.bn_pw = nn.BatchNorm2d(out_channels)
+        self.relu_pw = nn.ReLU()
+
+    def forward(self, x):  # noqa: ANN001, ANN201 - Tensor in/out
+        x = self.relu_dw(self.bn_dw(self.depthwise(x)))
+        return self.relu_pw(self.bn_pw(self.pointwise(x)))
+
+
+class MobileNet(Module):
+    """MobileNetV1 backbone + classifier for 32×32 inputs."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        scale: float = 1.0,
+        in_channels: int = 3,
+        image_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        downsamples = 1 + sum(1 for _, s in MOBILENET_PLAN if s == 2)
+        if image_size < 2**downsamples:
+            raise ConfigurationError(
+                f"image_size {image_size} collapses under the {downsamples} "
+                f"stride-2 stages; need at least {2**downsamples}"
+            )
+        rng = new_rng(derive_seed(seed, "mobilenet"))
+        stem_width = scaled_width(32, scale)
+        self.stem = nn.Sequential(
+            nn.Conv2d(
+                in_channels,
+                stem_width,
+                kernel_size=3,
+                stride=2,
+                padding=1,
+                bias=False,
+                rng=rng,
+            ),
+            nn.BatchNorm2d(stem_width),
+            nn.ReLU(),
+        )
+        blocks: list[Module] = []
+        channels = stem_width
+        for width, stride in MOBILENET_PLAN:
+            out_channels = scaled_width(width, scale)
+            blocks.append(_SeparableBlock(channels, out_channels, stride, rng))
+            channels = out_channels
+        self.blocks = nn.Sequential(*blocks)
+        self.pool = nn.GlobalAvgPool2d()
+        self.flatten = nn.Flatten()
+        self.classifier = nn.Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x):  # noqa: ANN001, ANN201 - Tensor in/out
+        x = self.stem(x)
+        x = self.blocks(x)
+        return self.classifier(self.flatten(self.pool(x)))
+
+
+def build_mobilenet(
+    num_classes: int = 10,
+    scale: float = 1.0,
+    seed: int = 0,
+    image_size: int = 32,
+    in_channels: int = 3,
+) -> MobileNet:
+    """Registry builder for the CIFAR MobileNetV1."""
+    return MobileNet(
+        num_classes=num_classes,
+        scale=scale,
+        in_channels=in_channels,
+        image_size=image_size,
+        seed=seed,
+    )

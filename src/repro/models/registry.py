@@ -1,0 +1,58 @@
+"""Model registry: build any supported architecture by name."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ConfigurationError
+from repro.models.alexnet import build_alexnet
+from repro.models.lenet import build_lenet
+from repro.models.mobilenet import build_mobilenet
+from repro.models.resnet import build_resnet18, build_resnet50
+from repro.models.vgg import build_vgg11, build_vgg16
+from repro.nn.module import Module
+
+__all__ = ["MODEL_NAMES", "PAPER_MODELS", "build_model", "register_model"]
+
+_REGISTRY: dict[str, Callable[..., Module]] = {
+    "alexnet": build_alexnet,
+    "vgg11": build_vgg11,
+    "vgg16": build_vgg16,
+    "resnet18": build_resnet18,
+    "resnet50": build_resnet50,
+    "lenet": build_lenet,
+    "mobilenet": build_mobilenet,
+}
+
+PAPER_MODELS = ("resnet50", "vgg16", "alexnet")
+"""The three architectures of the paper's evaluation (§VI-A1)."""
+
+MODEL_NAMES = tuple(sorted(_REGISTRY))
+
+
+def register_model(name: str, builder: Callable[..., Module]) -> None:
+    """Register a custom architecture under ``name`` (extension point)."""
+    if name in _REGISTRY:
+        raise ConfigurationError(f"model {name!r} is already registered")
+    _REGISTRY[name] = builder
+
+
+def build_model(
+    name: str,
+    num_classes: int = 10,
+    scale: float = 1.0,
+    seed: int = 0,
+    **kwargs: object,
+) -> Module:
+    """Build a model by registry name.
+
+    ``scale`` multiplies layer widths (1.0 = paper-size topology);
+    ``seed`` fixes weight initialisation.
+    """
+    try:
+        builder = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model {name!r}; available: {', '.join(MODEL_NAMES)}"
+        ) from None
+    return builder(num_classes=num_classes, scale=scale, seed=seed, **kwargs)

@@ -1,0 +1,169 @@
+"""ResNet for CIFAR-scale inputs (paper model #1 is ResNet50).
+
+He et al.'s residual networks with the CIFAR stem (single 3×3
+convolution, no initial max-pool).  ResNet50 uses bottleneck blocks
+[3, 4, 6, 3]; ResNet18 (basic blocks [2, 2, 2, 2]) is included as a
+lighter member of the family for fast experiments.
+
+Every ReLU is a distinct module instance — required so FitAct surgery
+can give each activation *site* its own bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.autograd.tensor import Tensor
+from repro.models.common import scaled_width
+from repro.utils.rng import derive_seed, new_rng
+
+__all__ = ["BasicBlock", "Bottleneck", "ResNet", "build_resnet18", "build_resnet50"]
+
+
+class BasicBlock(nn.Module):
+    """Two 3×3 convolutions with identity shortcut (ResNet18/34)."""
+
+    expansion = 1
+
+    def __init__(
+        self,
+        in_channels: int,
+        channels: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        out_channels = channels * self.expansion
+        self.conv1 = nn.Conv2d(
+            in_channels, channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        )
+        self.bn1 = nn.BatchNorm2d(channels)
+        self.relu1 = nn.ReLU()
+        self.conv2 = nn.Conv2d(channels, out_channels, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        self.relu2 = nn.ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = self.downsample(x)
+        out = self.relu1(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return self.relu2(out + identity)
+
+
+class Bottleneck(nn.Module):
+    """1×1 reduce → 3×3 → 1×1 expand bottleneck (ResNet50+)."""
+
+    expansion = 4
+
+    def __init__(
+        self,
+        in_channels: int,
+        channels: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        out_channels = channels * self.expansion
+        self.conv1 = nn.Conv2d(in_channels, channels, 1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(channels)
+        self.relu1 = nn.ReLU()
+        self.conv2 = nn.Conv2d(
+            channels, channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        )
+        self.bn2 = nn.BatchNorm2d(channels)
+        self.relu2 = nn.ReLU()
+        self.conv3 = nn.Conv2d(channels, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = nn.BatchNorm2d(out_channels)
+        self.relu3 = nn.ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = self.downsample(x)
+        out = self.relu1(self.bn1(self.conv1(x)))
+        out = self.relu2(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        return self.relu3(out + identity)
+
+
+class ResNet(nn.Module):
+    """CIFAR-stem ResNet over configurable blocks."""
+
+    def __init__(
+        self,
+        block: type,
+        layers: tuple[int, int, int, int],
+        num_classes: int = 10,
+        scale: float = 1.0,
+        in_channels: int = 3,
+        image_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        # Global average pooling makes ResNet size-agnostic; image_size is
+        # accepted for registry uniformity (any size >= 8 works).
+        del image_size
+        rng = new_rng(derive_seed(seed, "resnet"))
+        widths = [scaled_width(w, scale) for w in (64, 128, 256, 512)]
+        self.stem_conv = nn.Conv2d(in_channels, widths[0], 3, padding=1, bias=False, rng=rng)
+        self.stem_bn = nn.BatchNorm2d(widths[0])
+        self.stem_relu = nn.ReLU()
+        channels = widths[0]
+        stages = []
+        for stage_index, (width, count) in enumerate(zip(widths, layers)):
+            stride = 1 if stage_index == 0 else 2
+            blocks = []
+            for block_index in range(count):
+                blocks.append(
+                    block(
+                        channels,
+                        width,
+                        stride=stride if block_index == 0 else 1,
+                        rng=rng,
+                    )
+                )
+                channels = width * block.expansion
+            stages.append(nn.Sequential(*blocks))
+        self.layer1, self.layer2, self.layer3, self.layer4 = stages
+        self.pool = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem_relu(self.stem_bn(self.stem_conv(x)))
+        x = self.layer1(x)
+        x = self.layer2(x)
+        x = self.layer3(x)
+        x = self.layer4(x)
+        x = self.pool(x)
+        return self.fc(x)
+
+
+def build_resnet50(
+    num_classes: int = 10, scale: float = 1.0, seed: int = 0, **kwargs: object
+) -> ResNet:
+    """Registry builder for ResNet50 (paper configuration)."""
+    return ResNet(
+        Bottleneck, (3, 4, 6, 3), num_classes=num_classes, scale=scale, seed=seed, **kwargs
+    )
+
+
+def build_resnet18(
+    num_classes: int = 10, scale: float = 1.0, seed: int = 0, **kwargs: object
+) -> ResNet:
+    """Registry builder for the lighter ResNet18 variant."""
+    return ResNet(
+        BasicBlock, (2, 2, 2, 2), num_classes=num_classes, scale=scale, seed=seed, **kwargs
+    )

@@ -1,0 +1,99 @@
+"""VGG for CIFAR-scale inputs (paper model #2 is VGG16).
+
+Configurations A (VGG11) and D (VGG16) from Simonyan & Zisserman, in the
+standard CIFAR form: 3×3 convolutions with padding 1, five max-pool
+stages taking 32×32 down to 1×1, then a compact two-layer classifier.
+BatchNorm after every convolution is on by default (as in common CIFAR
+VGG training recipes); disable with ``batch_norm=False``.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.errors import ConfigurationError
+from repro.models.common import scaled_width
+from repro.utils.rng import derive_seed, new_rng
+
+__all__ = ["VGG", "VGG_CONFIGS", "build_vgg11", "build_vgg16"]
+
+VGG_CONFIGS: dict[str, list[int | str]] = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg16": [
+        64, 64, "M",
+        128, 128, "M",
+        256, 256, 256, "M",
+        512, 512, 512, "M",
+        512, 512, 512, "M",
+    ],
+}
+
+
+class VGG(nn.Module):
+    """VGG backbone + classifier for 32×32 inputs."""
+
+    def __init__(
+        self,
+        config: str = "vgg16",
+        num_classes: int = 10,
+        scale: float = 1.0,
+        in_channels: int = 3,
+        image_size: int = 32,
+        batch_norm: bool = True,
+        dropout: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if config not in VGG_CONFIGS:
+            raise ConfigurationError(
+                f"config must be one of {sorted(VGG_CONFIGS)}, got {config!r}"
+            )
+        pools = sum(1 for t in VGG_CONFIGS[config] if t == "M")
+        if image_size < 2**pools:
+            raise ConfigurationError(
+                f"image_size {image_size} collapses under the {pools} pooling "
+                f"stages of {config}; need at least {2**pools}"
+            )
+        self.config_name = config
+        rng = new_rng(derive_seed(seed, "vgg", config))
+        layers: list[nn.Module] = []
+        channels = in_channels
+        last_width = channels
+        for token in VGG_CONFIGS[config]:
+            if token == "M":
+                layers.append(nn.MaxPool2d(2))
+                continue
+            width = scaled_width(int(token), scale)
+            layers.append(nn.Conv2d(channels, width, 3, padding=1, rng=rng))
+            if batch_norm:
+                layers.append(nn.BatchNorm2d(width))
+            layers.append(nn.ReLU())
+            channels = width
+            last_width = width
+        self.features = nn.Sequential(*layers)
+        self.flatten = nn.Flatten()
+        hidden = scaled_width(512, scale)
+        self.classifier = nn.Sequential(
+            nn.Linear(last_width, hidden, rng=rng),
+            nn.ReLU(),
+            nn.Dropout(dropout, rng=derive_seed(seed, "vgg-drop")),
+            nn.Linear(hidden, num_classes, rng=rng),
+        )
+
+    def forward(self, x: object) -> object:
+        x = self.features(x)
+        x = self.flatten(x)
+        return self.classifier(x)
+
+
+def build_vgg16(
+    num_classes: int = 10, scale: float = 1.0, seed: int = 0, **kwargs: object
+) -> VGG:
+    """Registry builder for VGG16 (paper configuration)."""
+    return VGG("vgg16", num_classes=num_classes, scale=scale, seed=seed, **kwargs)
+
+
+def build_vgg11(
+    num_classes: int = 10, scale: float = 1.0, seed: int = 0, **kwargs: object
+) -> VGG:
+    """Registry builder for the lighter VGG11 variant."""
+    return VGG("vgg11", num_classes=num_classes, scale=scale, seed=seed, **kwargs)

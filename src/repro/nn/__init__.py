@@ -1,0 +1,42 @@
+"""Neural-network layers, containers, losses and initialisers.
+
+A compact, PyTorch-shaped layer library over :mod:`repro.autograd`,
+providing everything the paper's models (AlexNet, VGG16, ResNet50) need.
+"""
+
+from repro.nn import init
+from repro.nn.activations import Identity, LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.container import ModuleList, Sequential
+from repro.nn.conv import Conv2d
+from repro.nn.dropout import Dropout
+from repro.nn.flatten import Flatten
+from repro.nn.linear import Linear
+from repro.nn.loss import CrossEntropyLoss, MSELoss
+from repro.nn.module import Module
+from repro.nn.norm import BatchNorm1d, BatchNorm2d
+from repro.nn.parameter import Parameter
+from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Conv2d",
+    "CrossEntropyLoss",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Identity",
+    "LeakyReLU",
+    "Linear",
+    "MSELoss",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "ReLU",
+    "Sequential",
+    "Sigmoid",
+    "Softmax",
+    "Tanh",
+    "init",
+]

@@ -1,0 +1,70 @@
+"""Standard activation modules.
+
+The protected activations (GBReLU, FitReLU, …) live in :mod:`repro.core`;
+this module provides the unprotected baselines that model surgery swaps
+out.
+"""
+
+from __future__ import annotations
+
+from repro.autograd import ops_nn
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+__all__ = ["Identity", "LeakyReLU", "ReLU", "Sigmoid", "Softmax", "Tanh"]
+
+
+class ReLU(Module):
+    """``max(0, x)`` — the activation FitAct replaces (paper Eq. 3)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_nn.relu(x)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = float(negative_slope)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_nn.leaky_relu(x, self.negative_slope)
+
+    def extra_repr(self) -> str:
+        return f"negative_slope={self.negative_slope}"
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_nn.sigmoid(x)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent (the bounded activation of Hong et al. [17])."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_nn.tanh(x)
+
+
+class Softmax(Module):
+    """Softmax along ``axis`` (default: class axis)."""
+
+    def __init__(self, axis: int = -1) -> None:
+        super().__init__()
+        self.axis = int(axis)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_nn.softmax(x, axis=self.axis)
+
+    def extra_repr(self) -> str:
+        return f"axis={self.axis}"
+
+
+class Identity(Module):
+    """Pass-through module (handy placeholder in surgery and tests)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x

@@ -1,0 +1,81 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+__all__ = ["ModuleList", "Sequential"]
+
+
+class Sequential(Module):
+    """Chain modules in order; children are addressable by index.
+
+    >>> from repro import nn
+    >>> block = nn.Sequential(nn.Linear(4, 8, rng=0), nn.ReLU())
+    >>> len(block)
+    2
+    """
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for index, module in enumerate(modules):
+            setattr(self, str(index), module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for child in self.children():
+            x = child(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[str(self._normalize(index))]
+
+    def __setitem__(self, index: int, module: Module) -> None:
+        setattr(self, str(self._normalize(index)), module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.children())
+
+    def append(self, module: Module) -> "Sequential":
+        setattr(self, str(len(self._modules)), module)
+        return self
+
+    def _normalize(self, index: int) -> int:
+        length = len(self._modules)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError(f"index {index} out of range for Sequential of length {length}")
+        return index
+
+
+class ModuleList(Module):
+    """List of modules registered for traversal (no implicit forward)."""
+
+    def __init__(self, modules: Sequence[Module] = ()) -> None:
+        super().__init__()
+        for index, module in enumerate(modules):
+            setattr(self, str(index), module)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        if index < 0:
+            index += len(self._modules)
+        return self._modules[str(index)]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.children())
+
+    def append(self, module: Module) -> "ModuleList":
+        setattr(self, str(len(self._modules)), module)
+        return self
+
+    def forward(self, *args: object, **kwargs: object) -> Tensor:
+        raise NotImplementedError("ModuleList has no forward; iterate it explicitly")

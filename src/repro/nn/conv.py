@@ -1,0 +1,93 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.autograd import ops_conv
+from repro.autograd.tensor import Tensor
+from repro.errors import ShapeError
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import new_rng
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW inputs.
+
+    Weight layout is OIHW (``(O, C/groups, kh, kw)``).  ``stride`` and
+    ``padding`` accept an int or pair; ``groups > 1`` runs a grouped
+    convolution and ``groups == in_channels`` the depthwise convolution
+    of the MobileNet family.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int | tuple[int, int],
+        stride: int | tuple[int, int] = 1,
+        padding: int | tuple[int, int] = 0,
+        bias: bool = True,
+        groups: int = 1,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.groups = int(groups)
+        if self.groups < 1:
+            raise ShapeError(f"groups must be >= 1, got {groups}")
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ShapeError(
+                f"channels ({self.in_channels} in, {self.out_channels} out) "
+                f"must divide by groups {self.groups}"
+            )
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        self.kernel_size = tuple(int(k) for k in kernel_size)
+        self.stride = stride
+        self.padding = padding
+        shape = (
+            self.out_channels,
+            self.in_channels // self.groups,
+            *self.kernel_size,
+        )
+        self.weight = Parameter(init.kaiming_uniform(shape, rng))
+        if bias:
+            fan_in = (
+                self.in_channels
+                // self.groups
+                * self.kernel_size[0]
+                * self.kernel_size[1]
+            )
+            bound = 1.0 / math.sqrt(fan_in)
+            self.bias = Parameter(
+                rng.uniform(-bound, bound, size=self.out_channels).astype(np.float32)
+            )
+        else:
+            self.register_parameter("bias", None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_conv.conv2d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+        )
+
+    def extra_repr(self) -> str:
+        groups = f", groups={self.groups}" if self.groups != 1 else ""
+        return (
+            f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}, "
+            f"bias={self.bias is not None}{groups}"
+        )

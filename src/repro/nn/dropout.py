@@ -1,0 +1,38 @@
+"""Dropout regularisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+from repro.utils.rng import new_rng
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout: zero activations with probability ``p`` in
+    training, scale survivors by ``1/(1-p)``; identity in eval mode.
+
+    The mask generator is owned by the layer so training runs are
+    reproducible given the construction seed.
+    """
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | int | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ConfigurationError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = float(p)
+        self._rng = new_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(x.dtype) / keep
+        return x * Tensor(mask)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"

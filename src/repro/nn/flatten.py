@@ -1,0 +1,22 @@
+"""Flatten layer bridging conv stacks and classifier heads."""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Module):
+    """Collapse all dims from ``start_dim`` onward (default keeps batch)."""
+
+    def __init__(self, start_dim: int = 1) -> None:
+        super().__init__()
+        self.start_dim = int(start_dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(self.start_dim)
+
+    def extra_repr(self) -> str:
+        return f"start_dim={self.start_dim}"

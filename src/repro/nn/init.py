@@ -1,0 +1,95 @@
+"""Weight initialisation schemes.
+
+All functions take an explicit ``numpy.random.Generator`` so model
+construction is deterministic given a seed — a prerequisite for
+reproducible fault campaigns that compare protection schemes on the
+*same* trained weights.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = [
+    "calculate_fan",
+    "constant",
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_normal",
+    "xavier_uniform",
+    "zeros",
+]
+
+
+def calculate_fan(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight of ``shape``.
+
+    Linear weights are (out, in); conv weights are (out, in, kh, kw) with
+    the receptive field folded into both fans.
+    """
+    if len(shape) < 2:
+        raise ShapeError(f"fan calculation requires >=2-D weights, got {shape}")
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    a: float = math.sqrt(5.0),
+    dtype: type = np.float32,
+) -> np.ndarray:
+    """He-uniform init (PyTorch's default for conv/linear with a=sqrt(5))."""
+    fan_in, _ = calculate_fan(shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def kaiming_normal(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    dtype: type = np.float32,
+) -> np.ndarray:
+    """He-normal init: N(0, sqrt(2/fan_in)) — suits ReLU-family nets."""
+    fan_in, _ = calculate_fan(shape)
+    std = math.sqrt(2.0 / fan_in)
+    return (rng.standard_normal(shape) * std).astype(dtype)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    dtype: type = np.float32,
+) -> np.ndarray:
+    """Glorot-uniform init."""
+    fan_in, fan_out = calculate_fan(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def xavier_normal(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    dtype: type = np.float32,
+) -> np.ndarray:
+    """Glorot-normal init."""
+    fan_in, fan_out = calculate_fan(shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return (rng.standard_normal(shape) * std).astype(dtype)
+
+
+def zeros(shape: tuple[int, ...], dtype: type = np.float32) -> np.ndarray:
+    """All-zero init (biases, BN shift)."""
+    return np.zeros(shape, dtype=dtype)
+
+
+def constant(shape: tuple[int, ...], value: float, dtype: type = np.float32) -> np.ndarray:
+    """Constant fill (BN scale, bound initial values in tests)."""
+    return np.full(shape, value, dtype=dtype)

@@ -1,0 +1,64 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.autograd import ops_basic
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import new_rng
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine map ``y = x Wᵀ + b`` (paper Eq. 1).
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output widths.
+    bias:
+        Include the additive bias term (default True).
+    rng:
+        Generator (or seed) for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(
+            init.kaiming_uniform((self.out_features, self.in_features), rng)
+        )
+        if bias:
+            bound = 1.0 / math.sqrt(self.in_features)
+            self.bias = Parameter(
+                rng.uniform(-bound, bound, size=self.out_features).astype(np.float32)
+            )
+        else:
+            self.register_parameter("bias", None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops_basic.matmul(x, self.weight.T)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def extra_repr(self) -> str:
+        return (
+            f"in_features={self.in_features}, out_features={self.out_features}, "
+            f"bias={self.bias is not None}"
+        )

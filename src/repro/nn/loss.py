@@ -1,0 +1,92 @@
+"""Loss functions.
+
+:class:`CrossEntropyLoss` drives both FitAct training stages; the
+post-training stage wraps it with the bound regulariser (paper Eq. 10) in
+:mod:`repro.core.post_training`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops_nn, ops_shape
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.errors import ShapeError
+from repro.nn.module import Module
+
+__all__ = ["CrossEntropyLoss", "MSELoss"]
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy over integer class targets.
+
+    Parameters
+    ----------
+    label_smoothing:
+        Mix the one-hot target with the uniform distribution by this
+        amount (0 disables).
+    reduction:
+        ``"mean"`` (default), ``"sum"`` or ``"none"``.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0, reduction: str = "mean") -> None:
+        super().__init__()
+        if reduction not in ("mean", "sum", "none"):
+            raise ValueError(f"unknown reduction {reduction!r}")
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+        self.label_smoothing = float(label_smoothing)
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, targets: np.ndarray | Tensor) -> Tensor:
+        if logits.ndim != 2:
+            raise ShapeError(f"expected (N, classes) logits, got shape {logits.shape}")
+        targets = np.asarray(
+            targets.data if isinstance(targets, Tensor) else targets, dtype=np.int64
+        )
+        if targets.shape != (logits.shape[0],):
+            raise ShapeError(
+                f"expected targets of shape ({logits.shape[0]},), got {targets.shape}"
+            )
+        log_probs = ops_nn.log_softmax(logits, axis=1)
+        picked = ops_shape.gather(log_probs, targets[:, None], axis=1)
+        nll = -picked.reshape(-1)
+        if self.label_smoothing > 0.0:
+            smooth = -log_probs.mean(axis=1)
+            eps = self.label_smoothing
+            nll = (1.0 - eps) * nll + eps * smooth
+        if self.reduction == "mean":
+            return nll.mean()
+        if self.reduction == "sum":
+            return nll.sum()
+        return nll
+
+    def extra_repr(self) -> str:
+        return f"label_smoothing={self.label_smoothing}, reduction={self.reduction}"
+
+
+class MSELoss(Module):
+    """Mean squared error (used in regression-shaped unit tests)."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        if reduction not in ("mean", "sum", "none"):
+            raise ValueError(f"unknown reduction {reduction!r}")
+        self.reduction = reduction
+
+    def forward(self, prediction: Tensor, target: np.ndarray | Tensor) -> Tensor:
+        target = as_tensor(target)
+        if prediction.shape != target.shape:
+            raise ShapeError(
+                f"prediction shape {prediction.shape} != target shape {target.shape}"
+            )
+        diff = prediction - target.detach()
+        squared = diff * diff
+        if self.reduction == "mean":
+            return squared.mean()
+        if self.reduction == "sum":
+            return squared.sum()
+        return squared
+
+    def extra_repr(self) -> str:
+        return f"reduction={self.reduction}"

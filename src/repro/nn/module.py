@@ -1,0 +1,271 @@
+"""Module base class: parameter registration, traversal, (de)serialisation.
+
+A deliberately PyTorch-shaped API so the reproduction reads like the
+original FitAct codebase would: ``named_parameters``, ``state_dict``,
+``train``/``eval``, and attribute-assignment registration of children.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Mapping
+from typing import Any
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.parameter import Parameter
+
+__all__ = ["Module"]
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses implement :meth:`forward`; calling the module invokes it.
+    Assigning a :class:`Parameter`, :class:`Module`, or registered buffer
+    as an attribute automatically records it for traversal, optimisation,
+    state saving, and fault injection.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_buffers", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Attribute routing
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value: Any) -> None:
+        registries_ready = "_parameters" in self.__dict__
+        if isinstance(value, Parameter):
+            if not registries_ready:
+                raise ConfigurationError(
+                    "assign parameters after calling Module.__init__()"
+                )
+            self._buffers.pop(name, None)
+            self._modules.pop(name, None)
+            # Plain dict assignment: replacing an existing key keeps its
+            # position, so swapping a child (model surgery) preserves the
+            # forward order of containers like Sequential.
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            if not registries_ready:
+                raise ConfigurationError(
+                    "assign submodules after calling Module.__init__()"
+                )
+            self._parameters.pop(name, None)
+            self._buffers.pop(name, None)
+            self._modules[name] = value
+        else:
+            if registries_ready:
+                self._parameters.pop(name, None)
+                self._buffers.pop(name, None)
+                self._modules.pop(name, None)
+            object.__setattr__(self, name, value)
+            return
+        # Also expose via normal attribute access.
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray | None) -> None:
+        """Register non-trainable state (e.g. BatchNorm running stats).
+
+        Buffers are saved in ``state_dict`` but are *not* parameters, so
+        they are excluded from both optimisation and the fault space.
+        """
+        if value is not None:
+            value = np.asarray(value)
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, value: Parameter | None) -> None:
+        """Register a (possibly absent) parameter slot by name."""
+        self._parameters[name] = value
+        object.__setattr__(self, name, value)
+
+    def _update_buffer(self, name: str, value: np.ndarray) -> None:
+        """Overwrite a registered buffer's value (keeps registry in sync)."""
+        if name not in self._buffers:
+            raise ConfigurationError(f"unknown buffer {name!r}")
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, *args: Any, **kwargs: Any) -> Tensor:
+        raise NotImplementedError(f"{type(self).__name__} must implement forward()")
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_children(self) -> Iterator[tuple[str, "Module"]]:
+        yield from self._modules.items()
+
+    def children(self) -> Iterator["Module"]:
+        for _, child in self.named_children():
+            yield child
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            if param is not None:
+                yield (f"{prefix}.{name}" if prefix else name), param
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_parameters(child_prefix)
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, buffer in self._buffers.items():
+            if buffer is not None:
+                yield (f"{prefix}.{name}" if prefix else name), buffer
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_buffers(child_prefix)
+
+    def buffers(self) -> Iterator[np.ndarray]:
+        for _, buffer in self.named_buffers():
+            yield buffer
+
+    def get_submodule(self, path: str) -> "Module":
+        """Resolve a dotted module path (e.g. ``"features.3"``)."""
+        module: Module = self
+        if not path:
+            return module
+        for part in path.split("."):
+            if part not in module._modules:
+                raise ConfigurationError(f"no submodule {part!r} in path {path!r}")
+            module = module._modules[part]
+        return module
+
+    def set_submodule(self, path: str, replacement: "Module") -> None:
+        """Replace the submodule at a dotted path (used by model surgery)."""
+        if not path:
+            raise ConfigurationError("cannot replace the root module")
+        parent_path, _, leaf = path.rpartition(".")
+        parent = self.get_submodule(parent_path)
+        if leaf not in parent._modules:
+            raise ConfigurationError(f"no submodule {leaf!r} under {parent_path!r}")
+        setattr(parent, leaf, replacement)
+
+    def apply(self, fn: Callable[["Module"], None]) -> "Module":
+        """Apply ``fn`` to self and every submodule (children first)."""
+        for child in self.children():
+            child.apply(fn)
+        fn(self)
+        return self
+
+    # ------------------------------------------------------------------
+    # Mode and gradients
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self.children():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def requires_grad_(self, requires_grad: bool = True) -> "Module":
+        """Set ``requires_grad`` on every parameter (used to freeze ΘA)."""
+        for param in self.parameters():
+            param.requires_grad = requires_grad
+        return self
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat ``{dotted_name: array}`` of parameters and buffers (copies)."""
+        state: dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buffer in self.named_buffers():
+            state[name] = np.asarray(buffer).copy()
+        return state
+
+    def load_state_dict(
+        self, state: Mapping[str, np.ndarray], strict: bool = True
+    ) -> None:
+        """Load values produced by :meth:`state_dict`.
+
+        With ``strict`` (default) every entry must match a parameter or
+        buffer and vice versa; shapes must agree exactly.
+        """
+        own_params = dict(self.named_parameters())
+        own_buffer_names = [name for name, _ in self.named_buffers()]
+        matched: set[str] = set()
+        for name, value in state.items():
+            value = np.asarray(value)
+            if name in own_params:
+                param = own_params[name]
+                if param.shape != value.shape:
+                    raise ShapeError(
+                        f"parameter {name!r}: expected shape {param.shape}, "
+                        f"got {value.shape}"
+                    )
+                param.data = value.astype(param.dtype, copy=True)
+                matched.add(name)
+            elif name in own_buffer_names:
+                self._assign_buffer_by_path(name, value)
+                matched.add(name)
+            elif strict:
+                raise ConfigurationError(f"unexpected state entry {name!r}")
+        if strict:
+            missing = (set(own_params) | set(own_buffer_names)) - matched
+            if missing:
+                raise ConfigurationError(f"missing state entries: {sorted(missing)}")
+
+    def _assign_buffer_by_path(self, path: str, value: np.ndarray) -> None:
+        module_path, _, leaf = path.rpartition(".")
+        module = self.get_submodule(module_path)
+        current = module._buffers.get(leaf)
+        if current is not None and np.asarray(current).shape != value.shape:
+            raise ShapeError(
+                f"buffer {path!r}: expected shape {np.asarray(current).shape}, "
+                f"got {value.shape}"
+            )
+        module._update_buffer(leaf, value.copy())
+
+    # ------------------------------------------------------------------
+    # Repr
+    # ------------------------------------------------------------------
+    def extra_repr(self) -> str:
+        """One-line summary of configuration, shown in :meth:`__repr__`."""
+        return ""
+
+    def __repr__(self) -> str:
+        lines = [f"{type(self).__name__}({self.extra_repr()}"]
+        for name, child in self._modules.items():
+            child_repr = repr(child).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child_repr}")
+        if len(lines) == 1:
+            return lines[0] + ")"
+        lines.append(")")
+        return "\n".join(lines)

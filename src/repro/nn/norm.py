@@ -1,0 +1,120 @@
+"""Batch normalisation layers.
+
+Implemented with composed autograd primitives (mean/var/rsqrt), so the
+backward pass is derived automatically and verified by gradcheck in
+``tests/nn/test_norm.py``.  Running statistics live in *buffers*: they are
+saved with the model but are outside the paper's parameter fault space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ShapeError
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+__all__ = ["BatchNorm1d", "BatchNorm2d"]
+
+
+class _BatchNormBase(Module):
+    def __init__(
+        self,
+        num_features: int,
+        eps: float = 1e-5,
+        momentum: float = 0.1,
+        affine: bool = True,
+    ) -> None:
+        super().__init__()
+        self.num_features = int(num_features)
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.affine = bool(affine)
+        if affine:
+            self.weight = Parameter(np.ones(self.num_features, dtype=np.float32))
+            self.bias = Parameter(np.zeros(self.num_features, dtype=np.float32))
+        else:
+            self.register_parameter("weight", None)
+            self.register_parameter("bias", None)
+        self.register_buffer("running_mean", np.zeros(self.num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(self.num_features, dtype=np.float32))
+        self.register_buffer("num_batches_tracked", np.zeros((), dtype=np.int64))
+
+    # Subclasses define which axes are reduced and how stats broadcast.
+    _reduce_axes: tuple[int, ...] = ()
+
+    def _check_input(self, x: Tensor) -> None:
+        raise NotImplementedError
+
+    def _stat_shape(self, ndim: int) -> tuple[int, ...]:
+        shape = [1] * ndim
+        shape[1] = self.num_features
+        return tuple(shape)
+
+    def forward(self, x: Tensor) -> Tensor:
+        self._check_input(x)
+        stat_shape = self._stat_shape(x.ndim)
+        if self.training:
+            mean = x.mean(axis=self._reduce_axes, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=self._reduce_axes, keepdims=True)
+            self._update_running_stats(mean.data, var.data, x)
+        else:
+            mean = Tensor(self.running_mean.reshape(stat_shape))
+            centered = x - mean
+            var = Tensor(self.running_var.reshape(stat_shape))
+        inv_std = (var + self.eps) ** -0.5
+        out = centered * inv_std
+        if self.affine:
+            out = out * self.weight.reshape(stat_shape) + self.bias.reshape(stat_shape)
+        return out
+
+    def _update_running_stats(self, mean: np.ndarray, var: np.ndarray, x: Tensor) -> None:
+        count = x.size // self.num_features
+        # Running var uses the unbiased estimator, matching PyTorch.
+        unbiased = var * (count / max(count - 1, 1))
+        m = self.momentum
+        self._update_buffer(
+            "running_mean",
+            ((1 - m) * self.running_mean + m * mean.reshape(-1)).astype(np.float32),
+        )
+        self._update_buffer(
+            "running_var",
+            ((1 - m) * self.running_var + m * unbiased.reshape(-1)).astype(np.float32),
+        )
+        self._update_buffer("num_batches_tracked", self.num_batches_tracked + 1)
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.num_features}, eps={self.eps}, momentum={self.momentum}, "
+            f"affine={self.affine}"
+        )
+
+
+class BatchNorm2d(_BatchNormBase):
+    """Batch normalisation over NCHW feature maps (per-channel stats)."""
+
+    _reduce_axes = (0, 2, 3)
+
+    def _check_input(self, x: Tensor) -> None:
+        if x.ndim != 4:
+            raise ShapeError(f"BatchNorm2d expects NCHW input, got {x.ndim}-D")
+        if x.shape[1] != self.num_features:
+            raise ShapeError(
+                f"BatchNorm2d expects {self.num_features} channels, got {x.shape[1]}"
+            )
+
+
+class BatchNorm1d(_BatchNormBase):
+    """Batch normalisation over (N, F) feature vectors."""
+
+    _reduce_axes = (0,)
+
+    def _check_input(self, x: Tensor) -> None:
+        if x.ndim != 2:
+            raise ShapeError(f"BatchNorm1d expects (N, F) input, got {x.ndim}-D")
+        if x.shape[1] != self.num_features:
+            raise ShapeError(
+                f"BatchNorm1d expects {self.num_features} features, got {x.shape[1]}"
+            )

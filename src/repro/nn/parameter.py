@@ -1,0 +1,26 @@
+"""Trainable parameter type."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["Parameter"]
+
+
+class Parameter(Tensor):
+    """A :class:`~repro.autograd.Tensor` registered as trainable state.
+
+    Modules collect Parameters automatically on attribute assignment; the
+    fault injector treats the set of parameters as the memory fault space
+    (paper §VI-A2: weights, biases and activation-function parameters).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, data: np.ndarray | Tensor, requires_grad: bool = True) -> None:
+        super().__init__(data, requires_grad=requires_grad)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.shape}, requires_grad={self.requires_grad})"

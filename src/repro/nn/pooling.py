@@ -1,0 +1,66 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from repro.autograd import ops_conv, ops_reduce
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+__all__ = ["AvgPool2d", "GlobalAvgPool2d", "MaxPool2d"]
+
+
+class MaxPool2d(Module):
+    """Max pooling; ``stride`` defaults to the kernel size."""
+
+    def __init__(
+        self,
+        kernel_size: int | tuple[int, int],
+        stride: int | tuple[int, int] | None = None,
+        padding: int | tuple[int, int] = 0,
+    ) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_conv.max_pool2d(
+            x, self.kernel_size, stride=self.stride, padding=self.padding
+        )
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+
+
+class AvgPool2d(Module):
+    """Average pooling; ``stride`` defaults to the kernel size."""
+
+    def __init__(
+        self,
+        kernel_size: int | tuple[int, int],
+        stride: int | tuple[int, int] | None = None,
+        padding: int | tuple[int, int] = 0,
+    ) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_conv.avg_pool2d(
+            x, self.kernel_size, stride=self.stride, padding=self.padding
+        )
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+
+
+class GlobalAvgPool2d(Module):
+    """Mean over the spatial axes: (N, C, H, W) → (N, C).
+
+    ResNet's final pooling stage; implemented as a reduction so it adapts
+    to any spatial size.
+    """
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_reduce.mean(x, axis=(2, 3))

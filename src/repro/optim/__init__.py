@@ -1,0 +1,16 @@
+"""Optimisers and learning-rate schedules (SGD for accuracy training,
+Adam for FitAct bound post-training per paper §V-B)."""
+
+from repro.optim.adam import Adam
+from repro.optim.optimizer import Optimizer
+from repro.optim.scheduler import CosineAnnealingLR, MultiStepLR, StepLR
+from repro.optim.sgd import SGD
+
+__all__ = [
+    "SGD",
+    "Adam",
+    "CosineAnnealingLR",
+    "MultiStepLR",
+    "Optimizer",
+    "StepLR",
+]

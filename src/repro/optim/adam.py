@@ -1,0 +1,85 @@
+"""ADAM optimiser (Kingma & Ba) — the paper's post-training solver (§V-B)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moment estimates.
+
+    The FitAct post-training phase solves Eq. 9 with this optimiser over
+    the bound parameters ΘR.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        if eps <= 0.0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.betas = (float(beta1), float(beta2))
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._exp_avg: dict[int, np.ndarray] = {}
+        self._exp_avg_sq: dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
+        beta1, beta2 = self.betas
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        exp_avg = self._exp_avg.get(index)
+        exp_avg_sq = self._exp_avg_sq.get(index)
+        if exp_avg is None:
+            exp_avg = np.zeros_like(param.data, dtype=np.float64)
+            exp_avg_sq = np.zeros_like(param.data, dtype=np.float64)
+        exp_avg = beta1 * exp_avg + (1.0 - beta1) * grad
+        exp_avg_sq = beta2 * exp_avg_sq + (1.0 - beta2) * (grad * grad)
+        self._exp_avg[index] = exp_avg
+        self._exp_avg_sq[index] = exp_avg_sq
+
+        step = self._step_count
+        bias_correction1 = 1.0 - beta1**step
+        bias_correction2 = 1.0 - beta2**step
+        corrected_avg = exp_avg / bias_correction1
+        corrected_sq = exp_avg_sq / bias_correction2
+        update = self.lr * corrected_avg / (np.sqrt(corrected_sq) + self.eps)
+        param.data = (param.data - update).astype(param.dtype, copy=False)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = super().state_dict()
+        for index, value in self._exp_avg.items():
+            state[f"exp_avg.{index}"] = value.copy()
+        for index, value in self._exp_avg_sq.items():
+            state[f"exp_avg_sq.{index}"] = value.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self._exp_avg = {
+            int(name.split(".", 1)[1]): np.asarray(value).copy()
+            for name, value in state.items()
+            if name.startswith("exp_avg.")
+        }
+        self._exp_avg_sq = {
+            int(name.split(".", 1)[1]): np.asarray(value).copy()
+            for name, value in state.items()
+            if name.startswith("exp_avg_sq.")
+        }

@@ -1,0 +1,61 @@
+"""Optimiser base class."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.parameter import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base class holding the parameter list and step/zero_grad plumbing.
+
+    The FitAct post-training stage builds an optimiser over *only* the
+    activation-bound parameters ΘR, leaving the accuracy parameters ΘA
+    untouched (paper §V-B: "only bound values ΘR would be adjusted").
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters = [p for p in parameters]
+        if not self.parameters:
+            raise ConfigurationError("optimizer received an empty parameter list")
+        seen: set[int] = set()
+        for param in self.parameters:
+            if not isinstance(param, Parameter):
+                raise ConfigurationError(
+                    f"optimizer expects Parameters, got {type(param).__name__}"
+                )
+            if id(param) in seen:
+                raise ConfigurationError("optimizer received a duplicate parameter")
+            seen.add(id(param))
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+        self._step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update from accumulated gradients."""
+        self._step_count += 1
+        for index, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            self._update(index, param, param.grad)
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Serialisable optimiser state (subclasses add slot buffers)."""
+        return {"step_count": np.asarray(self._step_count)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._step_count = int(state["step_count"])

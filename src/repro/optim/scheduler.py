@@ -1,0 +1,75 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["CosineAnnealingLR", "MultiStepLR", "StepLR"]
+
+
+class _Scheduler:
+    """Base: remembers the optimiser's initial LR and rewrites it per epoch."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch and update the optimiser's learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.compute_lr(self.epoch)
+
+    def compute_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+
+class StepLR(_Scheduler):
+    """Multiply LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def compute_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class MultiStepLR(_Scheduler):
+    """Multiply LR by ``gamma`` at each epoch in ``milestones``."""
+
+    def __init__(
+        self, optimizer: Optimizer, milestones: list[int], gamma: float = 0.1
+    ) -> None:
+        super().__init__(optimizer)
+        self.milestones = sorted(int(m) for m in milestones)
+        self.gamma = float(gamma)
+
+    def compute_lr(self, epoch: int) -> float:
+        passed = sum(1 for m in self.milestones if epoch >= m)
+        return self.base_lr * self.gamma**passed
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max < 1:
+            raise ValueError(f"t_max must be >= 1, got {t_max}")
+        self.t_max = int(t_max)
+        self.eta_min = float(eta_min)
+
+    def compute_lr(self, epoch: int) -> float:
+        epoch = min(epoch, self.t_max)
+        cosine = (1.0 + math.cos(math.pi * epoch / self.t_max)) / 2.0
+        return self.eta_min + (self.base_lr - self.eta_min) * cosine

@@ -1,0 +1,66 @@
+"""Stochastic gradient descent with momentum and weight decay."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """SGD with classical momentum and decoupled L2 weight decay.
+
+    Used for the conventional accuracy-training stage; the velocity
+    buffers are lazily allocated per parameter.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = bool(nesterov)
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            velocity = self._velocity.get(index)
+            if velocity is None:
+                velocity = np.zeros_like(param.data)
+            velocity = self.momentum * velocity + grad
+            self._velocity[index] = velocity
+            grad = grad + self.momentum * velocity if self.nesterov else velocity
+        param.data = param.data - self.lr * grad.astype(param.dtype, copy=False)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = super().state_dict()
+        for index, velocity in self._velocity.items():
+            state[f"velocity.{index}"] = velocity.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self._velocity = {
+            int(name.split(".", 1)[1]): np.asarray(value).copy()
+            for name, value in state.items()
+            if name.startswith("velocity.")
+        }

@@ -1,0 +1,35 @@
+"""Fixed-point parameter representation (paper §VI-A1).
+
+Q15.16 codec, a catalog of alternative word formats (for the word-width
+ablation), model-level quantisation, and memory accounting.
+"""
+
+from repro.quant.fixed_point import (
+    FixedPointFormat,
+    Q7_8,
+    Q15_16,
+    decode,
+    encode,
+    flip_bits,
+    quantize,
+)
+from repro.quant.formats import FORMATS, Q1_6, Q3_4, Q3_12, Q7_24, parse_format
+from repro.quant.model import model_memory_bytes, quantize_module
+
+__all__ = [
+    "FORMATS",
+    "FixedPointFormat",
+    "Q15_16",
+    "Q1_6",
+    "Q3_12",
+    "Q3_4",
+    "Q7_24",
+    "Q7_8",
+    "decode",
+    "encode",
+    "flip_bits",
+    "model_memory_bytes",
+    "parse_format",
+    "quantize",
+    "quantize_module",
+]

@@ -1,0 +1,178 @@
+"""Signed fixed-point codec.
+
+The paper stores model parameters as 32-bit fixed point — 1 sign bit,
+15 integer bits, 16 fractional bits (§VI-A1) — and injects faults as
+bit-flips in those words.  This module provides the generic codec:
+encode float arrays to two's-complement words, decode back, and flip
+individual bits.  Formats other than Q15.16 (e.g. Q7.8) support the
+word-width ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FixedPointFormat",
+    "Q7_8",
+    "Q15_16",
+    "decode",
+    "encode",
+    "flip_bits",
+    "quantize",
+]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed two's-complement fixed-point format.
+
+    ``integer_bits`` counts magnitude bits left of the binary point (the
+    sign bit is separate), ``fraction_bits`` right of it.
+    Q15.16 → 1 + 15 + 16 = 32 bits total.
+    """
+
+    integer_bits: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 0 or self.fraction_bits < 0:
+            raise ConfigurationError(
+                f"bit counts must be non-negative, got "
+                f"({self.integer_bits}, {self.fraction_bits})"
+            )
+        if self.total_bits > 63:
+            raise ConfigurationError(
+                f"formats wider than 63 bits are not supported, got {self.total_bits}"
+            )
+        if self.total_bits < 2:
+            raise ConfigurationError("format needs at least a sign and one value bit")
+
+    @property
+    def total_bits(self) -> int:
+        """Word width including the sign bit."""
+        return 1 + self.integer_bits + self.fraction_bits
+
+    @property
+    def scale(self) -> int:
+        """Value of one, in raw integer units: 2**fraction_bits."""
+        return 1 << self.fraction_bits
+
+    @property
+    def max_raw(self) -> int:
+        """Largest representable raw word value."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_raw(self) -> int:
+        """Smallest (most negative) representable raw word value."""
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_raw / self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.min_raw / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Quantisation step (1 ulp)."""
+        return 1.0 / self.scale
+
+    @property
+    def bytes_per_word(self) -> float:
+        """Storage per parameter in bytes (Table I memory accounting)."""
+        return self.total_bits / 8.0
+
+    def __str__(self) -> str:
+        return f"Q{self.integer_bits}.{self.fraction_bits}"
+
+
+Q15_16 = FixedPointFormat(15, 16)
+"""The paper's parameter format: 1 sign + 15 integer + 16 fraction bits."""
+
+Q7_8 = FixedPointFormat(7, 8)
+"""A 16-bit format used by the word-width ablation."""
+
+
+def encode(values: np.ndarray, fmt: FixedPointFormat = Q15_16) -> np.ndarray:
+    """Encode real values to raw two's-complement words (int64).
+
+    Values outside the representable range saturate (the standard
+    fixed-point convention; also what a hardware quantiser would do).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    scaled = np.round(values * fmt.scale)
+    scaled = np.clip(scaled, fmt.min_raw, fmt.max_raw)
+    return scaled.astype(np.int64)
+
+
+def decode(words: np.ndarray, fmt: FixedPointFormat = Q15_16) -> np.ndarray:
+    """Decode raw words back to float32 real values."""
+    words = np.asarray(words, dtype=np.int64)
+    return (words.astype(np.float64) / fmt.scale).astype(np.float32)
+
+
+def quantize(values: np.ndarray, fmt: FixedPointFormat = Q15_16) -> np.ndarray:
+    """Round-trip values through the format (deploy-time quantisation)."""
+    return decode(encode(values, fmt), fmt)
+
+
+def _to_unsigned(words: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    modulus = np.int64(1) << np.int64(fmt.total_bits)
+    return np.where(words < 0, words + modulus, words).astype(np.uint64)
+
+
+def _to_signed(unsigned: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    unsigned = unsigned.astype(np.int64)
+    half = np.int64(1) << np.int64(fmt.total_bits - 1)
+    modulus = np.int64(1) << np.int64(fmt.total_bits)
+    return np.where(unsigned >= half, unsigned - modulus, unsigned)
+
+
+def flip_bits(
+    words: np.ndarray,
+    positions: np.ndarray,
+    bits: np.ndarray,
+    fmt: FixedPointFormat = Q15_16,
+) -> np.ndarray:
+    """Flip ``bits[i]`` of ``words.flat[positions[i]]`` for every i.
+
+    Returns a new array; the input is untouched.  Bit 0 is the LSB of the
+    fraction; bit ``total_bits - 1`` is the sign.  Flipping the same site
+    twice restores the original word (XOR involution), which the injector
+    relies on for exact restoration.
+    """
+    words = np.asarray(words, dtype=np.int64)
+    positions = np.asarray(positions, dtype=np.int64)
+    bits = np.asarray(bits, dtype=np.int64)
+    if positions.shape != bits.shape:
+        raise ConfigurationError(
+            f"positions and bits must align, got {positions.shape} vs {bits.shape}"
+        )
+    if positions.size == 0:
+        return words.copy()
+    if positions.min() < 0 or positions.max() >= words.size:
+        raise ConfigurationError("bit-flip position out of range")
+    if bits.min() < 0 or bits.max() >= fmt.total_bits:
+        raise ConfigurationError(
+            f"bit index out of range for {fmt} (0..{fmt.total_bits - 1})"
+        )
+    flat = words.reshape(-1).copy()
+    unsigned = _to_unsigned(flat, fmt)
+    masks = (np.uint64(1) << bits.astype(np.uint64)).astype(np.uint64)
+    # Accumulate XOR masks per position: duplicate sites on the same word
+    # combine, duplicate (position, bit) pairs cancel — true XOR semantics.
+    combined = np.zeros(flat.shape, dtype=np.uint64)
+    np.bitwise_xor.at(combined, positions, masks)
+    unsigned ^= combined
+    flat = _to_signed(unsigned, fmt)
+    return flat.reshape(words.shape)

@@ -1,0 +1,70 @@
+"""Named fixed-point formats and the format-string parser.
+
+The paper fixes Q15.16 (§VI-A1); the word-width ablation (bench ABL-W)
+asks how much of the resilience story is specific to that choice.
+Narrower words change two things at once: the representable range
+shrinks (Q3.4 saturates at ±8, so a bit-flip cannot create a huge
+weight in the first place) and each parameter exposes fewer bits to a
+fixed per-bit fault rate.  The catalog below covers the widths commonly
+deployed on edge accelerators; ``parse_format`` accepts any ``"Qi.f"``
+spec for CLI and experiment configuration.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigurationError
+from repro.quant.fixed_point import FixedPointFormat, Q7_8, Q15_16
+
+__all__ = [
+    "FORMATS",
+    "Q1_6",
+    "Q3_4",
+    "Q3_12",
+    "Q7_24",
+    "parse_format",
+]
+
+Q3_4 = FixedPointFormat(3, 4)
+"""8-bit: 1 sign + 3 integer + 4 fraction — aggressive edge quantisation."""
+
+Q1_6 = FixedPointFormat(1, 6)
+"""8-bit, fraction-heavy: range ±2, resolution 1/64 (weights-only use)."""
+
+Q3_12 = FixedPointFormat(3, 12)
+"""16-bit, fraction-heavy alternative to Q7.8."""
+
+Q7_24 = FixedPointFormat(7, 24)
+"""32-bit, fraction-heavy alternative to the paper's Q15.16."""
+
+FORMATS: dict[str, FixedPointFormat] = {
+    "q1.6": Q1_6,
+    "q3.4": Q3_4,
+    "q3.12": Q3_12,
+    "q7.8": Q7_8,
+    "q7.24": Q7_24,
+    "q15.16": Q15_16,
+}
+"""Catalog of named formats, keyed by lower-case ``"qI.F"`` spec."""
+
+_FORMAT_RE = re.compile(r"^[qQ](\d+)\.(\d+)$")
+
+
+def parse_format(spec: str) -> FixedPointFormat:
+    """Parse ``"Q15.16"``-style format specs (case-insensitive).
+
+    Named catalog entries are returned as the shared singletons;
+    anything else matching ``Qi.f`` builds a fresh format (subject to
+    the codec's 63-bit ceiling).
+    """
+    key = spec.strip().lower()
+    if key in FORMATS:
+        return FORMATS[key]
+    match = _FORMAT_RE.match(spec.strip())
+    if match is None:
+        raise ConfigurationError(
+            f"cannot parse fixed-point format {spec!r}; expected 'Qi.f' "
+            f"like 'Q15.16' (named formats: {', '.join(sorted(FORMATS))})"
+        )
+    return FixedPointFormat(int(match.group(1)), int(match.group(2)))

@@ -1,0 +1,33 @@
+"""Model-level quantisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.quant.fixed_point import FixedPointFormat, Q15_16, quantize
+
+__all__ = ["model_memory_bytes", "quantize_module"]
+
+
+def quantize_module(module: Module, fmt: FixedPointFormat = Q15_16) -> Module:
+    """Snap every parameter to its fixed-point representable value.
+
+    Deploy-time step (paper §VI-A1): after this, encoding parameters to
+    words and decoding back is the identity, so fault-free inference on
+    the quantised model is bit-exact with the injector's restore path.
+    Returns the same module for chaining.
+    """
+    for _, param in module.named_parameters():
+        param.data = quantize(param.data, fmt).astype(param.dtype, copy=False)
+    return module
+
+
+def model_memory_bytes(module: Module, fmt: FixedPointFormat = Q15_16) -> int:
+    """Parameter memory footprint in bytes under the given word format.
+
+    This is the Table I "Memory" column: every parameter — weights,
+    biases, and activation bound values — occupies one word.
+    """
+    total_words = sum(int(np.prod(p.shape)) for p in module.parameters())
+    return int(round(total_words * fmt.bytes_per_word))

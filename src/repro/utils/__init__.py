@@ -1,0 +1,18 @@
+"""Shared utilities: seeded RNG management, timing, serialization, logging."""
+
+from repro.utils.logging import get_logger, set_verbosity
+from repro.utils.rng import derive_seed, new_rng, spawn_rngs
+from repro.utils.serialization import load_state, save_state
+from repro.utils.timing import Timer, time_callable
+
+__all__ = [
+    "Timer",
+    "derive_seed",
+    "get_logger",
+    "load_state",
+    "new_rng",
+    "save_state",
+    "set_verbosity",
+    "spawn_rngs",
+    "time_callable",
+]

@@ -1,0 +1,43 @@
+"""Minimal logging facade.
+
+The library logs through the standard :mod:`logging` module under the
+``repro`` namespace; experiments default to INFO while unit tests stay
+quiet.  Kept deliberately tiny — experiments print their result tables
+through :mod:`repro.eval.reporting` instead of the log stream.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "set_verbosity"]
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _ensure_configured() -> None:
+    global _configured
+    if _configured:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("[%(name)s] %(levelname)s: %(message)s"))
+        root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    _configured = True
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Return a logger below the ``repro`` namespace."""
+    _ensure_configured()
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: int | str) -> None:
+    """Set the library-wide log level (e.g. ``logging.INFO`` or ``"INFO"``)."""
+    _ensure_configured()
+    logging.getLogger(_ROOT_NAME).setLevel(level)

@@ -1,0 +1,34 @@
+"""State-dict persistence for models and optimisers.
+
+States are flat ``{name: ndarray}`` mappings (see
+:meth:`repro.nn.Module.state_dict`) saved as compressed ``.npz`` archives.
+Names may contain dots; numpy handles arbitrary key strings.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Mapping
+
+import numpy as np
+
+__all__ = ["load_state", "save_state"]
+
+
+def save_state(path: str | os.PathLike, state: Mapping[str, np.ndarray]) -> None:
+    """Save a flat state mapping to ``path`` (``.npz`` appended if absent)."""
+    arrays = {}
+    for name, value in state.items():
+        if not isinstance(name, str):
+            raise TypeError(f"state keys must be str, got {type(name).__name__}")
+        arrays[name] = np.asarray(value)
+    np.savez_compressed(os.fspath(path), **arrays)
+
+
+def load_state(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Load a flat state mapping saved by :func:`save_state`."""
+    path = os.fspath(path)
+    if not path.endswith(".npz") and not os.path.exists(path):
+        path = f"{path}.npz"
+    with np.load(path) as archive:
+        return {name: archive[name].copy() for name in archive.files}

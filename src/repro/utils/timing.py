@@ -1,0 +1,77 @@
+"""Wall-clock timing helpers used by the overhead experiments (Table I)."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "time_callable"]
+
+
+@dataclass
+class Timer:
+    """Accumulating context-manager timer.
+
+    >>> timer = Timer()
+    >>> with timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed > 0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is None:
+            raise RuntimeError("Timer exited without being entered")
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        self.elapsed += lap
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean lap duration in seconds (0.0 if no laps recorded)."""
+        if not self.laps:
+            return 0.0
+        return self.elapsed / len(self.laps)
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._start = None
+
+
+def time_callable(
+    fn: Callable[[], object],
+    repeats: int = 5,
+    warmup: int = 1,
+) -> dict[str, float]:
+    """Time ``fn`` over several repeats after warmup calls.
+
+    Returns a dict with ``mean``, ``min``, ``max`` and ``total`` seconds.
+    The minimum is the most robust single statistic on a noisy shared host,
+    so Table I reports both mean and min.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    laps = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        laps.append(time.perf_counter() - start)
+    return {
+        "mean": sum(laps) / len(laps),
+        "min": min(laps),
+        "max": max(laps),
+        "total": sum(laps),
+    }

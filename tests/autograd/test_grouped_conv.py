@@ -1,0 +1,118 @@
+"""Grouped / depthwise convolution: block-diagonal reference, gradchecks."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, conv2d, gradcheck
+from repro.errors import ShapeError
+
+
+def _data(shape, seed=0):
+    return np.random.default_rng(seed).standard_normal(shape)
+
+
+def reference_grouped(x, weight, bias, stride, padding, groups):
+    """Grouped conv as G independent plain convolutions (block diagonal)."""
+    c = x.shape[1]
+    out_channels = weight.shape[0]
+    cg, og = c // groups, out_channels // groups
+    parts = []
+    for g in range(groups):
+        xg = Tensor(x[:, g * cg : (g + 1) * cg])
+        wg = Tensor(weight[g * og : (g + 1) * og])
+        bg = None if bias is None else Tensor(bias[g * og : (g + 1) * og])
+        parts.append(
+            conv2d(xg, wg, bg, stride=stride, padding=padding).data
+        )
+    return np.concatenate(parts, axis=1)
+
+
+class TestGroupedForward:
+    @pytest.mark.parametrize("groups", [2, 3, 6])
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (2, 0)])
+    def test_matches_blockwise_reference(self, groups, stride, padding):
+        x = _data((2, 6, 6, 6))
+        weight = _data((6, 6 // groups, 3, 3), 1)
+        bias = _data((6,), 2)
+        out = conv2d(
+            Tensor(x), Tensor(weight), Tensor(bias),
+            stride=stride, padding=padding, groups=groups,
+        )
+        expected = reference_grouped(
+            x, weight, bias, stride, padding, groups
+        )
+        np.testing.assert_allclose(out.data, expected, rtol=1e-5, atol=1e-7)
+
+    def test_groups_one_unchanged(self):
+        """groups=1 must be bit-identical to the ungrouped path."""
+        x = _data((2, 3, 5, 5))
+        weight = _data((4, 3, 3, 3), 1)
+        plain = conv2d(Tensor(x), Tensor(weight), padding=1)
+        grouped = conv2d(Tensor(x), Tensor(weight), padding=1, groups=1)
+        np.testing.assert_array_equal(plain.data, grouped.data)
+
+    def test_depthwise_is_per_channel(self):
+        """groups == C: each output channel sees exactly one input channel."""
+        x = np.zeros((1, 3, 4, 4))
+        x[0, 1] = 1.0  # only channel 1 carries signal
+        weight = np.ones((3, 1, 3, 3))
+        out = conv2d(Tensor(x), Tensor(weight), padding=1, groups=3).data
+        assert np.all(out[0, 0] == 0)
+        assert np.all(out[0, 2] == 0)
+        assert out[0, 1].max() > 0
+
+    def test_shape_validation(self):
+        x = Tensor(_data((1, 4, 4, 4)))
+        with pytest.raises(ShapeError):
+            conv2d(x, Tensor(_data((4, 4, 3, 3))), groups=2)  # needs (4,2,3,3)
+        with pytest.raises(ShapeError):
+            conv2d(x, Tensor(_data((3, 2, 3, 3))), groups=2)  # 3 % 2 != 0
+        with pytest.raises(ShapeError):
+            conv2d(x, Tensor(_data((4, 4, 3, 3))), groups=0)
+
+
+class TestGroupedBackward:
+    @pytest.mark.parametrize("groups", [2, 4])
+    def test_gradcheck_input_and_weight(self, groups):
+        x = _data((2, 4, 5, 5))
+        weight = _data((4, 4 // groups, 3, 3), 1)
+        bias = _data((4,), 2)
+        assert gradcheck(
+            lambda a, w, b: conv2d(a, w, b, stride=1, padding=1, groups=groups),
+            [x, weight, bias],
+        )
+
+    def test_gradcheck_depthwise_strided(self):
+        x = _data((1, 3, 6, 6))
+        weight = _data((3, 1, 3, 3), 1)
+        assert gradcheck(
+            lambda a, w: conv2d(a, w, stride=2, padding=1, groups=3),
+            [x, weight],
+        )
+
+    def test_gradcheck_no_bias(self):
+        x = _data((1, 4, 4, 4))
+        weight = _data((8, 2, 3, 3), 1)
+        assert gradcheck(
+            lambda a, w: conv2d(a, w, padding=1, groups=2),
+            [x, weight],
+        )
+
+
+class TestConv2dModuleGroups:
+    def test_weight_shape_and_forward(self):
+        from repro import nn
+
+        layer = nn.Conv2d(6, 6, 3, padding=1, groups=3, rng=0)
+        assert layer.weight.shape == (6, 2, 3, 3)
+        out = layer(Tensor(_data((2, 6, 8, 8)).astype(np.float32)))
+        assert out.shape == (2, 6, 8, 8)
+        assert "groups=3" in repr(layer)
+
+    def test_invalid_groups_rejected(self):
+        from repro import nn
+
+        with pytest.raises(ShapeError):
+            nn.Conv2d(6, 6, 3, groups=4, rng=0)
+        with pytest.raises(ShapeError):
+            nn.Conv2d(6, 6, 3, groups=0, rng=0)

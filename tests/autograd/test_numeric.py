@@ -1,0 +1,61 @@
+"""The gradcheck oracle itself must catch wrong gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck, numeric_gradient
+from repro.autograd.function import Function, unbroadcast
+
+
+class _WrongGradMul(Function):
+    """Multiply whose backward is deliberately wrong (returns 2·correct)."""
+
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a * b
+
+    def backward(self, grad_out):
+        a, b = self.saved
+        return 2.0 * grad_out * b, 2.0 * grad_out * a
+
+
+def test_gradcheck_passes_correct_op():
+    rng = np.random.default_rng(0)
+    assert gradcheck(lambda a, b: a * b, [rng.standard_normal(3), rng.standard_normal(3)])
+
+
+def test_gradcheck_catches_wrong_gradient():
+    rng = np.random.default_rng(0)
+    with pytest.raises(AssertionError, match="gradient mismatch"):
+        gradcheck(
+            lambda a, b: _WrongGradMul.apply(a, b),
+            [rng.standard_normal(3), rng.standard_normal(3)],
+        )
+
+
+def test_numeric_gradient_of_quadratic():
+    def fn(arrays):
+        return float((arrays[0] ** 2).sum())
+
+    point = np.array([1.0, -2.0, 3.0])
+    grad = numeric_gradient(fn, [point], which=0)
+    np.testing.assert_allclose(grad, 2 * point, rtol=1e-5)
+
+
+class TestUnbroadcast:
+    def test_identity_when_same_shape(self):
+        grad = np.ones((2, 3))
+        assert unbroadcast(grad, (2, 3)) is grad
+
+    def test_sums_leading_axes(self):
+        out = unbroadcast(np.ones((4, 3)), (3,))
+        assert out.tolist() == [4.0, 4.0, 4.0]
+
+    def test_sums_size_one_axes(self):
+        out = unbroadcast(np.ones((4, 3)), (4, 1))
+        assert out.shape == (4, 1)
+        assert out.reshape(-1).tolist() == [3.0] * 4
+
+    def test_scalar_target(self):
+        out = unbroadcast(np.ones((2, 2)), ())
+        assert out == 4.0

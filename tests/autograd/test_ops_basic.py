@@ -1,0 +1,162 @@
+"""Elementwise and matmul primitives: forward semantics + gradcheck."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, gradcheck, ops_basic
+from repro.errors import ShapeError
+
+SHAPES = [(3,), (2, 3), (2, 1, 4)]
+
+
+def _data(shape, seed=0, positive=False):
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(shape)
+    if positive:
+        values = np.abs(values) + 0.5
+    return values
+
+
+class TestForward:
+    def test_add_broadcast(self):
+        out = ops_basic.add(Tensor([[1.0], [2.0]]), Tensor([10.0, 20.0]))
+        assert out.data.tolist() == [[11.0, 21.0], [12.0, 22.0]]
+
+    def test_sub(self):
+        out = ops_basic.sub(Tensor([3.0]), Tensor([1.0]))
+        assert out.data.tolist() == [2.0]
+
+    def test_scalar_operand_promotion(self):
+        out = Tensor([1.0, 2.0]) * 3.0
+        assert out.data.tolist() == [3.0, 6.0]
+
+    def test_rsub_rdiv(self):
+        x = Tensor([2.0])
+        assert (10.0 - x).data.tolist() == [8.0]
+        assert (10.0 / x).data.tolist() == [5.0]
+
+    def test_neg(self):
+        assert (-Tensor([1.0, -2.0])).data.tolist() == [-1.0, 2.0]
+
+    def test_pow(self):
+        assert (Tensor([2.0]) ** 3).data.tolist() == [8.0]
+
+    def test_exp_log_roundtrip(self):
+        x = Tensor([0.5, 1.5])
+        assert ops_basic.log(ops_basic.exp(x)).data == pytest.approx(
+            x.data, abs=1e-6
+        )
+
+    def test_maximum_minimum(self):
+        a, b = Tensor([1.0, 5.0]), Tensor([3.0, 2.0])
+        assert ops_basic.maximum(a, b).data.tolist() == [3.0, 5.0]
+        assert ops_basic.minimum(a, b).data.tolist() == [1.0, 2.0]
+
+    def test_where(self):
+        out = ops_basic.where(
+            np.array([True, False]), Tensor([1.0, 1.0]), Tensor([2.0, 2.0])
+        )
+        assert out.data.tolist() == [1.0, 2.0]
+
+    def test_abs(self):
+        assert ops_basic.abs(Tensor([-1.5, 2.0])).data.tolist() == [1.5, 2.0]
+
+    def test_matmul_2d(self):
+        a = _data((3, 4))
+        b = _data((4, 2), seed=1)
+        out = ops_basic.matmul(Tensor(a), Tensor(b))
+        np.testing.assert_allclose(out.data, a @ b, rtol=1e-5)
+
+    def test_matmul_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            ops_basic.matmul(Tensor([1.0]), Tensor([[1.0]]))
+
+
+class TestGradients:
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize(
+        "op",
+        [ops_basic.add, ops_basic.sub, ops_basic.mul, ops_basic.div],
+        ids=["add", "sub", "mul", "div"],
+    )
+    def test_binary_ops(self, op, shape):
+        a = _data(shape, 0)
+        b = _data(shape, 1, positive=op is ops_basic.div)
+        gradcheck(op, [a, b])
+
+    def test_broadcast_gradients(self):
+        gradcheck(ops_basic.mul, [_data((2, 3)), _data((3,), 1)])
+        gradcheck(ops_basic.add, [_data((4, 1)), _data((1, 5), 1)])
+
+    @pytest.mark.parametrize(
+        "op,positive",
+        [
+            (ops_basic.neg, False),
+            (ops_basic.exp, False),
+            (ops_basic.log, True),
+            (ops_basic.sqrt, True),
+        ],
+        ids=["neg", "exp", "log", "sqrt"],
+    )
+    def test_unary_ops(self, op, positive):
+        gradcheck(op, [_data((2, 3), positive=positive)])
+
+    def test_abs_away_from_zero(self):
+        values = _data((3, 3))
+        values[np.abs(values) < 0.2] = 0.5
+        gradcheck(ops_basic.abs, [values])
+
+    @pytest.mark.parametrize("exponent", [2.0, 3.0, -1.0, 0.5])
+    def test_pow(self, exponent):
+        gradcheck(lambda t: ops_basic.pow(t, exponent), [_data((4,), positive=True)])
+
+    def test_maximum_gradient_routing(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([3.0, 2.0], requires_grad=True)
+        ops_basic.maximum(a, b).sum().backward()
+        assert a.grad.tolist() == [0.0, 1.0]
+        assert b.grad.tolist() == [1.0, 0.0]
+
+    def test_maximum_tie_goes_to_first(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        ops_basic.maximum(a, b).sum().backward()
+        assert a.grad.tolist() == [1.0]
+        assert b.grad.tolist() == [0.0]
+
+    def test_where_gradients(self):
+        condition = np.array([True, False, True])
+        gradcheck(
+            lambda a, b: ops_basic.where(condition, a, b),
+            [_data((3,)), _data((3,), 1)],
+        )
+
+    def test_matmul_2d(self):
+        gradcheck(ops_basic.matmul, [_data((3, 4)), _data((4, 2), 1)])
+
+    def test_matmul_batched(self):
+        gradcheck(ops_basic.matmul, [_data((2, 3, 4)), _data((2, 4, 2), 1)])
+
+    def test_matmul_broadcast_batch(self):
+        gradcheck(ops_basic.matmul, [_data((2, 3, 4)), _data((4, 2), 1)])
+
+
+class TestProperties:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_add_commutes(self, seed):
+        a = _data((3, 2), seed)
+        b = _data((3, 2), seed + 1)
+        left = ops_basic.add(Tensor(a), Tensor(b)).data
+        right = ops_basic.add(Tensor(b), Tensor(a)).data
+        np.testing.assert_array_equal(left, right)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_mul_div_inverse(self, seed):
+        a = _data((4,), seed)
+        b = _data((4,), seed + 1, positive=True)
+        roundtrip = ops_basic.div(ops_basic.mul(Tensor(a), Tensor(b)), Tensor(b))
+        np.testing.assert_allclose(roundtrip.data, a, rtol=1e-5)

@@ -1,0 +1,83 @@
+"""Neural-network primitives: references via scipy, gradchecks, stability."""
+
+import numpy as np
+import pytest
+from scipy.special import expit, log_softmax as scipy_log_softmax, softmax as scipy_softmax
+
+from repro.autograd import Tensor, gradcheck, ops_nn
+
+
+def _data(shape, seed=0):
+    return np.random.default_rng(seed).standard_normal(shape)
+
+
+class TestForward:
+    def test_relu(self):
+        out = ops_nn.relu(Tensor([-1.0, 0.0, 2.0]))
+        assert out.data.tolist() == [0.0, 0.0, 2.0]
+
+    def test_leaky_relu(self):
+        out = ops_nn.leaky_relu(Tensor([-2.0, 3.0]), negative_slope=0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0], rtol=1e-6)
+
+    def test_sigmoid_matches_scipy(self):
+        values = _data((4, 3))
+        out = ops_nn.sigmoid(Tensor(values))
+        np.testing.assert_allclose(out.data, expit(values), rtol=1e-5)
+
+    def test_sigmoid_extreme_inputs_stable(self):
+        # Faulty activations reach ~1e4; no overflow warnings allowed.
+        values = np.array([-1e4, -100.0, 0.0, 100.0, 1e4], dtype=np.float32)
+        with np.errstate(over="raise"):
+            out = ops_nn.sigmoid(Tensor(values))
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 0.5, 1.0, 1.0], atol=1e-6)
+
+    def test_tanh_matches_numpy(self):
+        values = _data((5,))
+        np.testing.assert_allclose(
+            ops_nn.tanh(Tensor(values)).data, np.tanh(values), rtol=1e-6
+        )
+
+    def test_log_softmax_matches_scipy(self):
+        values = _data((3, 7))
+        out = ops_nn.log_softmax(Tensor(values), axis=1)
+        np.testing.assert_allclose(out.data, scipy_log_softmax(values, axis=1), rtol=1e-5)
+
+    def test_log_softmax_large_logits_stable(self):
+        values = np.array([[1000.0, 0.0], [0.0, -1000.0]])
+        out = ops_nn.log_softmax(Tensor(values), axis=1)
+        assert np.isfinite(out.data).all()
+
+    def test_softmax_matches_scipy(self):
+        values = _data((2, 5))
+        out = ops_nn.softmax(Tensor(values), axis=-1)
+        np.testing.assert_allclose(out.data, scipy_softmax(values, axis=-1), rtol=1e-5)
+
+    def test_softmax_sums_to_one(self):
+        out = ops_nn.softmax(Tensor(_data((4, 6))), axis=1)
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(4), rtol=1e-6)
+
+
+class TestGradients:
+    def test_relu(self):
+        values = _data((3, 4))
+        values[np.abs(values) < 0.1] = 0.5  # stay away from the kink
+        gradcheck(ops_nn.relu, [values])
+
+    def test_leaky_relu(self):
+        values = _data((3, 4))
+        values[np.abs(values) < 0.1] = 0.5
+        gradcheck(lambda t: ops_nn.leaky_relu(t, 0.05), [values])
+
+    def test_sigmoid(self):
+        gradcheck(ops_nn.sigmoid, [_data((2, 5))])
+
+    def test_tanh(self):
+        gradcheck(ops_nn.tanh, [_data((2, 5))])
+
+    @pytest.mark.parametrize("axis", [0, 1, -1])
+    def test_log_softmax(self, axis):
+        gradcheck(lambda t: ops_nn.log_softmax(t, axis=axis), [_data((3, 4))])
+
+    def test_softmax(self):
+        gradcheck(lambda t: ops_nn.softmax(t, axis=1), [_data((3, 4))])

@@ -1,0 +1,69 @@
+"""Reduction primitives."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck, ops_reduce
+
+
+def _data(shape, seed=0):
+    return np.random.default_rng(seed).standard_normal(shape)
+
+
+class TestForward:
+    @pytest.mark.parametrize("axis", [None, 0, 1, (0, 1), -1])
+    @pytest.mark.parametrize("keepdims", [False, True])
+    def test_sum_matches_numpy(self, axis, keepdims):
+        values = _data((3, 4))
+        out = ops_reduce.sum(Tensor(values), axis=axis, keepdims=keepdims)
+        expected = values.sum(axis=axis, keepdims=keepdims)
+        np.testing.assert_allclose(out.data, expected, rtol=1e-6)
+
+    @pytest.mark.parametrize("axis", [None, 0, (1, 2)])
+    def test_mean_matches_numpy(self, axis):
+        values = _data((2, 3, 4))
+        out = ops_reduce.mean(Tensor(values), axis=axis)
+        np.testing.assert_allclose(out.data, values.mean(axis=axis), rtol=1e-6)
+
+    @pytest.mark.parametrize("axis", [None, 0, 1])
+    def test_max_min_match_numpy(self, axis):
+        values = _data((3, 5))
+        np.testing.assert_allclose(
+            ops_reduce.max(Tensor(values), axis=axis).data, values.max(axis=axis)
+        )
+        np.testing.assert_allclose(
+            ops_reduce.min(Tensor(values), axis=axis).data, values.min(axis=axis)
+        )
+
+    def test_max_keepdims_shape(self):
+        out = ops_reduce.max(Tensor(_data((2, 3))), axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+
+
+class TestGradients:
+    @pytest.mark.parametrize("axis", [None, 0, 1, (0, 2)])
+    def test_sum(self, axis):
+        gradcheck(lambda t: ops_reduce.sum(t, axis=axis), [_data((2, 3, 2))])
+
+    @pytest.mark.parametrize("keepdims", [False, True])
+    def test_mean(self, keepdims):
+        gradcheck(
+            lambda t: ops_reduce.mean(t, axis=1, keepdims=keepdims), [_data((3, 4))]
+        )
+
+    def test_max_routes_to_argmax(self):
+        x = Tensor([[1.0, 5.0, 2.0]], requires_grad=True)
+        ops_reduce.max(x, axis=1).sum().backward()
+        assert x.grad.tolist() == [[0.0, 1.0, 0.0]]
+
+    def test_max_tie_splits_gradient(self):
+        x = Tensor([[3.0, 3.0]], requires_grad=True)
+        ops_reduce.max(x, axis=1).sum().backward()
+        assert x.grad.tolist() == [[0.5, 0.5]]
+
+    def test_min_gradcheck(self):
+        values = _data((3, 4))
+        gradcheck(lambda t: ops_reduce.min(t, axis=0), [values])
+
+    def test_max_gradcheck_global(self):
+        gradcheck(lambda t: ops_reduce.max(t), [_data((2, 3))])

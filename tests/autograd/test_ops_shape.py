@@ -1,0 +1,103 @@
+"""Shape-manipulation primitives."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck, ops_shape
+from repro.errors import ShapeError
+
+
+def _data(shape, seed=0):
+    return np.random.default_rng(seed).standard_normal(shape)
+
+
+class TestForward:
+    def test_reshape(self):
+        out = ops_shape.reshape(Tensor(_data((2, 6))), (3, 4))
+        assert out.shape == (3, 4)
+
+    def test_reshape_wildcard(self):
+        out = ops_shape.reshape(Tensor(_data((2, 6))), (-1,))
+        assert out.shape == (12,)
+
+    def test_transpose_default_reverses(self):
+        out = ops_shape.transpose(Tensor(_data((2, 3, 4))))
+        assert out.shape == (4, 3, 2)
+
+    def test_transpose_axes(self):
+        out = ops_shape.transpose(Tensor(_data((2, 3, 4))), (0, 2, 1))
+        assert out.shape == (2, 4, 3)
+
+    def test_getitem_slice(self):
+        values = _data((4, 3))
+        out = Tensor(values)[1:3]
+        np.testing.assert_array_equal(out.data, values[1:3])
+
+    def test_getitem_int_array(self):
+        values = _data((5,))
+        out = ops_shape.getitem(Tensor(values), np.array([0, 2, 2]))
+        np.testing.assert_array_equal(out.data, values[[0, 2, 2]])
+
+    def test_gather(self):
+        values = _data((3, 4))
+        index = np.array([[1], [0], [3]])
+        out = ops_shape.gather(Tensor(values), index, axis=1)
+        np.testing.assert_array_equal(
+            out.data, np.take_along_axis(values, index, axis=1)
+        )
+
+    def test_pad2d_symmetric(self):
+        out = ops_shape.pad2d(Tensor(_data((1, 1, 3, 3))), 2)
+        assert out.shape == (1, 1, 7, 7)
+        assert out.data[0, 0, 0, 0] == 0.0
+
+    def test_pad2d_rejects_bad_tuple(self):
+        with pytest.raises(ShapeError):
+            ops_shape.pad2d(Tensor(_data((1, 1, 3, 3))), (1, 2))
+
+    def test_concat(self):
+        a, b = _data((2, 3)), _data((1, 3), 1)
+        out = ops_shape.concat([Tensor(a), Tensor(b)], axis=0)
+        np.testing.assert_array_equal(out.data, np.concatenate([a, b]))
+
+    def test_concat_empty_raises(self):
+        with pytest.raises(ShapeError):
+            ops_shape.concat([])
+
+    def test_flatten_method(self):
+        assert Tensor(_data((2, 3, 4))).flatten(1).shape == (2, 12)
+
+
+class TestGradients:
+    def test_reshape(self):
+        gradcheck(lambda t: ops_shape.reshape(t, (6,)), [_data((2, 3))])
+
+    def test_transpose(self):
+        gradcheck(lambda t: ops_shape.transpose(t, (1, 0, 2)), [_data((2, 3, 2))])
+
+    def test_getitem_scatter_adds_duplicates(self):
+        x = Tensor(np.zeros(3, dtype=np.float64), requires_grad=True)
+        ops_shape.getitem(x, np.array([1, 1, 2])).sum().backward()
+        assert x.grad.tolist() == [0.0, 2.0, 1.0]
+
+    def test_getitem_slice(self):
+        gradcheck(lambda t: t[1:3, :2], [_data((4, 3))])
+
+    def test_gather(self):
+        index = np.array([[0], [2]])
+        gradcheck(lambda t: ops_shape.gather(t, index, axis=1), [_data((2, 3))])
+
+    def test_gather_duplicate_indices_accumulate(self):
+        x = Tensor(np.zeros((1, 3), dtype=np.float64), requires_grad=True)
+        index = np.array([[1, 1]])
+        ops_shape.gather(x, index, axis=1).sum().backward()
+        assert x.grad.tolist() == [[0.0, 2.0, 0.0]]
+
+    def test_pad2d(self):
+        gradcheck(lambda t: ops_shape.pad2d(t, (1, 2, 0, 1)), [_data((1, 2, 3, 3))])
+
+    def test_concat(self):
+        gradcheck(
+            lambda a, b: ops_shape.concat([a, b], axis=1),
+            [_data((2, 2)), _data((2, 3), 1)],
+        )

@@ -1,0 +1,135 @@
+"""Tensor fundamentals: construction, graph mechanics, backward rules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, as_tensor, enable_grad, is_grad_enabled, no_grad
+from repro.errors import GraphError
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0])
+        assert t.shape == (2,)
+        assert t.dtype == np.float32
+
+    def test_int_input_promoted_to_float(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype == np.float32
+
+    def test_explicit_dtype_kept(self):
+        t = Tensor([1, 2], dtype=np.int64)
+        assert t.dtype == np.int64
+
+    def test_from_tensor_shares_data(self):
+        a = Tensor([1.0])
+        b = Tensor(a)
+        assert b.data is a.data
+
+    def test_properties(self):
+        t = Tensor(np.zeros((2, 3, 4), dtype=np.float32))
+        assert t.ndim == 3
+        assert t.size == 24
+        assert len(t) == 2
+
+    def test_item_scalar(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+
+    def test_item_non_scalar_raises(self):
+        with pytest.raises(ValueError, match="single-element"):
+            Tensor([1.0, 2.0]).item()
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_detach_cuts_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = (t * 2).detach()
+        assert not d.requires_grad
+        assert d.is_leaf
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * x + x
+        y.sum().backward()
+        assert x.grad == pytest.approx([5.0])  # 2x + 1 at x=2
+
+    def test_diamond_graph_accumulates(self):
+        x = Tensor([3.0], requires_grad=True)
+        a = x * 2
+        b = x * 3
+        (a + b).sum().backward()
+        assert x.grad == pytest.approx([5.0])
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 3).sum().backward()
+        assert x.grad == pytest.approx([5.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_backward_without_grad_on_non_scalar_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(GraphError, match="scalar"):
+            (x * 2).backward()
+
+    def test_backward_explicit_gradient(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 2).backward(np.array([1.0, 10.0], dtype=np.float32))
+        assert x.grad == pytest.approx([2.0, 20.0])
+
+    def test_backward_wrong_grad_shape_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(GraphError, match="shape"):
+            (x * 2).backward(np.zeros(3, dtype=np.float32))
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = Tensor([1.0])
+        with pytest.raises(GraphError):
+            x.backward()
+
+    def test_no_grad_into_intermediate(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x * 2
+        y.sum().backward()
+        assert y.grad is None  # intermediates keep no grad
+        assert x.grad is not None
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.sum().backward()
+        assert x.grad == pytest.approx([1.0])
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert y.is_leaf
+
+    def test_enable_grad_nested(self):
+        with no_grad():
+            assert not is_grad_enabled()
+            with enable_grad():
+                assert is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_comparison_returns_numpy(self):
+        x = Tensor([1.0, -1.0])
+        mask = x > 0
+        assert isinstance(mask, np.ndarray)
+        assert mask.tolist() == [True, False]

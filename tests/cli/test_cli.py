@@ -1,0 +1,166 @@
+"""The ``repro`` command line: parsing, dispatch, and the full pipeline."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.eval.experiments import EXPERIMENTS
+from repro.models.registry import MODEL_NAMES
+
+
+@pytest.fixture()
+def isolated_cache(tmp_path, monkeypatch):
+    cache = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+    return cache
+
+
+TINY = [
+    "--preset",
+    "smoke",
+    "--train-samples",
+    "250",
+    "--test-samples",
+    "100",
+    "--epochs",
+    "6",
+    "--post-epochs",
+    "1",
+    "--trials",
+    "1",
+]
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+
+    def test_help_lists_commands(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in ("train", "protect", "evaluate", "experiment"):
+            assert command in out
+
+
+class TestListCommands:
+    def test_list_models(self, capsys):
+        assert main(["list-models"]) == 0
+        out = capsys.readouterr().out
+        for name in MODEL_NAMES:
+            assert name in out
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in EXPERIMENTS:
+            assert exp_id in out
+
+    def test_info(self, capsys):
+        assert main(["info", "--model", "lenet", "--image-size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "parameters" in out
+        assert "ReLU sites" in out
+
+    def test_info_verbose_prints_tree(self, capsys):
+        assert main(
+            ["info", "--model", "lenet", "--image-size", "16", "--verbose"]
+        ) == 0
+        assert "Conv2d" in capsys.readouterr().out
+
+    def test_info_unknown_model_is_error(self, capsys):
+        assert main(["info", "--model", "transformer9000"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_unknown_id(self, capsys):
+        assert main(["experiment", "--id", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_fig3_runs_without_training(self, capsys):
+        """fig3 evaluates pure activation functions — no data, no model."""
+        assert main(["experiment", "--id", "fig3", "--preset", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "FitReLU" in out
+
+    def test_bad_preset(self, capsys):
+        assert main(["experiment", "--id", "fig3", "--preset", "gigantic"]) == 1
+        assert "unknown preset" in capsys.readouterr().err
+
+
+class TestPipeline:
+    def test_train_protect_evaluate(self, isolated_cache, tmp_path, capsys):
+        checkpoint = tmp_path / "model.npz"
+
+        assert main(["train", "--model", "lenet", *TINY]) == 0
+        assert "trained lenet/synth10" in capsys.readouterr().out
+
+        assert (
+            main(
+                [
+                    "protect",
+                    "--model",
+                    "lenet",
+                    "--method",
+                    "clipact",
+                    "--out",
+                    str(checkpoint),
+                    *TINY,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "clipact" in out
+        assert checkpoint.exists()
+
+        assert (
+            main(
+                [
+                    "evaluate",
+                    "--checkpoint",
+                    str(checkpoint),
+                    "--rates",
+                    "1e-5",
+                    *TINY,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "clean accuracy" in out
+        assert "rate 1.0e-05" in out
+
+    def test_second_train_hits_cache(self, isolated_cache, capsys):
+        assert main(["train", "--model", "lenet", *TINY]) == 0
+        first = capsys.readouterr().out
+        assert main(["train", "--model", "lenet", *TINY]) == 0
+        second = capsys.readouterr().out
+        # Same reported accuracy both times (the cache reproduces weights).
+        assert first.split("accuracy")[1] == second.split("accuracy")[1]
+
+    def test_evaluate_rejects_non_checkpoint(self, tmp_path, capsys):
+        from repro.utils.serialization import save_state
+
+        bare = tmp_path / "bare.npz"
+        save_state(bare, {"weight": np.zeros(3)})
+        assert main(["evaluate", "--checkpoint", str(bare)]) == 1
+        assert "not a protected-model" in capsys.readouterr().err
+
+
+class TestEnvironmentIsolation:
+    def test_cache_dir_respected(self, isolated_cache):
+        assert main(["train", "--model", "lenet", *TINY]) == 0
+        assert os.environ["REPRO_CACHE_DIR"] == str(isolated_cache)
+        assert any(isolated_cache.iterdir())

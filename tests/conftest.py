@@ -1,0 +1,81 @@
+"""Shared fixtures: tiny datasets, loaders, and a trained model.
+
+Heavy artefacts (the trained LeNet) are session-scoped so the many tests
+that need "a real trained model" pay for training once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.training import Trainer, TrainingConfig, evaluate_accuracy
+from repro.data.loader import DataLoader
+from repro.data.synthetic import SYNTH_MEAN, SYNTH_STD, SyntheticImageDataset
+from repro.data.transforms import Normalize
+from repro.models.registry import build_model
+
+IMAGE_SIZE = 16
+NUM_CLASSES = 10
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def train_dataset() -> SyntheticImageDataset:
+    return SyntheticImageDataset(
+        num_classes=NUM_CLASSES, num_samples=500, image_size=IMAGE_SIZE, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def test_dataset() -> SyntheticImageDataset:
+    return SyntheticImageDataset(
+        num_classes=NUM_CLASSES,
+        num_samples=200,
+        image_size=IMAGE_SIZE,
+        seed=7,
+        split="test",
+    )
+
+
+@pytest.fixture(scope="session")
+def normalize() -> Normalize:
+    return Normalize(SYNTH_MEAN, SYNTH_STD)
+
+
+@pytest.fixture(scope="session")
+def train_loader(train_dataset, normalize) -> DataLoader:
+    return DataLoader(
+        train_dataset, batch_size=64, shuffle=True, rng=0, transform=normalize
+    )
+
+
+@pytest.fixture(scope="session")
+def test_loader(test_dataset, normalize) -> DataLoader:
+    return DataLoader(test_dataset, batch_size=128, transform=normalize)
+
+
+@pytest.fixture(scope="session")
+def trained_state(train_loader, test_loader) -> dict:
+    """State dict + metadata of a LeNet trained to useful accuracy."""
+    model = build_model(
+        "lenet", num_classes=NUM_CLASSES, scale=1.0, image_size=IMAGE_SIZE, seed=0
+    )
+    Trainer(model, TrainingConfig(epochs=10, lr=0.1)).fit(train_loader)
+    accuracy = evaluate_accuracy(model, test_loader)
+    assert accuracy > 0.7, f"fixture model failed to train (accuracy {accuracy:.1%})"
+    return {"state": model.state_dict(), "accuracy": accuracy}
+
+
+@pytest.fixture
+def trained_model(trained_state):
+    """A fresh trained LeNet instance (mutable per test)."""
+    model = build_model(
+        "lenet", num_classes=NUM_CLASSES, scale=1.0, image_size=IMAGE_SIZE, seed=0
+    )
+    model.load_state_dict(trained_state["state"])
+    return model

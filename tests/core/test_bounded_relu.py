@@ -1,0 +1,81 @@
+"""GBReLU / FitReLU-Naive semantics (paper Eqs. 4 and 5)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import BoundedReLU, FitReLUNaive, GBReLU
+from repro.errors import ConfigurationError
+
+
+class TestGBReLU:
+    def test_zero_mode_piecewise(self):
+        """Eq. 4: 0 above the bound, identity in (0, λ], 0 below 0."""
+        act = GBReLU(2.0, mode="zero")
+        x = Tensor([-1.0, 0.5, 2.0, 2.1, 1000.0])
+        assert act(x).data.tolist() == [0.0, 0.5, 2.0, 0.0, 0.0]
+
+    def test_saturate_mode_truncates(self):
+        """Ranger semantics: out-of-bound values clamp to λ and propagate."""
+        act = GBReLU(2.0, mode="saturate")
+        x = Tensor([-1.0, 0.5, 2.0, 2.1, 1000.0])
+        assert act(x).data.tolist() == [0.0, 0.5, 2.0, 2.0, 2.0]
+
+    def test_faulty_magnitude_squashed(self):
+        """The Q15.16 worst case (±32768) must not propagate."""
+        act = GBReLU(4.0, mode="zero")
+        out = act(Tensor([32767.0, -32768.0]))
+        assert out.data.tolist() == [0.0, 0.0]
+
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigurationError):
+            BoundedReLU(1.0, mode="clamp")
+
+    def test_non_positive_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GBReLU(0.0)
+
+    def test_bound_is_parameter_without_grad(self):
+        act = GBReLU(1.5)
+        params = dict(act.named_parameters())
+        assert "bound" in params
+        assert not params["bound"].requires_grad
+
+    def test_gradient_passes_in_range(self):
+        act = GBReLU(2.0, mode="zero")
+        x = Tensor([1.0, 3.0], requires_grad=True)
+        act(x).sum().backward()
+        assert x.grad.tolist() == [1.0, 0.0]
+
+    def test_saturate_gradient_zero_above_bound(self):
+        act = GBReLU(2.0, mode="saturate")
+        x = Tensor([1.0, 3.0], requires_grad=True)
+        act(x).sum().backward()
+        assert x.grad.tolist() == [1.0, 0.0]
+
+
+class TestFitReLUNaive:
+    def test_per_neuron_bounds(self):
+        """Eq. 5: each neuron applies its own λᵢ."""
+        act = FitReLUNaive(np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        x = Tensor([1.5, 1.5, 1.5])
+        assert act(x).data.tolist() == [0.0, 1.5, 1.5]
+
+    def test_broadcast_over_batch(self):
+        act = FitReLUNaive(np.array([1.0, 2.0], dtype=np.float32))
+        x = Tensor(np.array([[0.5, 0.5], [1.5, 1.5]], dtype=np.float32))
+        assert act(x).data.tolist() == [[0.5, 0.5], [0.0, 1.5]]
+
+    def test_conv_shape_bounds(self):
+        bounds = np.full((2, 3, 3), 1.0, dtype=np.float32)
+        act = FitReLUNaive(bounds)
+        x = Tensor(np.full((4, 2, 3, 3), 2.0, dtype=np.float32))
+        assert float(act(x).data.max()) == 0.0
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FitReLUNaive(np.empty(0, dtype=np.float32))
+
+    def test_bound_count(self):
+        act = FitReLUNaive(np.ones((4, 2, 2), dtype=np.float32))
+        assert act.bound_count == 16

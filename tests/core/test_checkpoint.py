@@ -1,0 +1,160 @@
+"""Protected-model checkpoints: exact round trips for every scheme."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BoundedTanh,
+    FitReLU,
+    ProtectionConfig,
+    load_protected,
+    protect_model,
+    save_protected,
+)
+from repro.core.bounded_relu import FitReLUNaive, GBReLU
+from repro.core.surgery import bound_modules
+from repro.errors import ConfigurationError
+from repro.models.registry import build_model
+from repro.utils.serialization import save_state
+
+NUM_CLASSES = 10
+IMAGE_SIZE = 16
+
+
+def _builder():
+    return build_model(
+        "lenet", num_classes=NUM_CLASSES, scale=1.0, image_size=IMAGE_SIZE, seed=0
+    )
+
+
+def _eval_batch(loader):
+    inputs, _ = next(iter(loader))
+    return inputs
+
+
+@pytest.fixture
+def protected(trained_model, train_loader):
+    def _protect(method, **overrides):
+        protect_model(
+            trained_model,
+            train_loader,
+            ProtectionConfig(method=method, **overrides),
+        )
+        return trained_model
+
+    return _protect
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "method", ["fitact", "fitact-naive", "clipact", "ranger", "tanh"]
+    )
+    def test_outputs_bit_identical(
+        self, protected, method, tmp_path, test_loader
+    ):
+        model = protected(method)
+        path = tmp_path / f"{method}.npz"
+        save_protected(path, model, meta={"method": method})
+
+        reloaded, meta = load_protected(path, _builder)
+        assert meta["method"] == method
+
+        x = _eval_batch(test_loader)
+        np.testing.assert_array_equal(model(x).data, reloaded(x).data)
+
+    def test_site_classes_preserved(self, protected, tmp_path):
+        model = protected("fitact", k=25.0, slope_mode="absolute")
+        path = tmp_path / "fitact.npz"
+        save_protected(path, model)
+        reloaded, _ = load_protected(path, _builder)
+        for site_path, module in bound_modules(model).items():
+            twin = bound_modules(reloaded)[site_path]
+            assert type(twin) is type(module)
+            if isinstance(module, FitReLU):
+                assert twin.k == module.k == 25.0
+                assert twin.slope_mode == module.slope_mode == "absolute"
+            np.testing.assert_array_equal(twin.bound.data, module.bound.data)
+
+    def test_mixed_scheme_model(self, trained_model, tmp_path, test_loader):
+        """Hand-assembled protection mixing every activation class."""
+        sites = [
+            path
+            for path, module in trained_model.named_modules()
+            if type(module).__name__ == "ReLU"
+        ]
+        assert len(sites) >= 2
+        trained_model.set_submodule(sites[0], GBReLU(3.0, mode="saturate"))
+        trained_model.set_submodule(sites[1], FitReLUNaive(np.full(1, 2.0, np.float32)))
+        if len(sites) > 2:
+            trained_model.set_submodule(sites[2], BoundedTanh(5.0))
+        path = tmp_path / "mixed.npz"
+        save_protected(path, trained_model)
+        reloaded, _ = load_protected(path, _builder)
+        x = _eval_batch(test_loader)
+        np.testing.assert_array_equal(trained_model(x).data, reloaded(x).data)
+
+    def test_unprotected_model_roundtrip(self, trained_model, tmp_path, test_loader):
+        path = tmp_path / "plain.npz"
+        save_protected(path, trained_model)
+        reloaded, meta = load_protected(path, _builder)
+        assert meta == {}
+        x = _eval_batch(test_loader)
+        np.testing.assert_array_equal(trained_model(x).data, reloaded(x).data)
+
+    def test_meta_json_types(self, protected, tmp_path):
+        model = protected("clipact")
+        path = tmp_path / "meta.npz"
+        save_protected(
+            path,
+            model,
+            meta={"accuracy": 0.93, "preset": "quick", "rates": [1e-7, 1e-6]},
+        )
+        _, meta = load_protected(path, _builder)
+        assert meta["accuracy"] == pytest.approx(0.93)
+        assert meta["preset"] == "quick"
+        assert meta["rates"] == [1e-7, 1e-6]
+
+
+class TestErrors:
+    def test_not_a_checkpoint(self, tmp_path):
+        path = tmp_path / "bare.npz"
+        save_state(path, {"weight": np.zeros(3)})
+        with pytest.raises(ConfigurationError, match="not a protected-model"):
+            load_protected(path, _builder)
+
+    def test_wrong_builder_architecture(self, protected, tmp_path):
+        from repro.errors import ReproError
+
+        model = protected("clipact")
+        path = tmp_path / "arch.npz"
+        save_protected(path, model)
+
+        def tiny_builder():
+            return build_model(
+                "lenet", num_classes=2, scale=0.5, image_size=8, seed=0
+            )
+
+        with pytest.raises(ReproError):
+            load_protected(path, tiny_builder)
+
+    def test_post_trained_bounds_survive(
+        self, protected, tmp_path, train_loader, test_loader
+    ):
+        """Post-training mutates λ in place; the checkpoint must carry the
+        tuned values, not the profiled initialisation."""
+        from repro.core import BoundPostTrainer, PostTrainingConfig
+
+        model = protected("fitact")
+        BoundPostTrainer(
+            model, PostTrainingConfig(epochs=1, lr=0.01, zeta=0.1, delta=0.5)
+        ).run(train_loader, test_loader, reference_accuracy=1.0)
+        before = {
+            path: m.bound.data.copy() for path, m in bound_modules(model).items()
+        }
+        path = tmp_path / "tuned.npz"
+        save_protected(path, model)
+        reloaded, _ = load_protected(path, _builder)
+        for site_path, bounds in before.items():
+            np.testing.assert_array_equal(
+                bound_modules(reloaded)[site_path].bound.data, bounds
+            )

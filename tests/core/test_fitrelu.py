@@ -1,0 +1,152 @@
+"""FitReLU (paper Eq. 6, reconciled form): shape, limits, trainability."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor
+from repro.core import DEFAULT_SLOPE, FitReLU, FitReLUNaive
+from repro.errors import ConfigurationError
+
+
+class TestShape:
+    def test_zero_at_origin(self):
+        act = FitReLU(np.array([2.0], dtype=np.float32))
+        assert act(Tensor([0.0])).data[0] == 0.0
+
+    def test_negative_inputs_zero(self):
+        act = FitReLU(np.array([2.0], dtype=np.float32))
+        out = act(Tensor([-5.0, -0.1]))
+        assert out.data.tolist() == [0.0, 0.0]
+
+    def test_identity_well_below_bound(self):
+        act = FitReLU(np.array([4.0], dtype=np.float32), k=40.0)
+        x = np.array([0.5, 1.0, 2.0], dtype=np.float32)
+        out = act(Tensor(x)).data
+        np.testing.assert_allclose(out, x, rtol=1e-2)
+
+    def test_half_value_at_bound(self):
+        """ξ(λ) = λ·σ(0) = λ/2 — the analytic midpoint of the descent."""
+        act = FitReLU(np.array([3.0], dtype=np.float32))
+        assert act(Tensor([3.0])).data[0] == pytest.approx(1.5, rel=1e-5)
+
+    def test_squashes_far_above_bound(self):
+        act = FitReLU(np.array([2.0], dtype=np.float32), k=40.0)
+        out = act(Tensor([10.0, 100.0, 30000.0]))
+        np.testing.assert_allclose(out.data, 0.0, atol=1e-3)
+
+    def test_extreme_faulty_input_no_overflow(self):
+        act = FitReLU(np.array([1.0], dtype=np.float32))
+        with np.errstate(over="raise"):
+            out = act(Tensor([32767.0, -32768.0]))
+        assert np.isfinite(out.data).all()
+
+    def test_peak_bounded_by_lambda(self):
+        """The smooth bump never exceeds the bound itself."""
+        act = FitReLU(np.array([2.5], dtype=np.float32), k=40.0)
+        grid = Tensor(np.linspace(0, 50, 2000, dtype=np.float32))
+        assert float(act(grid).data.max()) <= 2.5
+
+
+class TestLimits:
+    def test_large_bound_approaches_relu(self):
+        act = FitReLU(np.array([1e4], dtype=np.float32), k=40.0)
+        x = np.array([0.5, 2.0, 10.0], dtype=np.float32)
+        np.testing.assert_allclose(act(Tensor(x)).data, x, rtol=1e-4)
+
+    @given(st.floats(min_value=0.5, max_value=8.0), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_large_k_approaches_naive(self, bound, seed):
+        """k → ∞ recovers FitReLU-Naive away from the discontinuity."""
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-2 * bound, 3 * bound, 64).astype(np.float32)
+        # Exclude the transition band around λ where the smooth/hard
+        # functions legitimately differ.
+        x = x[np.abs(x - bound) > 0.25 * bound]
+        smooth = FitReLU(np.array([bound], dtype=np.float32), k=5000.0,
+                         slope_mode="absolute")
+        hard = FitReLUNaive(np.array([bound], dtype=np.float32))
+        np.testing.assert_allclose(
+            smooth(Tensor(x)).data, hard(Tensor(x)).data, atol=1e-2
+        )
+
+    def test_relative_mode_adapts_to_small_bounds(self):
+        """A neuron with λ=0.2 must still pass mid-range activations —
+        the failure mode of absolute k that motivated relative slopes."""
+        small_rel = FitReLU(np.array([0.2], dtype=np.float32), k=40.0,
+                            slope_mode="relative")
+        out = small_rel(Tensor([0.1])).data[0]
+        assert out == pytest.approx(0.1, rel=0.05)
+
+    def test_absolute_mode_uses_fixed_k(self):
+        act = FitReLU(np.array([1.0, 10.0], dtype=np.float32), k=7.0,
+                      slope_mode="absolute")
+        np.testing.assert_allclose(act.effective_slope(), [7.0, 7.0])
+
+    def test_relative_mode_slope_scales(self):
+        act = FitReLU(np.array([1.0, 10.0], dtype=np.float32), k=40.0)
+        np.testing.assert_allclose(act.effective_slope(), [40.0, 4.0])
+
+
+class TestTrainability:
+    def test_bound_receives_gradient(self):
+        act = FitReLU(np.array([2.0], dtype=np.float32))
+        x = Tensor([1.9])
+        act(x).sum().backward()
+        assert act.bound.grad is not None
+        assert abs(float(act.bound.grad[0])) > 0
+
+    def test_gradient_direction_raises_bound_for_clipped_input(self):
+        """An input just above λ is being suppressed; increasing λ recovers
+        it, so ∂out/∂λ must be positive there."""
+        act = FitReLU(np.array([2.0], dtype=np.float32))
+        act(Tensor([2.2])).sum().backward()
+        assert float(act.bound.grad[0]) > 0
+
+    def test_no_gradient_when_frozen(self):
+        act = FitReLU(np.array([2.0], dtype=np.float32), trainable=False)
+        x = Tensor([1.0], requires_grad=True)
+        act(x).sum().backward()
+        assert act.bound.grad is None
+        assert x.grad is not None
+
+    def test_input_gradient_near_identity_region(self):
+        act = FitReLU(np.array([4.0], dtype=np.float32), k=40.0)
+        x = Tensor([1.0], requires_grad=True)
+        act(x).sum().backward()
+        assert float(x.grad[0]) == pytest.approx(1.0, abs=0.05)
+
+    def test_per_neuron_bound_gradients_independent(self):
+        act = FitReLU(np.array([2.0, 2.0], dtype=np.float32))
+        x = Tensor(np.array([[2.2, 0.1]], dtype=np.float32))
+        act(x).sum().backward()
+        grads = act.bound.grad
+        assert abs(grads[0]) > abs(grads[1])
+
+
+class TestValidation:
+    def test_non_positive_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FitReLU(np.array([0.0], dtype=np.float32))
+
+    def test_non_positive_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FitReLU(np.array([1.0], dtype=np.float32), k=0.0)
+
+    def test_bad_slope_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FitReLU(np.array([1.0], dtype=np.float32), slope_mode="adaptive")
+
+    def test_default_slope_exported(self):
+        assert DEFAULT_SLOPE > 0
+
+    def test_hard_equivalent_copies(self):
+        act = FitReLU(np.array([2.0], dtype=np.float32))
+        bounds = act.hard_equivalent()
+        bounds[0] = 99.0
+        assert act.bound.data[0] == pytest.approx(2.0)
+
+    def test_bound_count(self):
+        act = FitReLU(np.ones((3, 2, 2), dtype=np.float32))
+        assert act.bound_count == 12

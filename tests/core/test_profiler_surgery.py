@@ -1,0 +1,217 @@
+"""Activation profiling and model surgery."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.core import (
+    ActivationProfile,
+    FitReLU,
+    FitReLUNaive,
+    GBReLU,
+    RecordingReLU,
+    bound_modules,
+    bound_parameter_count,
+    find_activation_sites,
+    make_factory,
+    profile_activations,
+    replace_activations,
+    restore_relu,
+)
+from repro.data import ArrayDataset, DataLoader
+from repro.errors import ConfigurationError
+
+
+def _loader(n=32, channels=2, size=4, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n, channels, size, size)).astype(np.float32)
+    return DataLoader(ArrayDataset(data, np.zeros(n, dtype=np.int64)), batch_size=8)
+
+
+def _conv_model(seed=0):
+    return nn.Sequential(
+        nn.Conv2d(2, 3, 3, padding=1, rng=seed),
+        nn.ReLU(),
+        nn.Flatten(),
+        nn.Linear(3 * 16, 5, rng=seed + 1),
+        nn.ReLU(),
+        nn.Linear(5, 2, rng=seed + 2),
+    )
+
+
+class TestRecordingReLU:
+    def test_behaves_like_relu(self):
+        recorder = RecordingReLU()
+        x = Tensor([[-1.0, 2.0]])
+        assert recorder(x).data.tolist() == [[0.0, 2.0]]
+
+    def test_tracks_elementwise_max(self):
+        recorder = RecordingReLU()
+        recorder(Tensor(np.array([[1.0, 5.0]], dtype=np.float32)))
+        recorder(Tensor(np.array([[3.0, 2.0]], dtype=np.float32)))
+        assert recorder.max_activation.tolist() == [3.0, 5.0]
+        assert recorder.batches_seen == 2
+
+    def test_max_over_batch_axis(self):
+        recorder = RecordingReLU()
+        recorder(Tensor(np.array([[1.0], [4.0]], dtype=np.float32)))
+        assert recorder.max_activation.tolist() == [4.0]
+
+
+class TestProfiler:
+    def test_profile_shapes(self):
+        model = _conv_model()
+        profile = profile_activations(model, _loader())
+        assert profile.sites == ["1", "4"]
+        assert profile.site_max["1"].shape == (3, 4, 4)
+        assert profile.site_max["4"].shape == (5,)
+
+    def test_model_restored_after_profiling(self):
+        model = _conv_model()
+        profile_activations(model, _loader())
+        assert isinstance(model[1], nn.ReLU)
+        assert isinstance(model[4], nn.ReLU)
+
+    def test_profile_matches_manual_forward(self):
+        model = _conv_model()
+        loader = _loader()
+        profile = profile_activations(model, loader)
+        model.eval()
+        manual = None
+        from repro.autograd import no_grad
+
+        with no_grad():
+            for inputs, _ in loader:
+                out = model[0](inputs).data
+                batch_max = np.maximum(out, 0).max(axis=0)
+                manual = batch_max if manual is None else np.maximum(manual, batch_max)
+        np.testing.assert_allclose(profile.site_max["1"], manual, rtol=1e-5)
+
+    def test_bounds_granularities(self):
+        model = _conv_model()
+        profile = profile_activations(model, _loader())
+        neuron = profile.bounds("1", "neuron")
+        channel = profile.bounds("1", "channel")
+        layer = profile.bounds("1", "layer")
+        assert neuron.shape == (3, 4, 4)
+        assert channel.shape == (3, 1, 1)
+        assert layer.shape == (1,)
+        assert layer[0] == pytest.approx(neuron.max())
+        np.testing.assert_allclose(channel.reshape(3), neuron.max(axis=(1, 2)))
+
+    def test_bounds_floor_applied(self):
+        profile = ActivationProfile(site_max={"s": np.zeros((2, 2), dtype=np.float32)})
+        bounds = profile.bounds("s", "neuron", floor=0.5)
+        assert (bounds == 0.5).all()
+
+    def test_unknown_granularity(self):
+        profile = ActivationProfile(site_max={"s": np.ones(2, dtype=np.float32)})
+        with pytest.raises(ConfigurationError):
+            profile.bounds("s", "per-row")
+
+    def test_no_relu_model_raises(self):
+        with pytest.raises(ConfigurationError):
+            profile_activations(nn.Sequential(nn.Tanh()), _loader())
+
+    def test_spread_and_distribution(self):
+        profile = ActivationProfile(
+            site_max={"s": np.array([1.0, 3.0], dtype=np.float32)}
+        )
+        assert profile.neuron_distribution("s").tolist() == [1.0, 3.0]
+        spread = profile.spread("s")
+        assert spread["max"] == 3.0 and spread["min"] == 1.0
+        assert profile.total_neurons == 2
+
+
+class TestSurgery:
+    def test_find_sites(self):
+        assert find_activation_sites(_conv_model()) == ["1", "4"]
+
+    def test_fitact_replacement(self):
+        model = _conv_model()
+        profile = profile_activations(model, _loader())
+        replaced = replace_activations(
+            model, make_factory("fitact"), profile, granularity="neuron"
+        )
+        assert replaced == ["1", "4"]
+        assert isinstance(model[1], FitReLU)
+        assert model[1].bound.shape == (3, 4, 4)
+
+    def test_clipact_replacement_layer_bound(self):
+        model = _conv_model()
+        profile = profile_activations(model, _loader())
+        replace_activations(model, make_factory("clipact"), profile, granularity="layer")
+        assert isinstance(model[1], GBReLU)
+        assert model[1].mode == "zero"
+        assert model[1].bound.data[0] == pytest.approx(profile.layer_bound("1"), rel=1e-5)
+
+    def test_ranger_replacement_saturates(self):
+        model = _conv_model()
+        profile = profile_activations(model, _loader())
+        replace_activations(model, make_factory("ranger"), profile, granularity="layer")
+        assert model[1].mode == "saturate"
+
+    def test_fitact_naive_replacement(self):
+        model = _conv_model()
+        profile = profile_activations(model, _loader())
+        replace_activations(model, make_factory("fitact-naive"), profile)
+        assert isinstance(model[1], FitReLUNaive)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_factory("tmr")
+
+    def test_bound_scale(self):
+        model = _conv_model()
+        profile = profile_activations(model, _loader())
+        replace_activations(
+            model, make_factory("clipact", bound_scale=0.5), profile, granularity="layer"
+        )
+        assert model[1].bound.data[0] == pytest.approx(
+            0.5 * profile.layer_bound("1"), rel=1e-5
+        )
+
+    def test_invalid_bound_scale(self):
+        with pytest.raises(ConfigurationError):
+            make_factory("clipact", bound_scale=0.0)
+
+    def test_clipact_surgery_preserves_clean_outputs(self):
+        """Bounds at the observed maxima must not change in-range outputs."""
+        model = _conv_model()
+        loader = _loader()
+        profile = profile_activations(model, loader)
+        inputs, _ = next(iter(loader))
+        model.eval()
+        before = model(inputs).data.copy()
+        replace_activations(model, make_factory("clipact"), profile, granularity="layer")
+        after = model(inputs).data
+        np.testing.assert_allclose(after, before, rtol=1e-4, atol=1e-5)
+
+    def test_restore_relu(self):
+        model = _conv_model()
+        profile = profile_activations(model, _loader())
+        replace_activations(model, make_factory("fitact"), profile)
+        assert restore_relu(model) == 2
+        assert isinstance(model[1], nn.ReLU)
+
+    def test_bound_bookkeeping(self):
+        model = _conv_model()
+        profile = profile_activations(model, _loader())
+        replace_activations(model, make_factory("fitact"), profile)
+        assert bound_parameter_count(model) == 3 * 16 + 5
+        assert set(bound_modules(model)) == {"1", "4"}
+
+    def test_forward_order_preserved_after_surgery(self):
+        """Regression for the dict-reinsertion ordering bug."""
+        model = _conv_model()
+        loader = _loader()
+        profile = profile_activations(model, loader)
+        inputs, _ = next(iter(loader))
+        model.eval()
+        before = model(inputs).data.copy()
+        replace_activations(
+            model, lambda path, bounds: nn.ReLU(), profile, granularity="layer"
+        )
+        after = model(inputs).data
+        np.testing.assert_allclose(after, before, rtol=1e-5)

@@ -1,0 +1,149 @@
+"""The protection API and the full FitAct pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    FitActConfig,
+    FitActPipeline,
+    FitReLU,
+    GBReLU,
+    PostTrainingConfig,
+    ProtectionConfig,
+    Trainer,
+    TrainingConfig,
+    evaluate_accuracy,
+    protect_model,
+)
+from repro.data import ArrayDataset, DataLoader
+from repro.errors import ConfigurationError
+from repro.quant.fixed_point import decode, encode
+
+
+def _toy_problem(n=256, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 8)).astype(np.float32)
+    y = (x[:, 0] - x[:, 2] > 0).astype(np.int64)
+    return DataLoader(ArrayDataset(x, y), batch_size=32, shuffle=True, rng=0)
+
+
+def _trained_mlp(loader, seed=0):
+    model = nn.Sequential(
+        nn.Linear(8, 16, rng=seed), nn.ReLU(), nn.Linear(16, 2, rng=seed + 1)
+    )
+    Trainer(model, TrainingConfig(epochs=10, lr=0.1)).fit(loader)
+    return model
+
+
+class TestProtectionConfig:
+    def test_method_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProtectionConfig(method="dmr")
+
+    def test_granularity_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProtectionConfig(granularity="per-core")
+
+    def test_method_default_granularities(self):
+        assert ProtectionConfig(method="fitact").effective_granularity == "neuron"
+        assert ProtectionConfig(method="clipact").effective_granularity == "layer"
+        assert ProtectionConfig(method="ranger").effective_granularity == "layer"
+
+    def test_granularity_override(self):
+        config = ProtectionConfig(method="fitact", granularity="channel")
+        assert config.effective_granularity == "channel"
+
+
+class TestProtectModel:
+    def test_none_is_noop(self):
+        loader = _toy_problem()
+        model = _trained_mlp(loader)
+        report = protect_model(model, loader, ProtectionConfig(method="none"))
+        assert report.replaced_sites == []
+        assert isinstance(model[1], nn.ReLU)
+
+    def test_fitact_replaces_and_reports(self):
+        loader = _toy_problem()
+        model = _trained_mlp(loader)
+        report = protect_model(model, loader, ProtectionConfig(method="fitact"))
+        assert report.replaced_sites == ["1"]
+        assert report.bound_words == 16
+        assert isinstance(model[1], FitReLU)
+        assert "fitact" in report.summary()
+
+    def test_clipact_uses_layer_bound(self):
+        loader = _toy_problem()
+        model = _trained_mlp(loader)
+        protect_model(model, loader, ProtectionConfig(method="clipact"))
+        assert isinstance(model[1], GBReLU)
+        assert model[1].bound.size == 1
+
+    def test_shared_profile_reused(self):
+        loader = _toy_problem()
+        model = _trained_mlp(loader)
+        first = protect_model(model, loader, ProtectionConfig(method="clipact"))
+        model2 = _trained_mlp(loader)
+        second = protect_model(
+            model2, loader, ProtectionConfig(method="ranger"), profile=first.profile
+        )
+        assert second.profile is first.profile
+
+
+class TestFitActPipeline:
+    def test_end_to_end_protect(self):
+        loader = _toy_problem()
+        model = _trained_mlp(loader)
+        reference = evaluate_accuracy(model, loader)
+        pipeline = FitActPipeline(
+            FitActConfig(post_training=PostTrainingConfig(epochs=2, lr=0.05, delta=0.1))
+        )
+        result = pipeline.protect(model, loader, loader)
+        assert isinstance(model[1], FitReLU)
+        assert result.post_training is not None
+        assert result.reference_accuracy == pytest.approx(reference, abs=1e-9)
+        assert reference - result.protected_accuracy < 0.1 + 1e-6
+        assert "clean accuracy" in result.summary()
+
+    def test_quantizes_parameters(self):
+        loader = _toy_problem()
+        model = _trained_mlp(loader)
+        pipeline = FitActPipeline(
+            FitActConfig(post_training=PostTrainingConfig(epochs=1, delta=0.2))
+        )
+        pipeline.protect(model, loader, loader)
+        for _, param in model.named_parameters():
+            np.testing.assert_array_equal(decode(encode(param.data)), param.data)
+
+    def test_quantize_disabled(self):
+        loader = _toy_problem()
+        model = _trained_mlp(loader)
+        pipeline = FitActPipeline(
+            FitActConfig(
+                quantize=False,
+                post_training=PostTrainingConfig(epochs=1, delta=0.2),
+            )
+        )
+        pipeline.protect(model, loader, loader)
+        quantized = all(
+            np.array_equal(decode(encode(p.data)), p.data)
+            for _, p in model.named_parameters()
+        )
+        assert not quantized
+
+    def test_clipact_pipeline_skips_post_training(self):
+        loader = _toy_problem()
+        model = _trained_mlp(loader)
+        pipeline = FitActPipeline(
+            FitActConfig(protection=ProtectionConfig(method="clipact"))
+        )
+        result = pipeline.protect(model, loader, loader)
+        assert result.post_training is None
+
+    def test_train_helper(self):
+        loader = _toy_problem()
+        model = nn.Sequential(nn.Linear(8, 4, rng=0), nn.ReLU(), nn.Linear(4, 2, rng=1))
+        report = FitActPipeline().train(
+            model, loader, training=TrainingConfig(epochs=1)
+        )
+        assert report.epochs == 1

@@ -1,0 +1,212 @@
+"""Stage-1 training and stage-2 bound post-training."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    BoundPostTrainer,
+    PostTrainingConfig,
+    ProtectionConfig,
+    Trainer,
+    TrainingConfig,
+    evaluate_accuracy,
+    protect_model,
+)
+from repro.data import ArrayDataset, DataLoader
+from repro.errors import ConfigurationError
+
+
+def _toy_problem(n=256, seed=0):
+    """Linearly separable two-class toy data."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 8)).astype(np.float32)
+    y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+    return DataLoader(ArrayDataset(x, y), batch_size=32, shuffle=True, rng=0)
+
+
+def _mlp(seed=0):
+    return nn.Sequential(
+        nn.Linear(8, 16, rng=seed), nn.ReLU(), nn.Linear(16, 2, rng=seed + 1)
+    )
+
+
+class TestTrainer:
+    def test_loss_decreases(self):
+        loader = _toy_problem()
+        model = _mlp()
+        report = Trainer(model, TrainingConfig(epochs=5, lr=0.1)).fit(loader)
+        losses = [h["loss"] for h in report.history]
+        assert losses[-1] < losses[0]
+
+    def test_reaches_high_accuracy(self):
+        loader = _toy_problem()
+        model = _mlp()
+        report = Trainer(model, TrainingConfig(epochs=12, lr=0.1)).fit(loader, loader)
+        assert report.final_accuracy > 0.9
+
+    def test_report_summary(self):
+        loader = _toy_problem(n=64)
+        report = Trainer(_mlp(), TrainingConfig(epochs=1)).fit(loader)
+        assert "trained 1 epochs" in report.summary()
+
+    def test_evaluate_accuracy_stub(self):
+        """Known-logits model gives exact accuracy."""
+
+        class Fixed(nn.Module):
+            def forward(self, x):
+                from repro.autograd import Tensor
+
+                n = x.shape[0]
+                logits = np.zeros((n, 2), dtype=np.float32)
+                logits[:, 1] = 1.0  # always predict class 1
+                return Tensor(logits)
+
+        x = np.zeros((10, 3), dtype=np.float32)
+        y = np.array([1] * 7 + [0] * 3, dtype=np.int64)
+        loader = DataLoader(ArrayDataset(x, y), batch_size=4)
+        assert evaluate_accuracy(Fixed(), loader) == pytest.approx(0.7)
+
+    def test_evaluate_restores_training_flag(self):
+        model = _mlp()
+        model.train()
+        evaluate_accuracy(model, _toy_problem(n=32))
+        assert model.training
+
+
+class TestPostTraining:
+    def _protected_model(self, loader, zeta=1.0, epochs=3, delta=0.1):
+        model = _mlp()
+        Trainer(model, TrainingConfig(epochs=10, lr=0.1)).fit(loader)
+        protect_model(model, loader, ProtectionConfig(method="fitact"))
+        trainer = BoundPostTrainer(
+            model,
+            PostTrainingConfig(epochs=epochs, lr=0.05, zeta=zeta, delta=delta),
+        )
+        return model, trainer
+
+    def test_requires_trainable_bounds(self):
+        with pytest.raises(ConfigurationError, match="trainable activation bounds"):
+            BoundPostTrainer(_mlp())
+
+    def test_bounds_shrink(self):
+        loader = _toy_problem()
+        model, trainer = self._protected_model(loader)
+        report = trainer.run(loader, loader)
+        assert report.final_mean_bound < report.initial_mean_bound
+        assert report.bound_shrink > 0
+
+    def test_weights_frozen_during_post_training(self):
+        """Paper §V-B: none of ΘA may change."""
+        loader = _toy_problem()
+        model, trainer = self._protected_model(loader)
+        weights_before = {
+            name: param.data.copy()
+            for name, param in model.named_parameters()
+            if "bound" not in name
+        }
+        trainer.run(loader, loader)
+        for name, param in model.named_parameters():
+            if "bound" not in name:
+                np.testing.assert_array_equal(param.data, weights_before[name])
+
+    def test_requires_grad_restored_after_run(self):
+        loader = _toy_problem()
+        model, trainer = self._protected_model(loader)
+        trainer.run(loader, loader)
+        assert all(p.requires_grad for p in model.parameters())
+
+    def test_accuracy_constraint_holds(self):
+        loader = _toy_problem()
+        model, trainer = self._protected_model(loader, delta=0.05)
+        report = trainer.run(loader, loader)
+        assert (
+            report.reference_accuracy - report.final_accuracy
+            < trainer.config.delta + 1e-9
+        )
+
+    def test_aggressive_zeta_rolls_back(self):
+        """A huge ζ crushes bounds; the δ constraint must roll back."""
+        loader = _toy_problem()
+        model, trainer = self._protected_model(loader, zeta=1e5, epochs=4, delta=0.02)
+        report = trainer.run(loader, loader)
+        drop = report.reference_accuracy - report.final_accuracy
+        assert drop < 0.02 + 1e-9
+
+    def test_bounds_respect_floor(self):
+        loader = _toy_problem()
+        model, trainer = self._protected_model(loader, zeta=1e5)
+        trainer.run(loader, loader)
+        for bound in trainer.bound_parameters:
+            assert bound.data.min() >= trainer.config.bound_floor - 1e-9
+
+    def test_zero_zeta_changes_little(self):
+        loader = _toy_problem()
+        model, trainer = self._protected_model(loader, zeta=0.0, epochs=2)
+        report = trainer.run(loader, loader)
+        # Without the regulariser the only pressure on λ is the CE term.
+        assert report.bound_shrink < 0.2
+
+    def test_report_fields(self):
+        loader = _toy_problem()
+        _, trainer = self._protected_model(loader, epochs=2)
+        report = trainer.run(loader, loader)
+        assert report.epochs_run == 2
+        assert len(report.history) == 2
+        assert report.duration_seconds > 0
+        assert "mean bound" in report.summary()
+
+    def test_total_bounds_matches_modules(self):
+        loader = _toy_problem()
+        model, trainer = self._protected_model(loader)
+        assert trainer.total_bounds == 16  # one hidden ReLU site of width 16
+
+
+class TestInfeasibleConstraintFallback:
+    """When surgery costs more clean accuracy than δ allows and no epoch
+    recovers it, post-training must ship the *most accurate* state seen
+    — never roll back to the crippled initial state (regression test for
+    the MobileNet EXT-M finding)."""
+
+    def _crippled_model(self, loader, epochs=6):
+        model = _mlp()
+        Trainer(model, TrainingConfig(epochs=12, lr=0.1)).fit(loader)
+        protect_model(model, loader, ProtectionConfig(method="fitact"))
+        # Shrink the bounds below the legitimate activation range —
+        # mildly, so the sigmoid gate keeps a live λ gradient and the CE
+        # term can regrow the bounds (a hard 0 gate has zero gradient).
+        from repro.core.surgery import bound_modules
+
+        for module in bound_modules(model).values():
+            module.bound.data = (module.bound.data * 0.3).astype(np.float32)
+        trainer = BoundPostTrainer(
+            model,
+            PostTrainingConfig(epochs=epochs, lr=0.05, zeta=0.0, delta=0.01),
+        )
+        return model, trainer
+
+    def test_ships_best_seen_state(self):
+        loader = _toy_problem()
+        model, trainer = self._crippled_model(loader)
+        report = trainer.run(loader, loader, reference_accuracy=1.0)
+        # The fallback contract: the shipped state is at least as good
+        # as the crippled initial AND as every epoch's state.
+        assert report.final_accuracy >= report.initial_accuracy - 1e-9
+        best_epoch = max(h["clean_accuracy"] for h in report.history)
+        assert report.final_accuracy >= best_epoch - 1e-9
+        live = evaluate_accuracy(model, loader)
+        assert live == pytest.approx(report.final_accuracy, abs=1e-6)
+
+    def test_feasible_path_unchanged(self):
+        """With an achievable reference the constrained-best rollback
+        behaves exactly as before (bounds shrink, accuracy within δ)."""
+        loader = _toy_problem()
+        model = _mlp()
+        Trainer(model, TrainingConfig(epochs=12, lr=0.1)).fit(loader)
+        reference = evaluate_accuracy(model, loader)
+        protect_model(model, loader, ProtectionConfig(method="fitact"))
+        trainer = BoundPostTrainer(
+            model, PostTrainingConfig(epochs=3, lr=0.05, zeta=0.5, delta=0.05)
+        )
+        report = trainer.run(loader, loader, reference_accuracy=reference)
+        assert reference - report.final_accuracy < 0.05 + 1e-9

@@ -1,0 +1,133 @@
+"""DataLoader batching and the batched transforms."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.data import (
+    ArrayDataset,
+    Compose,
+    DataLoader,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    Subset,
+    random_split,
+    stratified_split,
+)
+from repro.errors import ConfigurationError, ShapeError
+
+
+def _dataset(n=20, channels=3, size=8, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(
+        rng.random((n, channels, size, size), dtype=np.float32),
+        rng.integers(0, classes, n),
+    )
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        loader = DataLoader(_dataset(20), batch_size=8)
+        batches = list(loader)
+        assert [len(t) for _, t in batches] == [8, 8, 4]
+        assert isinstance(batches[0][0], Tensor)
+
+    def test_len(self):
+        assert len(DataLoader(_dataset(20), batch_size=8)) == 3
+        assert len(DataLoader(_dataset(20), batch_size=8, drop_last=True)) == 2
+
+    def test_drop_last(self):
+        loader = DataLoader(_dataset(20), batch_size=8, drop_last=True)
+        assert [len(t) for _, t in loader] == [8, 8]
+
+    def test_shuffle_deterministic_by_seed(self):
+        ds = _dataset(16)
+        a = [t.tolist() for _, t in DataLoader(ds, batch_size=4, shuffle=True, rng=3)]
+        b = [t.tolist() for _, t in DataLoader(ds, batch_size=4, shuffle=True, rng=3)]
+        assert a == b
+
+    def test_shuffle_changes_order(self):
+        ds = _dataset(32)
+        plain = [t.tolist() for _, t in DataLoader(ds, batch_size=32)]
+        shuffled = [t.tolist() for _, t in DataLoader(ds, batch_size=32, shuffle=True, rng=1)]
+        assert plain != shuffled
+
+    def test_transform_applied(self):
+        loader = DataLoader(_dataset(8), batch_size=8, transform=lambda b: b * 0)
+        inputs, _ = next(iter(loader))
+        assert float(np.abs(inputs.data).sum()) == 0.0
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            DataLoader(_dataset(), batch_size=0)
+
+    def test_generic_dataset_fallback(self):
+        ds = _dataset(10)
+        subset = Subset(ds, np.arange(5))
+        loader = DataLoader(subset, batch_size=2)
+        inputs, targets = next(iter(loader))
+        assert inputs.shape == (2, 3, 8, 8)
+        assert targets.dtype == np.int64
+
+
+class TestTransforms:
+    def test_normalize_math(self):
+        batch = np.ones((2, 3, 4, 4), dtype=np.float32) * 0.5
+        out = Normalize((0.5, 0.5, 0.5), (0.25, 0.25, 0.25))(batch)
+        np.testing.assert_allclose(out, 0.0, atol=1e-6)
+
+    def test_normalize_shape_check(self):
+        with pytest.raises(ShapeError):
+            Normalize((0.5,) * 3, (0.2,) * 3)(np.zeros((2, 1, 4, 4), dtype=np.float32))
+
+    def test_normalize_zero_std_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Normalize((0.5,), (0.0,))
+
+    def test_flip_always(self):
+        batch = np.zeros((1, 1, 2, 3), dtype=np.float32)
+        batch[0, 0, 0] = [1, 2, 3]
+        out = RandomHorizontalFlip(p=1.0, rng=0)(batch)
+        assert out[0, 0, 0].tolist() == [3, 2, 1]
+
+    def test_flip_never(self):
+        batch = np.random.default_rng(0).random((4, 1, 3, 3)).astype(np.float32)
+        out = RandomHorizontalFlip(p=0.0, rng=0)(batch)
+        np.testing.assert_array_equal(out, batch)
+
+    def test_crop_preserves_shape(self):
+        batch = np.random.default_rng(0).random((4, 3, 8, 8)).astype(np.float32)
+        out = RandomCrop(padding=2, rng=0)(batch)
+        assert out.shape == batch.shape
+
+    def test_crop_invalid_padding(self):
+        with pytest.raises(ConfigurationError):
+            RandomCrop(padding=0)
+
+    def test_compose_order(self):
+        double = lambda b: b * 2  # noqa: E731
+        add_one = lambda b: b + 1  # noqa: E731
+        out = Compose([double, add_one])(np.ones((1,), dtype=np.float32))
+        assert out.tolist() == [3.0]
+
+
+class TestSplits:
+    def test_random_split_sizes(self):
+        parts = random_split(_dataset(20), (0.5, 0.25, 0.25), rng=0)
+        assert [len(p) for p in parts] == [10, 5, 5]
+
+    def test_random_split_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_split(_dataset(10), (0.5, 0.1), rng=0)
+
+    def test_stratified_split_preserves_classes(self):
+        targets = np.array([0] * 10 + [1] * 10)
+        first, second = stratified_split(targets, 0.5, rng=0)
+        assert (targets[first] == 0).sum() == 5
+        assert (targets[first] == 1).sum() == 5
+        assert len(first) + len(second) == 20
+
+    def test_stratified_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            stratified_split(np.zeros(4), 1.5)

@@ -1,0 +1,115 @@
+"""Fault campaigns and statistics."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.fault import (
+    BitFlipFaultModel,
+    CampaignResult,
+    FaultCampaign,
+    FaultInjector,
+    accuracy_drop,
+    critical_bit_threshold,
+    sdc_probability,
+)
+from repro.quant import quantize_module
+
+
+def _campaign(trials=5, seed=0):
+    model = quantize_module(
+        nn.Sequential(nn.Linear(4, 8, rng=0), nn.ReLU(), nn.Linear(8, 2, rng=1))
+    )
+    injector = FaultInjector(model)
+    calls = {"n": 0}
+
+    def evaluate() -> float:
+        calls["n"] += 1
+        # Accuracy proxy: fraction of finite, in-range parameter values —
+        # deterministic and sensitive to injected faults.
+        total, bad = 0, 0
+        for param in model.parameters():
+            total += param.size
+            bad += int((np.abs(param.data) > 100).sum())
+        return 1.0 - bad / total
+
+    return FaultCampaign(injector, evaluate, trials=trials, seed=seed), calls
+
+
+class TestCampaign:
+    def test_runs_all_trials(self):
+        campaign, calls = _campaign(trials=7)
+        result = campaign.run(BitFlipFaultModel.exact(3))
+        assert result.trials == 7
+        assert calls["n"] == 7
+        assert (result.flip_counts == 3).all()
+
+    def test_deterministic_by_seed(self):
+        a, _ = _campaign(seed=5)
+        b, _ = _campaign(seed=5)
+        spec = BitFlipFaultModel.at_rate(1e-3)
+        ra = a.run(spec)
+        rb = b.run(spec)
+        np.testing.assert_array_equal(ra.accuracies, rb.accuracies)
+        np.testing.assert_array_equal(ra.flip_counts, rb.flip_counts)
+
+    def test_different_seeds_differ(self):
+        a, _ = _campaign(seed=1)
+        b, _ = _campaign(seed=2)
+        spec = BitFlipFaultModel.at_rate(5e-3)
+        assert not np.array_equal(a.run(spec).flip_counts, b.run(spec).flip_counts)
+
+    def test_sweep_covers_rates(self):
+        campaign, _ = _campaign(trials=2)
+        sweep = campaign.run_sweep((1e-4, 1e-3))
+        assert sweep.rates == (1e-4, 1e-3)
+        assert len(sweep.mean_curve()) == 2
+
+    def test_invalid_trials(self):
+        campaign, _ = _campaign()
+        with pytest.raises(ValueError):
+            FaultCampaign(campaign.injector, campaign.evaluate, trials=0)
+
+
+class TestResultStatistics:
+    def _result(self, values):
+        return CampaignResult(
+            BitFlipFaultModel.exact(1),
+            np.asarray(values, dtype=np.float64),
+            np.ones(len(values), dtype=np.int64),
+        )
+
+    def test_summary_stats(self):
+        result = self._result([0.9, 0.8, 1.0, 0.7])
+        assert result.mean == pytest.approx(0.85)
+        assert result.median == pytest.approx(0.85)
+        assert result.min == 0.7
+        assert result.max == 1.0
+
+    def test_box_stats_ordering(self):
+        result = self._result([0.2, 0.4, 0.6, 0.8, 1.0])
+        box = result.box_stats()
+        assert box["min"] <= box["q1"] <= box["median"] <= box["q3"] <= box["max"]
+
+    def test_summary_text(self):
+        assert "mean" in self._result([0.5, 0.5]).summary()
+
+    def test_accuracy_drop(self):
+        assert accuracy_drop(0.95, self._result([0.5, 0.7])) == pytest.approx(0.35)
+
+    def test_sdc_probability(self):
+        result = self._result([0.95, 0.5, 0.94, 0.2])
+        assert sdc_probability(result, baseline=0.95, tolerance=0.01) == 0.5
+
+    def test_critical_bit_threshold(self):
+        vulnerability = {
+            0: self._result([0.95]),
+            16: self._result([0.945]),
+            24: self._result([0.5]),
+            31: self._result([0.1]),
+        }
+        assert critical_bit_threshold(vulnerability, baseline=0.95) == 24
+
+    def test_critical_bit_none(self):
+        vulnerability = {0: self._result([0.95])}
+        assert critical_bit_threshold(vulnerability, baseline=0.95) is None

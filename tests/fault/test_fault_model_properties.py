@@ -1,0 +1,122 @@
+"""Cross-cutting property tests over the whole fault-model zoo.
+
+Invariants every fault model must satisfy, checked uniformly: sites in
+range, determinism by seed, exact restoration, and XOR involution.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.fault import (
+    BitFlipFaultModel,
+    BurstFaultModel,
+    FaultInjector,
+    StuckAtFaultModel,
+    WordFaultModel,
+)
+from repro.quant import FORMATS, quantize, quantize_module
+
+
+def _model(seed=0):
+    model = nn.Sequential(
+        nn.Linear(5, 10, rng=seed), nn.ReLU(), nn.Linear(10, 3, rng=seed + 1)
+    )
+    return quantize_module(model)
+
+
+FAULT_MODELS = [
+    BitFlipFaultModel.exact(17),
+    BitFlipFaultModel.at_rate(2e-3),
+    StuckAtFaultModel.exact(0, 25),
+    StuckAtFaultModel.exact(1, 25),
+    BurstFaultModel.exact(4, 5),
+    WordFaultModel.exact("random", 4),
+    WordFaultModel.exact("zero", 4),
+    WordFaultModel.exact("max", 4),
+]
+IDS = [m.describe() for m in FAULT_MODELS]
+
+
+@pytest.mark.parametrize("fault_model", FAULT_MODELS, ids=IDS)
+class TestUniversalInvariants:
+    def test_sites_in_range(self, fault_model):
+        injector = FaultInjector(_model())
+        sites = injector.sample(fault_model, rng=3)
+        if len(sites) == 0:
+            return
+        assert sites.word_positions.min() >= 0
+        assert sites.word_positions.max() < injector.total_words
+        assert sites.bit_positions.min() >= 0
+        assert sites.bit_positions.max() < 32
+
+    def test_sites_are_distinct_pairs(self, fault_model):
+        injector = FaultInjector(_model())
+        sites = injector.sample(fault_model, rng=4)
+        pairs = set(zip(sites.word_positions, sites.bit_positions))
+        assert len(pairs) == len(sites)
+
+    def test_deterministic_by_seed(self, fault_model):
+        injector = FaultInjector(_model())
+        a = injector.sample(fault_model, rng=11)
+        b = injector.sample(fault_model, rng=11)
+        np.testing.assert_array_equal(a.word_positions, b.word_positions)
+        np.testing.assert_array_equal(a.bit_positions, b.bit_positions)
+
+    def test_restore_is_bit_exact(self, fault_model):
+        model = _model()
+        injector = FaultInjector(model)
+        before = {n: p.data.copy() for n, p in model.named_parameters()}
+        sites = injector.sample(fault_model, rng=5)
+        with injector.inject(sites):
+            pass
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name], err_msg=name)
+
+    def test_apply_is_deterministic_from_clean_memory(self, fault_model):
+        """apply() always derives the faulty state from the clean
+        snapshot, so restore → re-apply reproduces it bit-exactly."""
+        model = _model()
+        injector = FaultInjector(model)
+        sites = injector.sample(fault_model, rng=6)
+        injector.apply(sites)
+        first = {n: p.data.copy() for n, p in model.named_parameters()}
+        injector.restore()
+        injector.apply(sites)
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(param.data, first[name], err_msg=name)
+        injector.restore()
+
+
+class TestCatalogFormatsRoundtrip:
+    @given(
+        value=st.floats(min_value=-100.0, max_value=100.0),
+        key=st.sampled_from(sorted(FORMATS)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_quantise_within_resolution_or_saturated(self, value, key):
+        fmt = FORMATS[key]
+        snapped = float(quantize(np.array([value]), fmt)[0])
+        if fmt.min_value <= value <= fmt.max_value:
+            # decode() returns float32, whose representation error
+            # (2^-23 relative) can exceed half a ulp of the finest
+            # formats (Q7.24) — allow both error sources.
+            tolerance = fmt.resolution / 2 + abs(value) * 2**-23 + 1e-9
+            assert abs(snapped - value) <= tolerance
+        else:
+            assert snapped in (
+                pytest.approx(fmt.min_value, rel=1e-6),
+                pytest.approx(fmt.max_value, rel=1e-6),
+            )
+
+    @given(key=st.sampled_from(sorted(FORMATS)))
+    @settings(max_examples=10, deadline=None)
+    def test_quantise_is_idempotent(self, key):
+        fmt = FORMATS[key]
+        rng = np.random.default_rng(0)
+        values = rng.normal(scale=3.0, size=64).astype(np.float64)
+        once = quantize(values, fmt)
+        twice = quantize(once, fmt)
+        np.testing.assert_array_equal(once, twice)

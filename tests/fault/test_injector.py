@@ -1,0 +1,142 @@
+"""The fault injector: exact restore, filtering, determinism."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError
+from repro.fault import BitFlipFaultModel, FaultInjector, FaultSites
+from repro.quant import quantize_module
+
+
+def _model(seed=0):
+    model = nn.Sequential(
+        nn.Linear(6, 10, rng=seed), nn.ReLU(), nn.Linear(10, 3, rng=seed + 1)
+    )
+    return quantize_module(model)
+
+
+def _snapshot(model):
+    return {name: param.data.copy() for name, param in model.named_parameters()}
+
+
+class TestInjector:
+    def test_fault_space_size(self):
+        model = _model()
+        injector = FaultInjector(model)
+        assert injector.total_words == model.num_parameters()
+        assert injector.total_bits == model.num_parameters() * 32
+
+    def test_inject_changes_parameters(self):
+        model = _model()
+        injector = FaultInjector(model)
+        before = _snapshot(model)
+        sites = injector.sample(BitFlipFaultModel.exact(20), rng=0)
+        with injector.inject(sites) as count:
+            assert count == 20
+            changed = any(
+                not np.array_equal(param.data, before[name])
+                for name, param in model.named_parameters()
+            )
+            assert changed
+
+    def test_restore_is_bit_exact(self):
+        model = _model()
+        injector = FaultInjector(model)
+        before = _snapshot(model)
+        sites = injector.sample(BitFlipFaultModel.exact(50), rng=1)
+        with injector.inject(sites):
+            pass
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+
+    def test_restore_after_exception(self):
+        model = _model()
+        injector = FaultInjector(model)
+        before = _snapshot(model)
+        sites = injector.sample(BitFlipFaultModel.exact(5), rng=2)
+        with pytest.raises(RuntimeError, match="boom"):
+            with injector.inject(sites):
+                raise RuntimeError("boom")
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+
+    def test_zero_flip_trial(self):
+        model = _model()
+        injector = FaultInjector(model)
+        with injector.inject(FaultSites.empty()) as count:
+            assert count == 0
+
+    def test_sampling_deterministic_by_seed(self):
+        injector = FaultInjector(_model())
+        spec = BitFlipFaultModel.exact(10)
+        a = injector.sample(spec, rng=9)
+        b = injector.sample(spec, rng=9)
+        np.testing.assert_array_equal(a.word_positions, b.word_positions)
+        np.testing.assert_array_equal(a.bit_positions, b.bit_positions)
+
+    def test_param_filter_restricts_targets(self):
+        model = _model()
+        injector = FaultInjector(model)
+        spec = BitFlipFaultModel.exact(
+            200, param_filter=lambda name: name.startswith("0.")
+        )
+        sites = injector.sample(spec, rng=0)
+        before = _snapshot(model)
+        with injector.inject(sites):
+            # Only layer 0 parameters may differ.
+            for name, param in model.named_parameters():
+                if not name.startswith("0."):
+                    np.testing.assert_array_equal(param.data, before[name])
+
+    def test_param_filter_matching_nothing_raises(self):
+        injector = FaultInjector(_model())
+        spec = BitFlipFaultModel.exact(1, param_filter=lambda name: False)
+        with pytest.raises(ConfigurationError):
+            injector.sample(spec, rng=0)
+
+    def test_double_apply_without_restore_raises(self):
+        injector = FaultInjector(_model())
+        sites = injector.sample(BitFlipFaultModel.exact(1), rng=0)
+        injector.apply(sites)
+        with pytest.raises(ConfigurationError):
+            injector.apply(sites)
+        injector.restore()
+
+    def test_refresh_while_active_raises(self):
+        injector = FaultInjector(_model())
+        injector.apply(injector.sample(BitFlipFaultModel.exact(1), rng=0))
+        with pytest.raises(ConfigurationError):
+            injector.refresh()
+        injector.restore()
+
+    def test_refresh_picks_up_new_values(self):
+        model = _model()
+        injector = FaultInjector(model)
+        first = next(model.parameters())
+        first.data = np.zeros_like(first.data)
+        injector.refresh()
+        with injector.inject(FaultSites.empty()):
+            pass
+        np.testing.assert_array_equal(first.data, np.zeros_like(first.data))
+
+    def test_describe_site(self):
+        injector = FaultInjector(_model())
+        text = injector.describe_site(0, 31)
+        assert "0.weight" in text and "bit 31" in text
+
+    def test_no_parameters_raises(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(nn.ReLU())
+
+    def test_single_flip_changes_single_value(self):
+        model = _model()
+        injector = FaultInjector(model)
+        before = _snapshot(model)
+        sites = FaultSites(np.array([0]), np.array([16]))
+        with injector.inject(sites):
+            after = _snapshot(model)
+            total_changed = sum(
+                (after[name] != before[name]).sum() for name in before
+            )
+            assert total_changed == 1

@@ -1,0 +1,115 @@
+"""Fault models and site sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fault import BitFlipFaultModel, PAPER_FAULT_RATES, sample_distinct, sample_sites
+
+
+class TestFaultModel:
+    def test_paper_rates(self):
+        assert PAPER_FAULT_RATES == (1e-7, 1e-6, 3e-6, 1e-5, 3e-5)
+
+    def test_requires_exactly_one_spec(self):
+        with pytest.raises(ConfigurationError):
+            BitFlipFaultModel()
+        with pytest.raises(ConfigurationError):
+            BitFlipFaultModel(fault_rate=1e-5, n_flips=3)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ConfigurationError):
+            BitFlipFaultModel(fault_rate=1.5)
+
+    def test_negative_flips(self):
+        with pytest.raises(ConfigurationError):
+            BitFlipFaultModel(n_flips=-1)
+
+    def test_duplicate_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitFlipFaultModel(n_flips=1, allowed_bits=(3, 3))
+
+    def test_empty_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitFlipFaultModel(n_flips=1, allowed_bits=())
+
+    def test_describe(self):
+        assert "rate=1e-05" in BitFlipFaultModel.at_rate(1e-5).describe()
+        spec = BitFlipFaultModel.exact(3, allowed_bits=(31,))
+        assert "n_flips=3" in spec.describe()
+        assert "31" in spec.describe()
+
+
+class TestSampleDistinct:
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_and_in_range(self, seed, count):
+        population = 1000
+        rng = np.random.default_rng(seed)
+        draw = sample_distinct(rng, population, count)
+        assert len(draw) == count
+        assert len(set(draw.tolist())) == count
+        assert draw.min() >= 0 and draw.max() < population
+
+    def test_dense_draw(self):
+        rng = np.random.default_rng(0)
+        draw = sample_distinct(rng, 10, 9)
+        assert len(set(draw.tolist())) == 9
+
+    def test_full_population(self):
+        rng = np.random.default_rng(0)
+        draw = sample_distinct(rng, 8, 8)
+        assert sorted(draw.tolist()) == list(range(8))
+
+    def test_zero_count(self):
+        assert len(sample_distinct(np.random.default_rng(0), 100, 0)) == 0
+
+    def test_overdraw_raises(self):
+        with pytest.raises(ConfigurationError):
+            sample_distinct(np.random.default_rng(0), 5, 6)
+
+    def test_deterministic(self):
+        a = sample_distinct(np.random.default_rng(7), 10_000, 20)
+        b = sample_distinct(np.random.default_rng(7), 10_000, 20)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSampleSites:
+    def test_exact_count(self):
+        sites = sample_sites(0, total_words=100, word_bits=32, n_flips=17)
+        assert len(sites) == 17
+
+    def test_binomial_mean(self):
+        """Flip counts across seeds must match Binomial(total_bits, rate)."""
+        total_words, rate = 1000, 1e-3
+        counts = [
+            len(sample_sites(seed, total_words, 32, fault_rate=rate))
+            for seed in range(200)
+        ]
+        expected = total_words * 32 * rate  # = 32
+        assert np.mean(counts) == pytest.approx(expected, rel=0.15)
+
+    def test_allowed_bits_respected(self):
+        sites = sample_sites(
+            1, total_words=50, word_bits=32, n_flips=40, allowed_bits=(30, 31)
+        )
+        assert set(sites.bit_positions.tolist()) <= {30, 31}
+
+    def test_bit_out_of_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            sample_sites(0, 10, 16, n_flips=1, allowed_bits=(16,))
+
+    def test_pairs_are_distinct(self):
+        sites = sample_sites(3, total_words=4, word_bits=4, n_flips=16)
+        pairs = set(zip(sites.word_positions.tolist(), sites.bit_positions.tolist()))
+        assert len(pairs) == 16
+
+    def test_empty_fault_space_raises(self):
+        with pytest.raises(ConfigurationError):
+            sample_sites(0, total_words=0, word_bits=32, n_flips=1)
+
+    def test_word_positions_in_range(self):
+        sites = sample_sites(5, total_words=7, word_bits=32, n_flips=50)
+        assert sites.word_positions.max() < 7

@@ -1,0 +1,136 @@
+"""Experiment runners produce well-formed results at smoke scale."""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import (
+    SMOKE,
+    StateCache,
+    prepare_context,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig5,
+    run_granularity_ablation,
+    run_posttraining_overhead,
+    run_table1,
+)
+
+PRESET = SMOKE.with_overrides(
+    image_size=16, train_samples=300, test_samples=120, train_epochs=10,
+    post_epochs=2, trials=2,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def isolated_cache(tmp_path_factory):
+    """Point the default experiment cache at a temp dir for this module."""
+    import os
+
+    directory = tmp_path_factory.mktemp("exp-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(directory)
+    yield directory
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
+@pytest.fixture(scope="module")
+def context(isolated_cache):
+    return prepare_context("lenet", "synth10", PRESET)
+
+
+class TestContext:
+    def test_training_metadata(self, context):
+        assert context.reference_accuracy > 0.5
+        assert context.training_seconds > 0
+
+    def test_cache_hit_reproduces_weights(self, context):
+        reloaded = prepare_context("lenet", "synth10", PRESET)
+        assert reloaded.reference_accuracy == context.reference_accuracy
+        model_a = context.fresh_model()
+        model_b = reloaded.fresh_model()
+        for (name, pa), (_, pb) in zip(
+            model_a.named_parameters(), model_b.named_parameters()
+        ):
+            np.testing.assert_array_equal(pa.data, pb.data, err_msg=name)
+
+    def test_protected_model_info(self, context):
+        model, info = context.protected_model("clipact")
+        assert 0.0 <= info["clean_accuracy"] <= 1.0
+
+    def test_fitact_post_training_memoised(self, context):
+        _, first = context.protected_model("fitact")
+        _, second = context.protected_model("fitact")
+        assert "post_seconds" in first
+        assert second["post_seconds"] == first["post_seconds"]
+
+
+class TestFigureRunners:
+    def test_fig1(self, context):
+        result = run_fig1(
+            preset=PRESET, context=context, fractions=(0.25, 1.0, 2.0), trials=2
+        )
+        assert len(result.bounds) == 3
+        assert result.baseline_accuracy > 0.5
+        text = result.to_text()
+        assert "FIG1" in text and "global bound" in text
+        assert result.best_bound() in result.bounds
+
+    def test_fig2(self, context):
+        result = run_fig2(preset=PRESET, context=context, site_index=0)
+        assert result.maxima.size > 0
+        assert result.dispersion_ratio >= 1.0
+        assert "FIG2" in result.to_text()
+
+    def test_fig3(self):
+        result = run_fig3(bound=2.0, k=40.0, points=101)
+        assert result.peak("ReLU") == pytest.approx(10.0)
+        assert result.tail_value("GBReLU") == 0.0
+        assert result.tail_value("FitReLU-Naive") == 0.0
+        assert result.tail_value("FitReLU") < 0.05
+        assert result.peak("FitReLU") <= 2.0 + 1e-5
+        assert "FIG3" in result.to_text()
+
+    def test_fig5(self, context):
+        result = run_fig5(
+            preset=PRESET,
+            context=context,
+            methods=("clipact", "none"),
+        )
+        box = result.box(
+            "clipact", result.sweep.rates[0]
+        )
+        assert box["min"] <= box["median"] <= box["max"]
+        assert "Clip-Act" in result.to_text()
+
+    def test_granularity_ablation(self, context):
+        result = run_granularity_ablation(
+            preset=PRESET, context=context, granularities=("neuron", "layer")
+        )
+        assert len(result.rows) == 2
+        words = {row[0]: int(row[1]) for row in result.rows}
+        assert words["neuron"] > words["layer"]
+        assert "ABL-G" in result.to_text()
+
+
+class TestOverheadRunners:
+    def test_table1_single_model(self, context, tmp_path_factory):
+        result = run_table1(
+            preset=PRESET,
+            models=("lenet",),
+            datasets=("synth10",),
+            batch_size=16,
+            repeats=2,
+        )
+        assert len(result.rows) == 1
+        assert result.rows[0].memory_overhead > 0
+        assert "TAB1" in result.to_text()
+
+    def test_posttraining_overhead(self, context):
+        result = run_posttraining_overhead(preset=PRESET, models=("lenet",))
+        assert len(result.rows) == 1
+        assert result.max_ratio() > 0
+        assert "§VI-C1" in result.to_text()

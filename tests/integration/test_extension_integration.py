@@ -1,0 +1,192 @@
+"""End-to-end flows combining the extension features.
+
+Each test walks a realistic multi-module path: train → protect →
+(checkpoint | ECC | activation faults | alternative fault models) →
+evaluate, asserting the cross-feature contracts that unit tests cannot
+see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ProtectionConfig,
+    load_protected,
+    protect_model,
+    save_protected,
+)
+from repro.core.training import evaluate_accuracy
+from repro.fault import (
+    ActivationFaultCampaign,
+    ActivationFaultInjector,
+    ActivationFaultModel,
+    BitFlipFaultModel,
+    ECCProtectedInjector,
+    FaultCampaign,
+    FaultInjector,
+    StuckAtFaultModel,
+    WordFaultModel,
+    classify_outcomes,
+    mean_confidence_interval,
+)
+from repro.models.registry import build_model
+from repro.quant import quantize_module
+
+NUM_CLASSES = 10
+IMAGE_SIZE = 16
+
+
+def _fresh_copy(trained_state):
+    model = build_model(
+        "lenet", num_classes=NUM_CLASSES, scale=1.0, image_size=IMAGE_SIZE, seed=0
+    )
+    model.load_state_dict(trained_state["state"])
+    return model
+
+
+class TestECCWithProtection:
+    def test_ecc_recovers_unprotected_at_sparse_budget(
+        self, trained_state, test_loader
+    ):
+        model = _fresh_copy(trained_state)
+        quantize_module(model)
+        clean = evaluate_accuracy(model, test_loader)
+
+        plain = FaultInjector(model)
+        fault_model = BitFlipFaultModel.exact(12)
+        evaluate = lambda: evaluate_accuracy(model, test_loader)  # noqa: E731
+
+        bare = FaultCampaign(plain, evaluate, trials=3, seed=0).run(fault_model)
+        ecc = FaultCampaign(
+            ECCProtectedInjector(plain), evaluate, trials=3, seed=0
+        ).run(fault_model)
+        # 12 raw flips over ~2.4M codeword bits land in distinct words:
+        # ECC corrects them all, so accuracy equals the clean accuracy.
+        assert ecc.mean == pytest.approx(clean, abs=1e-9)
+        assert ecc.mean >= bare.mean
+
+    def test_ecc_composes_with_fitact_naive(
+        self, trained_state, train_loader, test_loader
+    ):
+        model = _fresh_copy(trained_state)
+        protect_model(model, train_loader, ProtectionConfig(method="fitact-naive"))
+        quantize_module(model)
+        injector = ECCProtectedInjector(FaultInjector(model))
+        campaign = FaultCampaign(
+            injector,
+            lambda: evaluate_accuracy(model, test_loader),
+            trials=2,
+            seed=0,
+        )
+        result = campaign.run(BitFlipFaultModel.at_rate(1e-6))
+        assert result.mean > 0.5
+        assert injector.lifetime_outcome.raw_flips >= 0
+
+
+class TestCheckpointThenCampaign:
+    def test_reloaded_model_faces_identical_faults(
+        self, trained_state, train_loader, test_loader, tmp_path
+    ):
+        model = _fresh_copy(trained_state)
+        protect_model(model, train_loader, ProtectionConfig(method="clipact"))
+        quantize_module(model)
+        path = tmp_path / "clipact.npz"
+        save_protected(path, model)
+        reloaded, _ = load_protected(
+            path,
+            lambda: build_model(
+                "lenet",
+                num_classes=NUM_CLASSES,
+                scale=1.0,
+                image_size=IMAGE_SIZE,
+                seed=0,
+            ),
+        )
+        fault_model = BitFlipFaultModel.exact(24)
+        original = FaultCampaign(
+            FaultInjector(model),
+            lambda: evaluate_accuracy(model, test_loader),
+            trials=3,
+            seed=7,
+        ).run(fault_model)
+        twin = FaultCampaign(
+            FaultInjector(reloaded),
+            lambda: evaluate_accuracy(reloaded, test_loader),
+            trials=3,
+            seed=7,
+        ).run(fault_model)
+        # Same seed + bit-identical fault space → identical trial results.
+        np.testing.assert_array_equal(original.accuracies, twin.accuracies)
+
+
+class TestActivationFaultsOnProtectedModels:
+    def test_bounded_model_beats_unprotected_under_heavy_upsets(
+        self, trained_state, train_loader, test_loader
+    ):
+        results = {}
+        for method in ("none", "fitact-naive"):
+            model = _fresh_copy(trained_state)
+            if method != "none":
+                protect_model(model, train_loader, ProtectionConfig(method=method))
+            quantize_module(model)
+            injector = ActivationFaultInjector(model)
+            campaign = ActivationFaultCampaign(
+                injector,
+                lambda m=model: evaluate_accuracy(m, test_loader),
+                trials=3,
+                seed=0,
+            )
+            results[method] = campaign.run(ActivationFaultModel.exact(48)).mean
+        assert results["fitact-naive"] >= results["none"] - 0.05
+
+
+class TestAlternativeFaultModelsOnProtectedModels:
+    @pytest.mark.parametrize(
+        "fault_model",
+        [
+            StuckAtFaultModel.exact(1, 48),
+            WordFaultModel.exact("random", 3),
+            WordFaultModel.exact("max", 3),
+        ],
+        ids=["stuck-at-1", "word-random", "word-max"],
+    )
+    def test_bounds_help_under_every_model(
+        self, trained_state, train_loader, test_loader, fault_model
+    ):
+        means = {}
+        for method in ("none", "fitact-naive"):
+            model = _fresh_copy(trained_state)
+            if method != "none":
+                protect_model(model, train_loader, ProtectionConfig(method=method))
+            quantize_module(model)
+            campaign = FaultCampaign(
+                FaultInjector(model),
+                lambda m=model: evaluate_accuracy(m, test_loader),
+                trials=3,
+                seed=1,
+            )
+            means[method] = campaign.run(fault_model).mean
+        assert means["fitact-naive"] >= means["none"] - 0.05
+
+
+class TestStatisticsOnCampaigns:
+    def test_outcomes_and_interval_from_live_campaign(
+        self, trained_state, test_loader
+    ):
+        model = _fresh_copy(trained_state)
+        quantize_module(model)
+        clean = evaluate_accuracy(model, test_loader)
+        campaign = FaultCampaign(
+            FaultInjector(model),
+            lambda: evaluate_accuracy(model, test_loader),
+            trials=4,
+            seed=0,
+        )
+        result = campaign.run(BitFlipFaultModel.exact(32))
+        breakdown = classify_outcomes(result, baseline=clean)
+        assert breakdown.trials == 4
+        assert (
+            breakdown.masked + breakdown.degraded + breakdown.critical == 4
+        )
+        low, high = mean_confidence_interval(result)
+        assert low <= result.mean <= high

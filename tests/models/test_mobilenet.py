@@ -1,0 +1,115 @@
+"""MobileNetV1: structure, depthwise economy, protection compatibility."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import ProtectionConfig, protect_model
+from repro.core.surgery import bound_modules, find_activation_sites
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.errors import ConfigurationError
+from repro.models import MOBILENET_PLAN, build_model
+from repro.models.mobilenet import MobileNet
+from repro.nn.conv import Conv2d
+
+
+def _batch(n=2, size=32, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=(n, 3, size, size)).astype(np.float32))
+
+
+class TestStructure:
+    def test_output_shape(self):
+        model = build_model("mobilenet", num_classes=10, scale=0.25, seed=0)
+        model.eval()
+        out = model(_batch())
+        assert out.shape == (2, 10)
+
+    def test_plan_has_13_blocks(self):
+        assert len(MOBILENET_PLAN) == 13
+        model = MobileNet(scale=0.25)
+        assert len(list(model.blocks.children())) == 13
+
+    def test_depthwise_layers_are_grouped(self):
+        model = MobileNet(scale=0.25)
+        depthwise = [
+            m
+            for m in model.modules()
+            if isinstance(m, Conv2d) and m.groups > 1
+        ]
+        assert len(depthwise) == 13
+        for layer in depthwise:
+            assert layer.groups == layer.in_channels  # fully depthwise
+            assert layer.weight.shape[1] == 1
+
+    def test_separable_blocks_cheaper_than_dense(self):
+        """The architecture's point: far fewer weights than a dense conv
+        stack of the same widths."""
+        model = MobileNet(scale=0.25)
+        dw_params = sum(
+            p.size
+            for m in model.modules()
+            if isinstance(m, Conv2d) and m.groups > 1
+            for p in m.parameters()
+        )
+        pw_params = sum(
+            p.size
+            for m in model.modules()
+            if isinstance(m, Conv2d) and m.groups == 1 and m.kernel_size == (1, 1)
+            for p in m.parameters()
+        )
+        # Depthwise 3x3 words are a small fraction of the pointwise 1x1s.
+        assert dw_params * 3 < pw_params
+
+    def test_min_image_size_enforced(self):
+        with pytest.raises(ConfigurationError):
+            MobileNet(image_size=16)
+
+    def test_deterministic_by_seed(self):
+        a = MobileNet(scale=0.25, seed=7)
+        b = MobileNet(scale=0.25, seed=7)
+        for (name, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data, err_msg=name)
+
+    def test_forward_eval_deterministic(self):
+        model = MobileNet(scale=0.25)
+        model.eval()
+        x = _batch()
+        np.testing.assert_array_equal(model(x).data, model(x).data)
+
+
+class TestTrainingAndProtection:
+    def test_one_training_step_reduces_loss(self):
+        from repro.nn.loss import CrossEntropyLoss
+        from repro.optim import SGD
+
+        model = MobileNet(scale=0.125, num_classes=4, seed=0)
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(8, 3, 32, 32)).astype(np.float32))
+        y = rng.integers(0, 4, size=8)
+        loss_fn = CrossEntropyLoss()
+        optimizer = SGD(model.parameters(), lr=0.05)
+        losses = []
+        for _ in range(6):
+            model.zero_grad()
+            loss = loss_fn(model(x), y)
+            loss.backward()
+            optimizer.step()
+            losses.append(float(loss.data))
+        assert losses[-1] < losses[0]
+
+    def test_protection_surgery_covers_all_relus(self):
+        model = MobileNet(scale=0.125, seed=0)
+        sites = find_activation_sites(model)
+        assert len(sites) == 1 + 2 * 13  # stem + two per separable block
+
+        dataset = SyntheticImageDataset(num_samples=32, image_size=32, seed=0)
+        loader = DataLoader(dataset, batch_size=16)
+        report = protect_model(
+            model, loader, ProtectionConfig(method="fitact-naive")
+        )
+        assert len(report.replaced_sites) == len(sites)
+        assert len(bound_modules(model)) == len(sites)
+        model.eval()
+        out = model(_batch())
+        assert np.all(np.isfinite(out.data))

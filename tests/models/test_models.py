@@ -1,0 +1,137 @@
+"""Model zoo: shapes, determinism, activation sites, registry."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.core import find_activation_sites
+from repro.errors import ConfigurationError
+from repro.models import (
+    MODEL_NAMES,
+    PAPER_MODELS,
+    build_model,
+    register_model,
+    scaled_width,
+)
+from repro.nn import ReLU
+
+
+def _input(n=2, size=32, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.standard_normal((n, 3, size, size)).astype(np.float32))
+
+
+class TestRegistry:
+    def test_paper_models_registered(self):
+        assert set(PAPER_MODELS) <= set(MODEL_NAMES)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown model"):
+            build_model("transformer")
+
+    def test_register_custom(self):
+        register_model("custom-test", lambda **kw: build_model("lenet", **kw))
+        model = build_model("custom-test", num_classes=3, scale=0.5, image_size=16)
+        with no_grad():
+            assert model(_input(size=16)).shape == (2, 3)
+
+    def test_register_duplicate_raises(self):
+        with pytest.raises(ConfigurationError):
+            register_model("lenet", lambda **kw: None)
+
+    def test_case_insensitive(self):
+        model = build_model("LeNet", scale=0.5, image_size=16)
+        assert model is not None
+
+
+class TestArchitectures:
+    @pytest.mark.parametrize(
+        "name,scale,size",
+        [
+            ("lenet", 0.5, 16),
+            ("alexnet", 0.125, 32),
+            ("vgg11", 0.0625, 32),
+            ("vgg16", 0.0625, 32),
+            ("resnet18", 0.0625, 32),
+            ("resnet50", 0.0625, 32),
+        ],
+    )
+    def test_forward_shape(self, name, scale, size):
+        model = build_model(name, num_classes=7, scale=scale, image_size=size, seed=0)
+        model.eval()
+        with no_grad():
+            out = model(_input(size=size))
+        assert out.shape == (2, 7)
+
+    def test_deterministic_by_seed(self):
+        a = build_model("lenet", scale=0.5, image_size=16, seed=3)
+        b = build_model("lenet", scale=0.5, image_size=16, seed=3)
+        for (name_a, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data, err_msg=name_a)
+
+    def test_different_seeds_differ(self):
+        a = build_model("lenet", scale=0.5, image_size=16, seed=1)
+        b = build_model("lenet", scale=0.5, image_size=16, seed=2)
+        weights_a = next(a.parameters()).data
+        weights_b = next(b.parameters()).data
+        assert not np.array_equal(weights_a, weights_b)
+
+    def test_scale_changes_width(self):
+        small = build_model("vgg16", scale=0.0625)
+        big = build_model("vgg16", scale=0.125)
+        assert big.num_parameters() > small.num_parameters()
+
+    def test_vgg16_activation_site_count(self):
+        """13 conv ReLUs + 1 classifier ReLU (config D)."""
+        model = build_model("vgg16", scale=0.0625)
+        assert len(find_activation_sites(model)) == 14
+
+    def test_resnet50_activation_site_count(self):
+        """Stem ReLU + 3 per bottleneck × (3+4+6+3) blocks."""
+        model = build_model("resnet50", scale=0.0625)
+        assert len(find_activation_sites(model)) == 1 + 3 * 16
+
+    def test_alexnet_activation_site_count(self):
+        model = build_model("alexnet", scale=0.125)
+        assert len(find_activation_sites(model)) == 7
+
+    def test_relu_instances_not_shared(self):
+        """Surgery requires one module instance per activation site."""
+        model = build_model("resnet50", scale=0.0625)
+        relus = [m for m in model.modules() if isinstance(m, ReLU)]
+        assert len({id(m) for m in relus}) == len(relus)
+
+    def test_vgg_rejects_tiny_images(self):
+        with pytest.raises(ConfigurationError, match="collapses"):
+            build_model("vgg16", image_size=16)
+
+    def test_alexnet_image_size_adapts(self):
+        model = build_model("alexnet", scale=0.125, image_size=24)
+        model.eval()
+        with no_grad():
+            assert model(_input(size=24)).shape == (2, 10)
+
+    def test_resnet_residual_path(self):
+        """Downsample branches appear exactly where shapes change."""
+        from repro.models.resnet import Bottleneck
+        from repro.nn import Identity
+
+        model = build_model("resnet50", scale=0.0625)
+        blocks = [m for m in model.modules() if isinstance(m, Bottleneck)]
+        downsampled = [not isinstance(b.downsample, Identity) for b in blocks]
+        # First block of each stage reshapes; 16 blocks total.
+        assert sum(downsampled) == 4
+        assert downsampled[0] and downsampled[3] and downsampled[7] and downsampled[13]
+
+
+class TestScaledWidth:
+    def test_rounding(self):
+        assert scaled_width(64, 0.5) == 32
+        assert scaled_width(64, 1.0) == 64
+
+    def test_minimum_enforced(self):
+        assert scaled_width(64, 0.01) == 4
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            scaled_width(64, 0.0)

@@ -1,0 +1,59 @@
+"""Weight initialisers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import init
+
+
+class TestFanCalculation:
+    def test_linear(self):
+        assert init.calculate_fan((8, 4)) == (4, 8)
+
+    def test_conv(self):
+        fan_in, fan_out = init.calculate_fan((16, 3, 5, 5))
+        assert fan_in == 3 * 25
+        assert fan_out == 16 * 25
+
+    def test_1d_raises(self):
+        with pytest.raises(ShapeError):
+            init.calculate_fan((4,))
+
+
+class TestDistributions:
+    def test_kaiming_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        weights = init.kaiming_uniform((64, 64), rng, a=math.sqrt(5.0))
+        bound = math.sqrt(2.0 / (1 + 5.0)) * math.sqrt(3.0 / 64)
+        assert np.abs(weights).max() <= bound + 1e-7
+
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(0)
+        weights = init.kaiming_normal((256, 256), rng)
+        assert weights.std() == pytest.approx(math.sqrt(2.0 / 256), rel=0.05)
+
+    def test_xavier_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        weights = init.xavier_uniform((32, 32), rng)
+        assert np.abs(weights).max() <= math.sqrt(6.0 / 64) + 1e-7
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        weights = init.xavier_normal((256, 256), rng)
+        assert weights.std() == pytest.approx(math.sqrt(2.0 / 512), rel=0.05)
+
+    def test_zeros_and_constant(self):
+        assert init.zeros((3,)).tolist() == [0.0, 0.0, 0.0]
+        assert init.constant((2,), 1.5).tolist() == [1.5, 1.5]
+
+    def test_dtype_float32(self):
+        rng = np.random.default_rng(0)
+        assert init.kaiming_uniform((4, 4), rng).dtype == np.float32
+
+    def test_determinism(self):
+        a = init.kaiming_uniform((4, 4), np.random.default_rng(3))
+        b = init.kaiming_uniform((4, 4), np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,165 @@
+"""Linear, Conv2d, pooling, dropout, flatten and activation layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, gradcheck
+from repro.errors import ConfigurationError
+
+
+def _x(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).standard_normal(shape).astype(np.float32))
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = nn.Linear(8, 3, rng=0)
+        assert layer(_x((4, 8))).shape == (4, 3)
+
+    def test_matches_manual_affine(self):
+        layer = nn.Linear(4, 2, rng=0)
+        x = _x((3, 4))
+        expected = x.data @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(x).data, expected, rtol=1e-5)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 2, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_deterministic_init(self):
+        a, b = nn.Linear(5, 5, rng=42), nn.Linear(5, 5, rng=42)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_gradients_flow(self):
+        layer = nn.Linear(3, 2, rng=0)
+        layer(_x((2, 3))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=0)
+        assert layer(_x((2, 3, 8, 8))).shape == (2, 8, 4, 4)
+
+    def test_weight_layout(self):
+        layer = nn.Conv2d(3, 8, (5, 3), rng=0)
+        assert layer.weight.shape == (8, 3, 5, 3)
+
+    def test_no_bias(self):
+        layer = nn.Conv2d(1, 1, 3, bias=False, rng=0)
+        assert layer.bias is None
+
+    def test_deterministic_init(self):
+        a, b = nn.Conv2d(2, 4, 3, rng=7), nn.Conv2d(2, 4, 3, rng=7)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestPooling:
+    def test_max_pool_module(self):
+        assert nn.MaxPool2d(2)(_x((1, 2, 6, 6))).shape == (1, 2, 3, 3)
+
+    def test_avg_pool_module(self):
+        assert nn.AvgPool2d(3, stride=2)(_x((1, 2, 7, 7))).shape == (1, 2, 3, 3)
+
+    def test_global_avg_pool(self):
+        x = _x((2, 3, 4, 4))
+        out = nn.GlobalAvgPool2d()(x)
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out.data, x.data.mean(axis=(2, 3)), rtol=1e-5)
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        layer = nn.Dropout(0.5, rng=0)
+        layer.eval()
+        x = _x((4, 4))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_p_zero_is_identity_in_train(self):
+        layer = nn.Dropout(0.0, rng=0)
+        x = _x((4, 4))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_train_zeroes_and_rescales(self):
+        layer = nn.Dropout(0.5, rng=0)
+        x = Tensor(np.ones((100, 100), dtype=np.float32))
+        out = layer(x).data
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        surviving = out[out != 0]
+        np.testing.assert_allclose(surviving, 2.0, rtol=1e-6)
+
+    def test_expectation_preserved(self):
+        layer = nn.Dropout(0.3, rng=0)
+        x = Tensor(np.ones((200, 200), dtype=np.float32))
+        assert layer(x).data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ConfigurationError):
+            nn.Dropout(1.0)
+
+
+class TestFlattenAndActivations:
+    def test_flatten(self):
+        assert nn.Flatten()(_x((2, 3, 4))).shape == (2, 12)
+
+    def test_flatten_start_dim(self):
+        assert nn.Flatten(start_dim=2)(_x((2, 3, 4, 5))).shape == (2, 3, 20)
+
+    def test_relu_module(self):
+        out = nn.ReLU()(Tensor([-1.0, 2.0]))
+        assert out.data.tolist() == [0.0, 2.0]
+
+    def test_identity(self):
+        x = _x((3,))
+        assert nn.Identity()(x) is x
+
+    def test_tanh_sigmoid_softmax(self):
+        x = _x((2, 4))
+        assert nn.Tanh()(x).shape == (2, 4)
+        assert nn.Sigmoid()(x).shape == (2, 4)
+        np.testing.assert_allclose(
+            nn.Softmax(axis=1)(x).data.sum(axis=1), np.ones(2), rtol=1e-5
+        )
+
+    def test_leaky_relu_module(self):
+        out = nn.LeakyReLU(0.5)(Tensor([-2.0, 4.0]))
+        assert out.data.tolist() == [-1.0, 4.0]
+
+
+class TestSequential:
+    def test_forward_order(self):
+        block = nn.Sequential(nn.Linear(4, 8, rng=0), nn.ReLU(), nn.Linear(8, 2, rng=1))
+        assert block(_x((3, 4))).shape == (3, 2)
+
+    def test_indexing(self):
+        block = nn.Sequential(nn.ReLU(), nn.Tanh())
+        assert isinstance(block[0], nn.ReLU)
+        assert isinstance(block[-1], nn.Tanh)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            nn.Sequential(nn.ReLU())[3]
+
+    def test_append(self):
+        block = nn.Sequential(nn.ReLU())
+        block.append(nn.Tanh())
+        assert len(block) == 2
+
+    def test_module_list(self):
+        items = nn.ModuleList([nn.ReLU(), nn.Tanh()])
+        assert len(items) == 2
+        assert isinstance(items[1], nn.Tanh)
+        with pytest.raises(NotImplementedError):
+            items(1)
+
+    def test_gradcheck_through_mlp(self):
+        mlp = nn.Sequential(nn.Linear(3, 5, rng=0), nn.Tanh(), nn.Linear(5, 2, rng=1))
+
+        def fn(x):
+            return mlp(x)
+
+        gradcheck(fn, [np.random.default_rng(0).standard_normal((2, 3))])

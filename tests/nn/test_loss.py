@@ -1,0 +1,93 @@
+"""Loss functions."""
+
+import numpy as np
+import pytest
+from scipy.special import log_softmax as scipy_log_softmax
+
+from repro import nn
+from repro.autograd import Tensor, gradcheck
+from repro.errors import ShapeError
+
+
+def _logits(n=5, classes=4, seed=0):
+    return np.random.default_rng(seed).standard_normal((n, classes))
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = _logits()
+        targets = np.array([0, 1, 2, 3, 0])
+        loss = nn.CrossEntropyLoss()(Tensor(logits), targets)
+        log_probs = scipy_log_softmax(logits, axis=1)
+        expected = -log_probs[np.arange(5), targets].mean()
+        assert loss.item() == pytest.approx(expected, rel=1e-5)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((3, 4), -100.0)
+        logits[np.arange(3), [1, 2, 0]] = 100.0
+        loss = nn.CrossEntropyLoss()(Tensor(logits), np.array([1, 2, 0]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-5)
+
+    def test_reduction_sum(self):
+        logits = _logits()
+        targets = np.array([0, 1, 2, 3, 0])
+        mean = nn.CrossEntropyLoss(reduction="mean")(Tensor(logits), targets).item()
+        total = nn.CrossEntropyLoss(reduction="sum")(Tensor(logits), targets).item()
+        assert total == pytest.approx(mean * 5, rel=1e-5)
+
+    def test_reduction_none_shape(self):
+        loss = nn.CrossEntropyLoss(reduction="none")(
+            Tensor(_logits()), np.array([0, 1, 2, 3, 0])
+        )
+        assert loss.shape == (5,)
+
+    def test_label_smoothing_increases_loss_on_perfect(self):
+        logits = np.full((2, 3), -50.0)
+        logits[np.arange(2), [0, 1]] = 50.0
+        targets = np.array([0, 1])
+        plain = nn.CrossEntropyLoss()(Tensor(logits), targets).item()
+        smoothed = nn.CrossEntropyLoss(label_smoothing=0.1)(
+            Tensor(logits), targets
+        ).item()
+        assert smoothed > plain
+
+    def test_gradcheck(self):
+        targets = np.array([1, 0, 2])
+        loss_fn = nn.CrossEntropyLoss()
+        gradcheck(lambda t: loss_fn(t, targets), [_logits(3, 3)])
+
+    def test_wrong_target_shape_raises(self):
+        with pytest.raises(ShapeError):
+            nn.CrossEntropyLoss()(Tensor(_logits()), np.zeros((5, 2), dtype=np.int64))
+
+    def test_non_2d_logits_raises(self):
+        with pytest.raises(ShapeError):
+            nn.CrossEntropyLoss()(Tensor(np.zeros(4)), np.zeros(4, dtype=np.int64))
+
+    def test_invalid_reduction_raises(self):
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss(reduction="avg")
+
+    def test_invalid_smoothing_raises(self):
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss(label_smoothing=1.0)
+
+
+class TestMSE:
+    def test_matches_manual(self):
+        pred = Tensor(np.array([1.0, 2.0, 3.0]))
+        target = np.array([1.5, 2.0, 2.0], dtype=np.float32)
+        loss = nn.MSELoss()(pred, target)
+        assert loss.item() == pytest.approx(((0.5**2) + 0 + 1) / 3, rel=1e-5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            nn.MSELoss()(Tensor(np.zeros(3)), np.zeros(4, dtype=np.float32))
+
+    def test_gradcheck(self):
+        target = np.random.default_rng(1).standard_normal((3, 2))
+        loss_fn = nn.MSELoss()
+        gradcheck(
+            lambda t: loss_fn(t, target),
+            [np.random.default_rng(0).standard_normal((3, 2))],
+        )

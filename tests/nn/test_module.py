@@ -1,0 +1,174 @@
+"""Module registration, traversal, state, and surgery mechanics."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn import Module, Parameter
+
+
+class Leaf(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones(3, dtype=np.float32))
+        self.register_buffer("running", np.zeros(3, dtype=np.float32))
+
+    def forward(self, x):
+        return x
+
+
+class Tree(Module):
+    def __init__(self):
+        super().__init__()
+        self.left = Leaf()
+        self.right = Leaf()
+        self.scale = Parameter(np.ones(1, dtype=np.float32))
+
+    def forward(self, x):
+        return x
+
+
+class TestRegistration:
+    def test_parameters_collected(self):
+        tree = Tree()
+        names = [name for name, _ in tree.named_parameters()]
+        assert names == ["scale", "left.weight", "right.weight"]
+
+    def test_buffers_collected(self):
+        tree = Tree()
+        names = [name for name, _ in tree.named_buffers()]
+        assert sorted(names) == ["left.running", "right.running"]
+
+    def test_num_parameters(self):
+        assert Tree().num_parameters() == 7
+
+    def test_named_modules_paths(self):
+        paths = [path for path, _ in Tree().named_modules()]
+        assert paths == ["", "left", "right"]
+
+    def test_replacing_attribute_updates_registry(self):
+        tree = Tree()
+        tree.left = Leaf()
+        assert len(list(tree.named_parameters())) == 3
+
+    def test_plain_attribute_not_registered(self):
+        tree = Tree()
+        tree.note = "hello"
+        assert "note" not in dict(tree.named_parameters())
+
+    def test_overwriting_module_with_plain_value_unregisters(self):
+        tree = Tree()
+        tree.left = None
+        assert [p for p, _ in tree.named_modules()] == ["", "right"]
+
+    def test_register_parameter_none(self):
+        leaf = Leaf()
+        leaf.register_parameter("bias", None)
+        assert leaf.bias is None
+        assert "bias" not in dict(leaf.named_parameters())
+
+
+class TestSubmodulePaths:
+    def test_get_submodule(self):
+        tree = Tree()
+        assert tree.get_submodule("left") is tree.left
+        assert tree.get_submodule("") is tree
+
+    def test_get_submodule_missing_raises(self):
+        with pytest.raises(ConfigurationError, match="no submodule"):
+            Tree().get_submodule("middle")
+
+    def test_set_submodule_replaces(self):
+        tree = Tree()
+        new_leaf = Leaf()
+        tree.set_submodule("left", new_leaf)
+        assert tree.left is new_leaf
+
+    def test_set_submodule_preserves_sequential_order(self):
+        """Regression: replacement must not reorder Sequential children."""
+        seq = nn.Sequential(nn.ReLU(), nn.Tanh(), nn.Sigmoid())
+        seq[1] = nn.Identity()
+        kinds = [type(m).__name__ for m in seq]
+        assert kinds == ["ReLU", "Identity", "Sigmoid"]
+
+    def test_set_submodule_root_raises(self):
+        with pytest.raises(ConfigurationError):
+            Tree().set_submodule("", Leaf())
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        tree = Tree()
+        tree.eval()
+        assert not tree.training and not tree.left.training
+        tree.train()
+        assert tree.training and tree.right.training
+
+    def test_requires_grad_toggle(self):
+        tree = Tree()
+        tree.requires_grad_(False)
+        assert all(not p.requires_grad for p in tree.parameters())
+
+    def test_zero_grad(self):
+        tree = Tree()
+        tree.scale.grad = np.ones(1)
+        tree.zero_grad()
+        assert tree.scale.grad is None
+
+    def test_apply_visits_all(self):
+        visited = []
+        Tree().apply(lambda m: visited.append(type(m).__name__))
+        assert visited == ["Leaf", "Leaf", "Tree"]
+
+
+class TestState:
+    def test_state_dict_roundtrip(self):
+        source, target = Tree(), Tree()
+        source.scale.data[:] = 5.0
+        source.left.running[:] = 2.0
+        target.load_state_dict(source.state_dict())
+        assert target.scale.data.tolist() == [5.0]
+        assert target.left.running.tolist() == [2.0, 2.0, 2.0]
+
+    def test_state_dict_copies(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["scale"][:] = 99.0
+        assert tree.scale.data.tolist() == [1.0]
+
+    def test_load_wrong_shape_raises(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["scale"] = np.zeros(2)
+        with pytest.raises(ShapeError):
+            tree.load_state_dict(state)
+
+    def test_load_unexpected_key_strict_raises(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(ConfigurationError, match="unexpected"):
+            tree.load_state_dict(state)
+
+    def test_load_missing_key_strict_raises(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state.pop("scale")
+        with pytest.raises(ConfigurationError, match="missing"):
+            tree.load_state_dict(state)
+
+    def test_load_non_strict_ignores(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["ghost"] = np.zeros(1)
+        state.pop("scale")
+        tree.load_state_dict(state, strict=False)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+    def test_repr_contains_children(self):
+        text = repr(Tree())
+        assert "left" in text and "Leaf" in text

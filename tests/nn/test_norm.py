@@ -1,0 +1,97 @@
+"""Batch normalisation semantics."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, gradcheck
+from repro.errors import ShapeError
+
+
+def _x(shape, seed=0, scale=3.0, shift=5.0):
+    rng = np.random.default_rng(seed)
+    return Tensor((rng.standard_normal(shape) * scale + shift).astype(np.float32))
+
+
+class TestBatchNorm2d:
+    def test_training_normalizes(self):
+        bn = nn.BatchNorm2d(4)
+        out = bn(_x((8, 4, 5, 5))).data
+        assert out.mean(axis=(0, 2, 3)) == pytest.approx(np.zeros(4), abs=1e-4)
+        assert out.std(axis=(0, 2, 3)) == pytest.approx(np.ones(4), abs=1e-2)
+
+    def test_affine_applied(self):
+        bn = nn.BatchNorm2d(2)
+        bn.weight.data[:] = 2.0
+        bn.bias.data[:] = 1.0
+        out = bn(_x((16, 2, 3, 3))).data
+        assert out.mean(axis=(0, 2, 3)) == pytest.approx(np.ones(2), abs=1e-4)
+
+    def test_running_stats_updated(self):
+        bn = nn.BatchNorm2d(3, momentum=1.0)  # copy the batch stats exactly
+        x = _x((32, 3, 4, 4))
+        bn(x)
+        np.testing.assert_allclose(
+            bn.running_mean, x.data.mean(axis=(0, 2, 3)), rtol=1e-4
+        )
+        assert int(bn.num_batches_tracked) == 1
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm2d(2)
+        bn(_x((16, 2, 3, 3)))  # populate stats
+        bn.eval()
+        x = _x((4, 2, 3, 3), seed=9)
+        out1 = bn(x).data
+        out2 = bn(x).data
+        np.testing.assert_array_equal(out1, out2)  # eval mode is pure
+
+    def test_eval_no_stat_drift(self):
+        bn = nn.BatchNorm2d(2)
+        bn.eval()
+        before = bn.running_mean.copy()
+        bn(_x((4, 2, 3, 3)))
+        np.testing.assert_array_equal(bn.running_mean, before)
+
+    def test_no_affine(self):
+        bn = nn.BatchNorm2d(2, affine=False)
+        assert bn.weight is None
+        assert len(list(bn.parameters())) == 0
+
+    def test_wrong_channels_raises(self):
+        with pytest.raises(ShapeError):
+            nn.BatchNorm2d(3)(_x((2, 4, 3, 3)))
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ShapeError):
+            nn.BatchNorm2d(3)(_x((2, 3)))
+
+    def test_gradcheck_training_mode(self):
+        bn = nn.BatchNorm2d(2)
+
+        def fn(x):
+            return bn(x)
+
+        gradcheck(fn, [np.random.default_rng(0).standard_normal((4, 2, 3, 3))])
+
+    def test_buffers_not_parameters(self):
+        bn = nn.BatchNorm2d(2)
+        param_names = {name for name, _ in bn.named_parameters()}
+        assert param_names == {"weight", "bias"}
+        buffer_names = {name for name, _ in bn.named_buffers()}
+        assert buffer_names == {"running_mean", "running_var", "num_batches_tracked"}
+
+
+class TestBatchNorm1d:
+    def test_training_normalizes(self):
+        bn = nn.BatchNorm1d(5)
+        out = bn(_x((64, 5))).data
+        assert out.mean(axis=0) == pytest.approx(np.zeros(5), abs=1e-4)
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ShapeError):
+            nn.BatchNorm1d(5)(_x((2, 5, 3, 3)))
+
+    def test_state_dict_includes_buffers(self):
+        bn = nn.BatchNorm1d(3)
+        state = bn.state_dict()
+        assert "running_mean" in state and "weight" in state

@@ -1,0 +1,76 @@
+"""Adam optimiser (the paper's post-training solver)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import Adam
+
+
+def _step(optimizer, param, grad):
+    optimizer.zero_grad()
+    param.grad = np.asarray(grad, dtype=np.float32)
+    optimizer.step()
+
+
+class TestAdam:
+    def test_first_step_magnitude_is_lr(self):
+        """With bias correction, |Δp| of step 1 ≈ lr regardless of grad scale."""
+        for grad_scale in (1e-3, 1.0, 1e3):
+            param = Parameter(np.array([0.0], dtype=np.float32))
+            optimizer = Adam([param], lr=0.1)
+            _step(optimizer, param, [grad_scale])
+            assert abs(param.data[0]) == pytest.approx(0.1, rel=1e-3)
+
+    def test_step_direction_opposes_gradient(self):
+        param = Parameter(np.array([1.0], dtype=np.float32))
+        optimizer = Adam([param], lr=0.01)
+        _step(optimizer, param, [5.0])
+        assert param.data[0] < 1.0
+
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([3.0], dtype=np.float32))
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(300):
+            _step(optimizer, param, param.data.copy())
+        assert abs(param.data[0]) < 1e-3
+
+    def test_weight_decay(self):
+        param = Parameter(np.array([1.0], dtype=np.float32))
+        optimizer = Adam([param], lr=0.1, weight_decay=1.0)
+        _step(optimizer, param, [0.0])
+        assert param.data[0] < 1.0
+
+    def test_invalid_betas_raise(self):
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        with pytest.raises(ValueError):
+            Adam([param], betas=(1.0, 0.999))
+
+    def test_invalid_eps_raises(self):
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        with pytest.raises(ValueError):
+            Adam([param], eps=0.0)
+
+    def test_state_dict_roundtrip(self):
+        param = Parameter(np.array([5.0], dtype=np.float32))
+        optimizer = Adam([param], lr=0.05)
+        for _ in range(4):
+            _step(optimizer, param, param.data.copy())
+        state = optimizer.state_dict()
+
+        param2 = Parameter(param.data.copy())
+        restored = Adam([param2], lr=0.05)
+        restored.load_state_dict(state)
+        _step(optimizer, param, param.data.copy())
+        _step(restored, param2, param2.data.copy())
+        np.testing.assert_allclose(param.data, param2.data, rtol=1e-6)
+
+    def test_multiple_params_independent_state(self):
+        a = Parameter(np.array([1.0], dtype=np.float32))
+        b = Parameter(np.array([1.0], dtype=np.float32))
+        optimizer = Adam([a, b], lr=0.1)
+        optimizer.zero_grad()
+        a.grad = np.array([1.0], dtype=np.float32)
+        b.grad = np.array([-1.0], dtype=np.float32)
+        optimizer.step()
+        assert a.data[0] < 1.0 < b.data[0]

@@ -1,0 +1,71 @@
+"""Learning-rate schedules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import SGD, CosineAnnealingLR, MultiStepLR, StepLR
+
+
+def _optimizer(lr=1.0):
+    return SGD([Parameter(np.zeros(1, dtype=np.float32))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_every_step_size(self):
+        optimizer = _optimizer()
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(6):
+            scheduler.step()
+            lrs.append(optimizer.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01, 0.01, 0.001])
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(_optimizer(), step_size=0)
+
+
+class TestMultiStepLR:
+    def test_milestones(self):
+        optimizer = _optimizer()
+        scheduler = MultiStepLR(optimizer, milestones=[2, 4], gamma=0.5)
+        lrs = []
+        for _ in range(5):
+            scheduler.step()
+            lrs.append(optimizer.lr)
+        assert lrs == pytest.approx([1.0, 0.5, 0.5, 0.25, 0.25])
+
+
+class TestCosine:
+    def test_endpoints(self):
+        optimizer = _optimizer()
+        scheduler = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.1)
+        assert scheduler.compute_lr(0) == pytest.approx(1.0)
+        assert scheduler.compute_lr(10) == pytest.approx(0.1)
+
+    def test_midpoint(self):
+        scheduler = CosineAnnealingLR(_optimizer(), t_max=10)
+        assert scheduler.compute_lr(5) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        scheduler = CosineAnnealingLR(_optimizer(), t_max=8)
+        lrs = [scheduler.compute_lr(epoch) for epoch in range(9)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_clamps_past_t_max(self):
+        scheduler = CosineAnnealingLR(_optimizer(), t_max=4, eta_min=0.2)
+        assert scheduler.compute_lr(100) == pytest.approx(0.2)
+
+    def test_invalid_t_max(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(_optimizer(), t_max=0)
+
+    def test_current_lr_tracks_optimizer(self):
+        optimizer = _optimizer()
+        scheduler = CosineAnnealingLR(optimizer, t_max=4)
+        scheduler.step()
+        assert scheduler.current_lr == optimizer.lr
+        assert optimizer.lr == pytest.approx((1 + math.cos(math.pi / 4)) / 2)

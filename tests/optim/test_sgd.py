@@ -1,0 +1,88 @@
+"""SGD optimiser."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import ConfigurationError
+from repro.nn import Parameter
+from repro.optim import SGD
+
+
+def _quadratic_step(optimizer, param, target=0.0):
+    """One gradient step on f(p) = 0.5 (p - target)^2."""
+    optimizer.zero_grad()
+    param.grad = (param.data - target).astype(np.float32)
+    optimizer.step()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([10.0], dtype=np.float32))
+        optimizer = SGD([param], lr=0.5)
+        for _ in range(50):
+            _quadratic_step(optimizer, param)
+        assert abs(param.data[0]) < 1e-6
+
+    def test_single_step_formula(self):
+        param = Parameter(np.array([2.0], dtype=np.float32))
+        optimizer = SGD([param], lr=0.1)
+        param.grad = np.array([4.0], dtype=np.float32)
+        optimizer.step()
+        assert param.data[0] == pytest.approx(2.0 - 0.1 * 4.0)
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.array([10.0], dtype=np.float32))
+        heavy = Parameter(np.array([10.0], dtype=np.float32))
+        opt_plain = SGD([plain], lr=0.01)
+        opt_heavy = SGD([heavy], lr=0.01, momentum=0.9)
+        for _ in range(30):
+            _quadratic_step(opt_plain, plain)
+            _quadratic_step(opt_heavy, heavy)
+        assert abs(heavy.data[0]) < abs(plain.data[0])
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([1.0], dtype=np.float32))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.zeros(1, dtype=np.float32)
+        optimizer.step()
+        assert param.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_nesterov_requires_momentum(self):
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.1, nesterov=True)
+
+    def test_skips_none_grads(self):
+        param = Parameter(np.array([1.0], dtype=np.float32))
+        optimizer = SGD([param], lr=0.1)
+        optimizer.step()  # no grad set
+        assert param.data[0] == 1.0
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ConfigurationError):
+            SGD([], lr=0.1)
+
+    def test_duplicate_params_raises(self):
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        with pytest.raises(ConfigurationError):
+            SGD([param, param], lr=0.1)
+
+    def test_non_positive_lr_raises(self):
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        with pytest.raises(ConfigurationError):
+            SGD([param], lr=0.0)
+
+    def test_state_dict_roundtrip(self):
+        param = Parameter(np.array([5.0], dtype=np.float32))
+        optimizer = SGD([param], lr=0.1, momentum=0.9)
+        for _ in range(3):
+            _quadratic_step(optimizer, param)
+        state = optimizer.state_dict()
+
+        param2 = Parameter(param.data.copy())
+        restored = SGD([param2], lr=0.1, momentum=0.9)
+        restored.load_state_dict(state)
+        _quadratic_step(optimizer, param)
+        _quadratic_step(restored, param2)
+        np.testing.assert_allclose(param.data, param2.data, rtol=1e-6)

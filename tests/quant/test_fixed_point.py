@@ -1,0 +1,170 @@
+"""Q15.16 fixed-point codec: exactness, saturation, bit flips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.quant import (
+    FixedPointFormat,
+    Q7_8,
+    Q15_16,
+    decode,
+    encode,
+    flip_bits,
+    quantize,
+)
+
+
+class TestFormat:
+    def test_q15_16_layout(self):
+        assert Q15_16.total_bits == 32
+        assert Q15_16.scale == 65536
+        assert Q15_16.max_value == pytest.approx(32768.0 - 2**-16)
+        assert Q15_16.min_value == -32768.0
+        assert Q15_16.resolution == 2**-16
+        assert Q15_16.bytes_per_word == 4.0
+        assert str(Q15_16) == "Q15.16"
+
+    def test_q7_8_layout(self):
+        assert Q7_8.total_bits == 16
+        assert Q7_8.max_value == pytest.approx(128.0 - 2**-8)
+
+    def test_invalid_formats(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(-1, 16)
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(40, 40)
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(0, 0)
+
+
+class TestCodec:
+    def test_known_encodings(self):
+        assert encode(np.array([1.0]))[0] == 0x00010000
+        assert encode(np.array([0.5]))[0] == 0x00008000
+        assert encode(np.array([-1.0]))[0] == -0x00010000
+        assert encode(np.array([0.0]))[0] == 0
+
+    def test_roundtrip_exact_for_representable(self):
+        values = np.array([0.25, -3.5, 100.0625], dtype=np.float64)
+        np.testing.assert_array_equal(decode(encode(values)), values.astype(np.float32))
+
+    def test_saturation(self):
+        huge = np.array([1e9, -1e9])
+        words = encode(huge)
+        assert words[0] == Q15_16.max_raw
+        assert words[1] == Q15_16.min_raw
+
+    def test_quantize_idempotent(self):
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal(100).astype(np.float32) * 10
+        once = quantize(values)
+        twice = quantize(once)
+        np.testing.assert_array_equal(once, twice)
+
+    @given(st.floats(min_value=-30000, max_value=30000, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_error_within_half_ulp(self, value):
+        decoded = float(decode(encode(np.array([value])))[0])
+        # decode() returns float32, whose own representation error
+        # (~|v|·2⁻²⁴) dominates the fixed-point half-ulp for large values.
+        float32_ulp = abs(value) * 2.0**-23
+        assert abs(decoded - value) <= Q15_16.resolution / 2 + float32_ulp + 1e-9
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantize_monotone(self, values):
+        array = np.sort(np.asarray(values))
+        quantized = quantize(array)
+        assert (np.diff(quantized) >= 0).all()
+
+
+class TestBitFlips:
+    def test_lsb_flip_changes_by_resolution(self):
+        words = encode(np.array([1.0]))
+        flipped = flip_bits(words, np.array([0]), np.array([0]))
+        assert decode(flipped)[0] == pytest.approx(1.0 + Q15_16.resolution)
+
+    def test_sign_bit_flip_is_catastrophic(self):
+        words = encode(np.array([1.0]))
+        flipped = flip_bits(words, np.array([0]), np.array([31]))
+        assert decode(flipped)[0] == pytest.approx(1.0 - 32768.0)
+
+    def test_high_integer_bit_flip(self):
+        words = encode(np.array([0.0]))
+        flipped = flip_bits(words, np.array([0]), np.array([30]))
+        assert decode(flipped)[0] == pytest.approx(16384.0)
+
+    def test_input_not_mutated(self):
+        words = encode(np.array([2.0, 3.0]))
+        original = words.copy()
+        flip_bits(words, np.array([1]), np.array([5]))
+        np.testing.assert_array_equal(words, original)
+
+    def test_empty_flip_is_copy(self):
+        words = encode(np.array([2.0]))
+        out = flip_bits(words, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        np.testing.assert_array_equal(out, words)
+        assert out is not words
+
+    def test_position_out_of_range(self):
+        words = encode(np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            flip_bits(words, np.array([5]), np.array([0]))
+
+    def test_bit_out_of_range(self):
+        words = encode(np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            flip_bits(words, np.array([0]), np.array([32]))
+
+    def test_misaligned_arrays(self):
+        words = encode(np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            flip_bits(words, np.array([0, 0]), np.array([1]))
+
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(1, 30),
+        st.integers(0, 31),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_double_flip_is_identity(self, seed, size, bit):
+        """XOR involution: the injector's restore path depends on this."""
+        rng = np.random.default_rng(seed)
+        words = encode(rng.uniform(-1000, 1000, size))
+        position = np.array([int(rng.integers(0, size))])
+        bits = np.array([bit])
+        once = flip_bits(words, position, bits)
+        twice = flip_bits(once, position, bits)
+        np.testing.assert_array_equal(twice, words)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_flip_changes_exactly_one_word(self, seed):
+        rng = np.random.default_rng(seed)
+        words = encode(rng.uniform(-10, 10, 8))
+        position = int(rng.integers(0, 8))
+        bit = int(rng.integers(0, 32))
+        flipped = flip_bits(words, np.array([position]), np.array([bit]))
+        differs = flipped != words
+        assert differs.sum() == 1
+        assert differs[position]
+
+    def test_flips_in_16_bit_format(self):
+        words = encode(np.array([1.0]), Q7_8)
+        flipped = flip_bits(words, np.array([0]), np.array([15]), Q7_8)
+        assert decode(flipped, Q7_8)[0] == pytest.approx(1.0 - 128.0)
+
+    def test_multidimensional_words(self):
+        words = encode(np.ones((2, 3)))
+        flipped = flip_bits(words, np.array([4]), np.array([0]))
+        assert flipped.shape == (2, 3)
+        assert flipped[1, 1] != words[1, 1]

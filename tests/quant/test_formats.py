@@ -1,0 +1,73 @@
+"""Format catalog and the Qi.f parser."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.quant import (
+    FORMATS,
+    FixedPointFormat,
+    Q1_6,
+    Q3_4,
+    Q15_16,
+    parse_format,
+    quantize,
+)
+
+
+class TestCatalog:
+    def test_catalog_widths(self):
+        assert Q3_4.total_bits == 8
+        assert Q1_6.total_bits == 8
+        assert FORMATS["q7.8"].total_bits == 16
+        assert FORMATS["q15.16"].total_bits == 32
+
+    def test_catalog_keys_match_formats(self):
+        for key, fmt in FORMATS.items():
+            assert key == f"q{fmt.integer_bits}.{fmt.fraction_bits}"
+
+    def test_narrow_format_range(self):
+        assert Q3_4.max_value == pytest.approx(8.0 - 1 / 16)
+        assert Q3_4.min_value == -8.0
+
+    def test_narrow_quantisation_coarser(self):
+        values = np.array([0.3, -0.7, 1.234], dtype=np.float32)
+        err_narrow = np.abs(quantize(values, Q3_4) - values).max()
+        err_wide = np.abs(quantize(values, Q15_16) - values).max()
+        assert err_wide < err_narrow <= Q3_4.resolution
+
+
+class TestParseFormat:
+    def test_named_formats_are_singletons(self):
+        assert parse_format("Q15.16") is Q15_16
+        assert parse_format("q3.4") is Q3_4
+
+    def test_whitespace_and_case(self):
+        assert parse_format("  Q7.8 ") is FORMATS["q7.8"]
+
+    def test_custom_format(self):
+        fmt = parse_format("Q5.10")
+        assert isinstance(fmt, FixedPointFormat)
+        assert (fmt.integer_bits, fmt.fraction_bits) == (5, 10)
+
+    @pytest.mark.parametrize("bad", ["", "15.16", "Qx.y", "Q15", "Q-1.16", "float32"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_format(bad)
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ConfigurationError):
+            parse_format("Q40.40")
+
+    @given(
+        integer_bits=st.integers(min_value=0, max_value=20),
+        fraction_bits=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_spec(self, integer_bits, fraction_bits):
+        fmt = parse_format(f"Q{integer_bits}.{fraction_bits}")
+        assert fmt.integer_bits == integer_bits
+        assert fmt.fraction_bits == fraction_bits
+        assert parse_format(str(fmt)) == fmt

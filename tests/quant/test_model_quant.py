@@ -1,0 +1,57 @@
+"""Model-level quantisation and memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.quant import Q7_8, Q15_16, model_memory_bytes, quantize_module
+from repro.quant.fixed_point import decode, encode
+
+
+def _model():
+    return nn.Sequential(nn.Linear(4, 8, rng=0), nn.ReLU(), nn.Linear(8, 2, rng=1))
+
+
+class TestQuantizeModule:
+    def test_parameters_become_representable(self):
+        model = quantize_module(_model())
+        for _, param in model.named_parameters():
+            roundtrip = decode(encode(param.data))
+            np.testing.assert_array_equal(roundtrip, param.data)
+
+    def test_idempotent(self):
+        model = quantize_module(_model())
+        before = {n: p.data.copy() for n, p in model.named_parameters()}
+        quantize_module(model)
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+
+    def test_small_perturbation(self):
+        model = _model()
+        before = {n: p.data.copy() for n, p in model.named_parameters()}
+        quantize_module(model)
+        for name, param in model.named_parameters():
+            assert np.abs(param.data - before[name]).max() <= Q15_16.resolution
+
+    def test_returns_module(self):
+        model = _model()
+        assert quantize_module(model) is model
+
+
+class TestMemoryAccounting:
+    def test_bytes_q15_16(self):
+        model = _model()
+        words = model.num_parameters()
+        assert model_memory_bytes(model) == words * 4
+
+    def test_bytes_q7_8_half(self):
+        model = _model()
+        assert model_memory_bytes(model, Q7_8) == model.num_parameters() * 2
+
+    def test_grows_with_bound_parameters(self):
+        from repro.core import FitReLU
+
+        model = _model()
+        base = model_memory_bytes(model)
+        model[1] = FitReLU(np.ones(8, dtype=np.float32))
+        assert model_memory_bytes(model) == base + 8 * 4

@@ -1,0 +1,182 @@
+"""Shared utilities: seeded RNG derivation, timing, serialization, logging."""
+
+import logging
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import (
+    Timer,
+    derive_seed,
+    get_logger,
+    load_state,
+    new_rng,
+    save_state,
+    set_verbosity,
+    spawn_rngs,
+    time_callable,
+)
+
+
+class TestNewRng:
+    def test_passes_generators_through(self):
+        rng = np.random.default_rng(0)
+        assert new_rng(rng) is rng
+
+    def test_int_seed_deterministic(self):
+        a = new_rng(42).integers(0, 1 << 30, size=8)
+        b = new_rng(42).integers(0, 1 << 30, size=8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_none_gives_entropy(self):
+        a = new_rng(None).integers(0, 1 << 62)
+        b = new_rng(None).integers(0, 1 << 62)
+        assert a != b  # astronomically unlikely to collide
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed(0, "fault", 3) == derive_seed(0, "fault", 3)
+
+    def test_sensitive_to_every_component(self):
+        base = derive_seed(7, "a", 1)
+        assert base != derive_seed(8, "a", 1)
+        assert base != derive_seed(7, "b", 1)
+        assert base != derive_seed(7, "a", 2)
+
+    def test_known_range(self):
+        seed = derive_seed(0, "anything")
+        assert 0 <= seed < 2**63 - 1
+
+    def test_string_int_distinction(self):
+        """repr-based hashing must not conflate 1 and "1"."""
+        assert derive_seed(0, 1) != derive_seed(0, "1")
+
+    @given(
+        base=st.integers(min_value=0, max_value=2**31),
+        label=st.text(max_size=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_valid_numpy_seed(self, base, label):
+        seed = derive_seed(base, label)
+        new_rng(seed)  # must not raise
+
+
+class TestSpawnRngs:
+    def test_count_and_independence(self):
+        rngs = spawn_rngs(0, 4, label="workers")
+        assert len(rngs) == 4
+        draws = [rng.integers(0, 1 << 62) for rng in rngs]
+        assert len(set(draws)) == 4
+
+    def test_reproducible(self):
+        a = [rng.integers(0, 1 << 30) for rng in spawn_rngs(1, 3)]
+        b = [rng.integers(0, 1 << 30) for rng in spawn_rngs(1, 3)]
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestTimer:
+    def test_accumulates_laps(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer:
+                time.sleep(0.001)
+        assert len(timer.laps) == 3
+        assert timer.elapsed >= 0.003
+        assert timer.mean == pytest.approx(timer.elapsed / 3)
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert timer.laps == []
+        assert timer.mean == 0.0
+
+    def test_exit_without_enter(self):
+        with pytest.raises(RuntimeError):
+            Timer().__exit__(None, None, None)
+
+    def test_survives_exceptions(self):
+        timer = Timer()
+        with pytest.raises(ValueError):
+            with timer:
+                raise ValueError("boom")
+        assert len(timer.laps) == 1
+
+
+class TestTimeCallable:
+    def test_statistics_shape(self):
+        stats = time_callable(lambda: sum(range(100)), repeats=4, warmup=1)
+        assert set(stats) == {"mean", "min", "max", "total"}
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        assert stats["total"] == pytest.approx(stats["mean"] * 4)
+
+    def test_warmup_not_counted(self):
+        calls = []
+        time_callable(lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5
+
+    def test_repeats_validation(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        state = {
+            "layer.weight": np.arange(6, dtype=np.float32).reshape(2, 3),
+            "layer.bias": np.array([1.5], dtype=np.float64),
+            "bn.running_mean": np.zeros(4),
+        }
+        path = tmp_path / "state.npz"
+        save_state(path, state)
+        loaded = load_state(path)
+        assert set(loaded) == set(state)
+        for name, value in state.items():
+            np.testing.assert_array_equal(loaded[name], value)
+            assert loaded[name].dtype == value.dtype
+
+    def test_extension_appended(self, tmp_path):
+        path = tmp_path / "bare"
+        save_state(path, {"x": np.ones(2)})
+        loaded = load_state(tmp_path / "bare")  # no .npz in the request
+        np.testing.assert_array_equal(loaded["x"], np.ones(2))
+
+    def test_non_string_keys_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_state(tmp_path / "bad.npz", {3: np.ones(1)})
+
+    def test_loaded_arrays_are_copies(self, tmp_path):
+        path = tmp_path / "state.npz"
+        save_state(path, {"x": np.zeros(3)})
+        loaded = load_state(path)
+        loaded["x"][0] = 99.0  # must not raise (writable copy)
+
+
+class TestLogging:
+    def test_namespaced_loggers(self):
+        assert get_logger().name == "repro"
+        assert get_logger("fault.campaign").name == "repro.fault.campaign"
+
+    def test_set_verbosity(self):
+        set_verbosity("DEBUG")
+        assert logging.getLogger("repro").level == logging.DEBUG
+        set_verbosity(logging.WARNING)
+        assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_single_handler_despite_repeat_calls(self):
+        for _ in range(3):
+            get_logger("x")
+        assert len(logging.getLogger("repro").handlers) == 1
