@@ -1,0 +1,6 @@
+"""``python -m repro.cli`` entry point (used by CI's smoke campaign)."""
+
+from repro.cli.main import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

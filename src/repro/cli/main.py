@@ -39,9 +39,18 @@ def _preset_from_args(args: argparse.Namespace):
         overrides["trials"] = args.trials
     if getattr(args, "image_size", None) is not None:
         overrides["image_size"] = args.image_size
+    if getattr(args, "workers", None) is not None:
+        overrides["workers"] = args.workers
     if overrides:
         preset = preset.with_overrides(**overrides)
     return preset
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def _add_preset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -56,6 +65,14 @@ def _add_preset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--post-epochs", type=int, help="override post-training epochs")
     parser.add_argument("--trials", type=int, help="override fault-campaign trials")
     parser.add_argument("--image-size", type=int, help="override input resolution")
+    parser.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        help=(
+            "fault-campaign worker processes (0 = serial; N >= 2 runs "
+            "trials on a process pool with bit-identical results)"
+        ),
+    )
 
 
 def _evaluator_for(dataset_name: str, preset):
@@ -162,10 +179,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
 def _cmd_protect(args: argparse.Namespace) -> int:
     from repro.core.checkpoint import save_protected
     from repro.eval.experiments import prepare_context
+    from repro.quant.formats import parse_format
 
     preset = _preset_from_args(args)
+    fmt = parse_format(args.format)
     context = prepare_context(args.model, args.dataset, preset)
-    model, info = context.protected_model(args.method)
+    model, info = context.protected_model(args.method, fmt=fmt)
     meta = {
         "model": args.model,
         "dataset": args.dataset,
@@ -175,6 +194,7 @@ def _cmd_protect(args: argparse.Namespace) -> int:
         "image_size": preset.image_size,
         "seed": preset.seed,
         "clean_accuracy": info["clean_accuracy"],
+        "format": str(fmt),
     }
     save_protected(args.out, model, meta=meta)
     print(
@@ -182,6 +202,27 @@ def _cmd_protect(args: argparse.Namespace) -> int:
         f"clean accuracy {info['clean_accuracy']:.2%} -> {args.out}"
     )
     return 0
+
+
+def _checkpoint_format(meta: dict[str, object]):
+    """Quantisation format recorded in a checkpoint manifest.
+
+    Older checkpoints predate the ``format`` field; fall back to the
+    paper's Q15.16 with a warning rather than silently injecting faults
+    into the wrong bit-space.
+    """
+    from repro.quant.fixed_point import Q15_16
+    from repro.quant.formats import parse_format
+
+    spec = meta.get("format")
+    if spec is None:
+        print(
+            "warning: checkpoint manifest records no quantisation format; "
+            "assuming Q15.16",
+            file=sys.stderr,
+        )
+        return Q15_16
+    return parse_format(str(spec))
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -220,21 +261,22 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     print(f"clean accuracy: {clean:.2%}")
     if not args.rates:
         return 0
-    campaign = FaultCampaign(
-        FaultInjector(model),
+    from repro.fault.fault_model import BitFlipFaultModel
+
+    with FaultCampaign(
+        FaultInjector(model, fmt=_checkpoint_format(meta)),
         evaluator.bind(model),
         trials=preset.trials,
         seed=preset.seed,
-    )
-    from repro.fault.fault_model import BitFlipFaultModel
-
-    for rate in args.rates:
-        result = campaign.run(BitFlipFaultModel.at_rate(rate))
-        print(
-            f"rate {rate:.1e}: mean {result.mean:.2%}  median "
-            f"{result.median:.2%}  min {result.min:.2%}  "
-            f"({result.trials} trials, mean {result.flip_counts.mean():.1f} flips)"
-        )
+        workers=preset.workers,
+    ) as campaign:
+        for rate in args.rates:
+            result = campaign.run(BitFlipFaultModel.at_rate(rate))
+            print(
+                f"rate {rate:.1e}: mean {result.mean:.2%}  median "
+                f"{result.median:.2%}  min {result.min:.2%}  "
+                f"({result.trials} trials, mean {result.flip_counts.mean():.1f} flips)"
+            )
     return 0
 
 
@@ -304,6 +346,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="fitact | fitact-naive | clipact | ranger | tanh | none",
     )
     p.add_argument("--out", required=True, help="checkpoint path (.npz)")
+    p.add_argument(
+        "--format",
+        default="Q15.16",
+        help=(
+            "fixed-point quantisation format, e.g. Q15.16 or Q7.8; "
+            "recorded in the checkpoint manifest so 'evaluate' injects "
+            "faults into the matching bit-space (default: Q15.16)"
+        ),
+    )
     _add_preset_arguments(p)
     p.set_defaults(func=_cmd_protect)
 

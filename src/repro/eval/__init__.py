@@ -2,7 +2,7 @@
 text reporting, machine-readable export, and the per-figure experiment
 runners."""
 
-from repro.eval.evaluator import Evaluator
+from repro.eval.evaluator import BoundAccuracy, Evaluator
 from repro.eval.export import result_to_dict, save_csv, save_json
 from repro.eval.metrics import (
     class_accuracy,
@@ -18,6 +18,7 @@ from repro.eval.overhead import (
 from repro.eval.reporting import format_curves, format_table, percent, text_histogram
 
 __all__ = [
+    "BoundAccuracy",
     "Evaluator",
     "OverheadReport",
     "class_accuracy",

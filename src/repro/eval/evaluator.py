@@ -16,7 +16,27 @@ from repro.data.loader import DataLoader
 from repro.errors import ConfigurationError
 from repro.nn.module import Module
 
-__all__ = ["Evaluator"]
+__all__ = ["BoundAccuracy", "Evaluator"]
+
+
+class BoundAccuracy:
+    """Picklable zero-argument accuracy closure over (evaluator, model).
+
+    Fault campaigns ship their evaluation callable to worker processes;
+    a lambda cannot cross a ``spawn`` boundary, this object can — and
+    pickling it alongside the campaign's injector preserves the shared
+    model reference, so workers evaluate the same instance they inject
+    faults into.
+    """
+
+    __slots__ = ("evaluator", "model")
+
+    def __init__(self, evaluator: "Evaluator", model: Module) -> None:
+        self.evaluator = evaluator
+        self.model = model
+
+    def __call__(self) -> float:
+        return self.evaluator.accuracy(self.model)
 
 
 class Evaluator:
@@ -54,9 +74,13 @@ class Evaluator:
             model.train(was_training)
         return correct / self.total_samples
 
-    def bind(self, model: Module):
-        """Zero-argument closure for :class:`repro.fault.FaultCampaign`."""
-        return lambda: self.accuracy(model)
+    def bind(self, model: Module) -> BoundAccuracy:
+        """Zero-argument closure for :class:`repro.fault.FaultCampaign`.
+
+        Returns a picklable callable, so the campaign can fan trials out
+        to worker processes under any multiprocessing start method.
+        """
+        return BoundAccuracy(self, model)
 
     def __len__(self) -> int:
         return self.total_samples

@@ -25,6 +25,7 @@ from repro.eval.experiments.cache import StateCache
 from repro.eval.experiments.presets import Preset
 from repro.models.registry import build_model
 from repro.nn.module import Module
+from repro.quant.fixed_point import FixedPointFormat, Q15_16
 from repro.quant.model import quantize_module
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_seed
@@ -83,6 +84,7 @@ class ExperimentContext:
         quantize: bool = True,
         protection_overrides: dict[str, object] | None = None,
         post_config: PostTrainingConfig | None = None,
+        fmt: FixedPointFormat = Q15_16,
     ) -> tuple[Module, dict[str, float]]:
         """A fresh trained model protected with ``method``.
 
@@ -124,7 +126,7 @@ class ExperimentContext:
                     report.duration_seconds,
                 )
         if quantize:
-            quantize_module(model)
+            quantize_module(model, fmt)
         info["clean_accuracy"] = self.evaluator.accuracy(model)
         return model, info
 

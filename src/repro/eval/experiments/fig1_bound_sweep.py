@@ -130,11 +130,12 @@ def run_fig1(
         quantize_module(model)
         result.bounds.append(bound)
         result.clean_accuracy.append(context.evaluator.accuracy(model))
-        campaign = FaultCampaign(
+        with FaultCampaign(
             FaultInjector(model),
             context.evaluator.bind(model),
             trials=trials,
             seed=derive_seed(preset.seed, "fig1", context.model_name),
-        )
-        result.fault_accuracy.append(campaign.run(fault_model, tag="fig1").mean)
+            workers=preset.workers,
+        ) as campaign:
+            result.fault_accuracy.append(campaign.run(fault_model, tag="fig1").mean)
     return result

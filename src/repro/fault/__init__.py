@@ -14,7 +14,13 @@ from repro.fault.activation import (
     ActivationFaultModel,
 )
 from repro.fault.burst import BurstFaultModel, expand_bursts
-from repro.fault.campaign import CampaignResult, FaultCampaign, SweepResult
+from repro.fault.campaign import (
+    CampaignAggregator,
+    CampaignResult,
+    EarlyStop,
+    FaultCampaign,
+    SweepResult,
+)
 from repro.fault.ecc import (
     ECCOutcome,
     ECCProtectedInjector,
@@ -23,6 +29,16 @@ from repro.fault.ecc import (
 )
 from repro.fault.fault_model import PAPER_FAULT_RATES, BitFlipFaultModel, FaultModel
 from repro.fault.injector import FaultInjector
+from repro.fault.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    TrialExecutor,
+    TrialOutcome,
+    TrialRunner,
+    TrialWork,
+    available_workers,
+    make_executor,
+)
 from repro.fault.sites import FaultSites, sample_distinct, sample_sites
 from repro.fault.statistics import (
     OutcomeBreakdown,
@@ -46,25 +62,35 @@ __all__ = [
     "ActivationFaultModel",
     "BitFlipFaultModel",
     "BurstFaultModel",
+    "CampaignAggregator",
     "CampaignResult",
     "ECCOutcome",
     "ECCProtectedInjector",
+    "EarlyStop",
     "FaultCampaign",
     "FaultInjector",
     "FaultModel",
     "FaultSites",
     "OutcomeBreakdown",
+    "ProcessExecutor",
     "SECDEDCode",
+    "SerialExecutor",
     "StuckAtFaultModel",
     "SweepResult",
+    "TrialExecutor",
+    "TrialOutcome",
+    "TrialRunner",
+    "TrialWork",
     "WordFaultModel",
     "accuracy_drop",
     "active_stuck_sites",
+    "available_workers",
     "bit_position_vulnerability",
     "classify_outcomes",
     "critical_bit_threshold",
     "ecc_memory_bytes",
     "expand_bursts",
+    "make_executor",
     "mean_confidence_interval",
     "parameter_group_vulnerability",
     "replacement_flips",

@@ -4,21 +4,41 @@ A campaign fixes a model + evaluation closure, then for each fault
 configuration runs K independent trials (fresh fault sites each time),
 recording the accuracy under fault.  The resulting distributions are the
 raw material of the paper's Fig. 5 (distribution) and Fig. 6 (means).
+
+Trials are scheduled through an executor (:mod:`repro.fault.parallel`):
+``workers=0`` runs them serially in-process, ``workers=N`` fans them out
+over a process pool.  Per-trial seeds are derived up front from the
+campaign seed, so both backends produce bit-identical results.
 """
 
 from __future__ import annotations
 
+import math
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.fault.fault_model import BitFlipFaultModel, FaultModel
 from repro.fault.injector import FaultInjector
+from repro.fault.parallel import (
+    TrialExecutor,
+    TrialOutcome,
+    TrialRunner,
+    TrialWork,
+    make_executor,
+)
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_seed
 
-__all__ = ["CampaignResult", "FaultCampaign", "SweepResult"]
+__all__ = [
+    "CampaignAggregator",
+    "CampaignResult",
+    "EarlyStop",
+    "FaultCampaign",
+    "SweepResult",
+]
 
 _logger = get_logger("fault.campaign")
 
@@ -89,10 +109,113 @@ class SweepResult:
 
     def mean_curve(self) -> list[float]:
         """Average accuracy per rate — one line of Fig. 6."""
-        return [self.results[rate].mean for rate in self.rates]
+        return [self[rate].mean for rate in self.rates]
 
     def __getitem__(self, rate: float) -> CampaignResult:
-        return self.results[rate]
+        # Raw float equality is too brittle for recomputed rates
+        # (3 * 1e-6 != 3e-6); resolve near-misses with isclose.
+        result = self.results.get(rate)
+        if result is not None:
+            return result
+        for stored, value in self.results.items():
+            if math.isclose(rate, stored, rel_tol=1e-9, abs_tol=0.0):
+                return value
+        available = ", ".join(f"{r:g}" for r in sorted(self.results))
+        raise KeyError(
+            f"fault rate {rate:g} not in sweep (available rates: {available})"
+        )
+
+    def __contains__(self, rate: float) -> bool:
+        try:
+            self[rate]
+        except KeyError:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class EarlyStop:
+    """Stop a campaign once its mean-accuracy CI is tight enough.
+
+    After each trial (in trial-index order — identical on every
+    backend), the Student-t confidence interval of the running mean is
+    checked; the campaign stops when its half-width drops to
+    ``ci_halfwidth`` or below, but never before ``min_trials``.
+    """
+
+    ci_halfwidth: float
+    confidence: float = 0.95
+    min_trials: int = 8
+
+    def __post_init__(self) -> None:
+        if self.ci_halfwidth <= 0.0:
+            raise ConfigurationError(
+                f"ci_halfwidth must be > 0, got {self.ci_halfwidth}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise ConfigurationError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+        if self.min_trials < 2:
+            raise ConfigurationError(
+                f"min_trials must be >= 2, got {self.min_trials}"
+            )
+
+
+class CampaignAggregator:
+    """Streaming accumulator of trial outcomes.
+
+    Consumes :class:`~repro.fault.parallel.TrialOutcome`s as they arrive
+    (in trial-index order), keeps running statistics for convergence
+    checks, and materialises the final :class:`CampaignResult` arrays.
+    """
+
+    def __init__(self) -> None:
+        self._accuracies: list[float] = []
+        self._flips: list[int] = []
+
+    def add(self, outcome: TrialOutcome) -> None:
+        if outcome.index != len(self._accuracies):
+            raise ConfigurationError(
+                f"out-of-order trial outcome: expected index "
+                f"{len(self._accuracies)}, got {outcome.index}"
+            )
+        self._accuracies.append(outcome.accuracy)
+        self._flips.append(outcome.flips)
+
+    @property
+    def trials(self) -> int:
+        return len(self._accuracies)
+
+    @property
+    def mean(self) -> float:
+        if not self._accuracies:
+            raise ConfigurationError("no trial outcomes aggregated yet")
+        return float(np.mean(self._accuracies))
+
+    def ci_halfwidth(self, confidence: float = 0.95) -> float:
+        """Half-width of the running mean's Student-t CI (inf below n=2)."""
+        if self.trials < 2:
+            return math.inf
+        from repro.fault.statistics import mean_confidence_interval
+
+        low, high = mean_confidence_interval(self._accuracies, confidence)
+        return (high - low) / 2.0
+
+    def converged(self, early_stop: EarlyStop) -> bool:
+        return (
+            self.trials >= early_stop.min_trials
+            and self.ci_halfwidth(early_stop.confidence) <= early_stop.ci_halfwidth
+        )
+
+    def result(self, fault_model: FaultModel) -> CampaignResult:
+        if not self._accuracies:
+            raise ConfigurationError("campaign produced no trial outcomes")
+        return CampaignResult(
+            fault_model,
+            np.asarray(self._accuracies, dtype=np.float64),
+            np.asarray(self._flips, dtype=np.int64),
+        )
 
 
 class FaultCampaign:
@@ -104,13 +227,22 @@ class FaultCampaign:
         A :class:`FaultInjector` wrapping the (quantised) model.
     evaluate:
         Zero-argument closure returning accuracy in [0, 1] of the model in
-        its *current* (possibly faulty) state.
+        its *current* (possibly faulty) state.  For ``workers > 1`` under
+        a ``spawn`` start method it must be picklable
+        (:meth:`repro.eval.Evaluator.bind` is).
     trials:
         Number of independent trials per fault configuration.
     seed:
         Base seed; trial t of configuration c derives its own stream, so
         two campaigns with the same seed see identical fault patterns —
         the paper's protection schemes are compared on equal footing.
+    workers:
+        Trial-execution backend: ``0``/``1`` runs serially in-process,
+        ``N >= 2`` fans trials out over an N-process pool
+        (bit-identical results either way).  A ready-made
+        :class:`~repro.fault.parallel.TrialExecutor` is also accepted.
+    start_method:
+        Multiprocessing start method override (``fork``/``spawn``/…).
     """
 
     def __init__(
@@ -119,6 +251,8 @@ class FaultCampaign:
         evaluate: Callable[[], float],
         trials: int = 20,
         seed: int = 0,
+        workers: int | TrialExecutor | None = 0,
+        start_method: str | None = None,
     ) -> None:
         if trials < 1:
             raise ValueError(f"trials must be >= 1, got {trials}")
@@ -126,18 +260,86 @@ class FaultCampaign:
         self.evaluate = evaluate
         self.trials = int(trials)
         self.seed = int(seed)
+        self.executor = make_executor(workers, start_method=start_method)
+        # One runner for the campaign's lifetime: process pools key their
+        # worker state on it, so a sweep reuses one pool across rates.
+        self._runner = TrialRunner(injector, evaluate)
 
-    def run(self, fault_model: FaultModel, tag: str = "") -> CampaignResult:
-        """Run all trials for one fault configuration."""
-        accuracies = np.empty(self.trials, dtype=np.float64)
-        flip_counts = np.empty(self.trials, dtype=np.int64)
-        for trial in range(self.trials):
-            trial_seed = derive_seed(self.seed, "trial", tag, fault_model.describe(), trial)
-            sites = self.injector.sample(fault_model, rng=trial_seed)
-            with self.injector.inject(sites) as count:
-                accuracies[trial] = self.evaluate()
-                flip_counts[trial] = count
-        result = CampaignResult(fault_model, accuracies, flip_counts)
+    @property
+    def workers(self) -> int:
+        """Worker processes behind this campaign (0 = serial)."""
+        return self.executor.workers
+
+    def close(self) -> None:
+        """Release pooled workers (serial campaigns: no-op)."""
+        self.executor.shutdown()
+
+    def __enter__(self) -> "FaultCampaign":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def trial_seeds(self, fault_model: FaultModel, tag: str = "") -> list[int]:
+        """Derive every trial's seed up front (the determinism contract).
+
+        Seeds depend only on ``(seed, tag, fault_model.describe(), t)``
+        — never on scheduling — so any executor reproduces the serial
+        fault patterns exactly.
+        """
+        return [
+            derive_seed(self.seed, "trial", tag, fault_model.describe(), trial)
+            for trial in range(self.trials)
+        ]
+
+    def _sample_works(self, fault_model: FaultModel, tag: str) -> list[TrialWork]:
+        """Sample every trial's fault sites in the parent process.
+
+        Sampling is negligible next to evaluation, and doing it here
+        means workers only ever see concrete site arrays — fault models
+        (and their possibly unpicklable ``param_filter``s) never cross a
+        process boundary.
+        """
+        return [
+            TrialWork(index=trial, sites=self.injector.sample(fault_model, rng=seed))
+            for trial, seed in enumerate(self.trial_seeds(fault_model, tag))
+        ]
+
+    def run(
+        self,
+        fault_model: FaultModel,
+        tag: str = "",
+        early_stop: EarlyStop | None = None,
+    ) -> CampaignResult:
+        """Run all trials for one fault configuration.
+
+        With ``early_stop``, trials are consumed in index order and the
+        campaign stops as soon as the accuracy CI converges; because the
+        decision stream is order-deterministic, serial and parallel runs
+        stop after the same trial with identical results.
+        """
+        aggregator = CampaignAggregator()
+        outcomes = self.executor.run_trials(
+            self._runner, self._sample_works(fault_model, tag)
+        )
+        try:
+            for outcome in outcomes:
+                aggregator.add(outcome)
+                if early_stop is not None and aggregator.converged(early_stop):
+                    _logger.info(
+                        "campaign %s converged after %d/%d trials "
+                        "(CI half-width <= %g)",
+                        tag,
+                        aggregator.trials,
+                        self.trials,
+                        early_stop.ci_halfwidth,
+                    )
+                    break
+        finally:
+            close = getattr(outcomes, "close", None)
+            if close is not None:
+                close()
+        result = aggregator.result(fault_model)
         _logger.info("campaign %s %s", tag, result.summary())
         return result
 
@@ -147,6 +349,7 @@ class FaultCampaign:
         tag: str = "",
         allowed_bits: tuple[int, ...] | None = None,
         param_filter: Callable[[str], bool] | None = None,
+        early_stop: EarlyStop | None = None,
     ) -> SweepResult:
         """Run a campaign at each fault rate (a full Fig. 5/6 panel)."""
         sweep = SweepResult(rates=tuple(rates))
@@ -154,5 +357,5 @@ class FaultCampaign:
             fault_model = BitFlipFaultModel.at_rate(
                 rate, allowed_bits=allowed_bits, param_filter=param_filter
             )
-            sweep.results[rate] = self.run(fault_model, tag=tag)
+            sweep.results[rate] = self.run(fault_model, tag=tag, early_stop=early_stop)
         return sweep

@@ -85,6 +85,30 @@ class FaultInjector:
             raise ConfigurationError("module has no parameters to inject into")
         self._offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
 
+    # ------------------------------------------------------------------
+    # Pickling (worker-pool transport)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, object]:
+        """Snapshot for worker transport: encoded words only.
+
+        The decoded clean copies are redundant with ``_words`` (decode
+        is deterministic), so dropping them roughly halves the payload a
+        spawn-based pool must pickle per worker.  An injector with
+        faults applied has no well-defined remote state — refuse.
+        """
+        if self._active:
+            raise ConfigurationError(
+                "cannot pickle an injector while faults are injected; "
+                "restore first"
+            )
+        state = self.__dict__.copy()
+        state["_clean"] = None
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._clean = [decode(words, self.fmt) for words in self._words]
+
     @property
     def total_words(self) -> int:
         """Number of parameter words in the full fault space."""
@@ -172,8 +196,27 @@ class FaultInjector:
         global_positions = self._offsets[selected[owner]] + local
         return FaultSites(global_positions, sites.bit_positions)
 
+    def _validated_sites(self, sites: FaultSites) -> tuple[np.ndarray, np.ndarray]:
+        """Bounds-checked (word, bit) position arrays for ``sites``."""
+        positions = np.asarray(sites.word_positions, dtype=np.int64)
+        bits = np.asarray(sites.bit_positions, dtype=np.int64)
+        if positions.size == 0:
+            return positions, bits
+        if positions.min() < 0 or positions.max() >= self.total_words:
+            raise ConfigurationError("site word position outside the fault space")
+        if bits.min() < 0 or bits.max() >= self.fmt.total_bits:
+            raise ConfigurationError(
+                f"site bit index out of range for {self.fmt} "
+                f"(0..{self.fmt.total_bits - 1})"
+            )
+        return positions, bits
+
     def apply(self, sites: FaultSites) -> int:
         """Flip the given sites in-place.  Returns the number of flips.
+
+        Sites are bounds-checked before any parameter is touched, and a
+        failure mid-apply restores the clean state — ``apply`` either
+        succeeds completely or leaves the model untouched and inactive.
 
         Prefer the :meth:`inject` context manager, which guarantees
         restoration; ``apply``/``restore`` exist for tests and for
@@ -181,19 +224,24 @@ class FaultInjector:
         """
         if self._active:
             raise ConfigurationError("faults already injected; restore first")
+        positions, bits = self._validated_sites(sites)
         self._active = True
         if len(sites) == 0:
             return 0
-        order = np.argsort(sites.word_positions)
-        positions = sites.word_positions[order]
-        bits = sites.bit_positions[order]
-        owner = np.searchsorted(self._offsets, positions, side="right") - 1
-        for index in np.unique(owner):
-            mask = owner == index
-            local = positions[mask] - self._offsets[index]
-            faulty = flip_bits(self._words[index], local, bits[mask], self.fmt)
-            param = self._params[index]
-            param.data = decode(faulty, self.fmt).reshape(param.shape)
+        try:
+            order = np.argsort(positions)
+            positions = positions[order]
+            bits = bits[order]
+            owner = np.searchsorted(self._offsets, positions, side="right") - 1
+            for index in np.unique(owner):
+                mask = owner == index
+                local = positions[mask] - self._offsets[index]
+                faulty = flip_bits(self._words[index], local, bits[mask], self.fmt)
+                param = self._params[index]
+                param.data = decode(faulty, self.fmt).reshape(param.shape)
+        except BaseException:
+            self.restore()
+            raise
         return len(sites)
 
     def restore(self) -> None:
@@ -222,15 +270,7 @@ class FaultInjector:
         """
         if len(sites) == 0:
             return np.empty(0, dtype=np.int64)
-        positions = np.asarray(sites.word_positions, dtype=np.int64)
-        if positions.min() < 0 or positions.max() >= self.total_words:
-            raise ConfigurationError("site word position outside the fault space")
-        bits = np.asarray(sites.bit_positions, dtype=np.int64)
-        if bits.min() < 0 or bits.max() >= self.fmt.total_bits:
-            raise ConfigurationError(
-                f"site bit index out of range for {self.fmt} "
-                f"(0..{self.fmt.total_bits - 1})"
-            )
+        positions, bits = self._validated_sites(sites)
         owner = np.searchsorted(self._offsets, positions, side="right") - 1
         values = np.empty(positions.size, dtype=np.int64)
         modulus = np.int64(1) << np.int64(self.fmt.total_bits)

@@ -150,6 +150,102 @@ class TestPipeline:
         # Same reported accuracy both times (the cache reproduces weights).
         assert first.split("accuracy")[1] == second.split("accuracy")[1]
 
+    def test_protect_records_format_and_evaluate_uses_it(
+        self, isolated_cache, tmp_path, capsys
+    ):
+        """Regression: evaluate used to hard-code Q15.16, so faults for a
+        Q7.8 checkpoint landed in the wrong bit-space."""
+        from repro.core.checkpoint import load_protected
+        from repro.models.registry import build_model
+
+        checkpoint = tmp_path / "q78.npz"
+        assert (
+            main(
+                [
+                    "protect",
+                    "--model",
+                    "lenet",
+                    "--method",
+                    "clipact",
+                    "--format",
+                    "q7.8",
+                    "--out",
+                    str(checkpoint),
+                    *TINY,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+        def builder():
+            return build_model(
+                "lenet", num_classes=10, scale=0.5, image_size=16, seed=0
+            )
+
+        _, meta = load_protected(checkpoint, builder)
+        assert meta["format"] == "Q7.8"
+
+        assert (
+            main(
+                ["evaluate", "--checkpoint", str(checkpoint), "--rates", "1e-4", *TINY]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "rate 1.0e-04" in captured.out
+        # The manifest carries a format, so no fallback warning appears.
+        assert "assuming Q15.16" not in captured.err
+
+    def test_evaluate_warns_when_manifest_lacks_format(self, capsys):
+        from repro.cli.main import _checkpoint_format
+        from repro.quant.fixed_point import Q15_16
+        from repro.quant.formats import Q3_4
+
+        assert _checkpoint_format({}) is Q15_16
+        assert "assuming Q15.16" in capsys.readouterr().err
+        assert _checkpoint_format({"format": "Q3.4"}) == Q3_4
+        assert capsys.readouterr().err == ""
+
+    def test_evaluate_parallel_workers(self, isolated_cache, tmp_path, capsys):
+        """The --workers flag drives the process-pool campaign backend."""
+        checkpoint = tmp_path / "par.npz"
+        assert (
+            main(
+                [
+                    "protect",
+                    "--model",
+                    "lenet",
+                    "--method",
+                    "none",
+                    "--out",
+                    str(checkpoint),
+                    *TINY,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        argv = [
+            "evaluate",
+            "--checkpoint",
+            str(checkpoint),
+            "--rates",
+            "1e-4",
+            *TINY,
+            "--trials",
+            "2",
+        ]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main([*argv, "--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        # Same seed, same campaign — the parallel backend reports the
+        # exact same accuracy lines as the serial one.
+        assert (
+            serial_out.splitlines()[-1] == parallel_out.splitlines()[-1]
+        )
+
     def test_evaluate_rejects_non_checkpoint(self, tmp_path, capsys):
         from repro.utils.serialization import save_state
 

@@ -65,6 +65,21 @@ class TestCampaign:
         assert sweep.rates == (1e-4, 1e-3)
         assert len(sweep.mean_curve()) == 2
 
+    def test_sweep_lookup_tolerates_float_recomputation(self):
+        """Regression: 3 * 1e-6 != 3e-6 exactly; lookups must still hit."""
+        campaign, _ = _campaign(trials=2)
+        sweep = campaign.run_sweep((3e-6, 1e-3))
+        assert sweep[3 * 1e-6] is sweep.results[3e-6]
+        assert sweep[0.001 * (1 + 1e-13)] is sweep.results[1e-3]
+        assert 3 * 1e-6 in sweep
+        assert 5e-4 not in sweep
+
+    def test_sweep_lookup_miss_lists_available_rates(self):
+        campaign, _ = _campaign(trials=2)
+        sweep = campaign.run_sweep((1e-4, 1e-3))
+        with pytest.raises(KeyError, match="0.0001"):
+            sweep[7e-2]
+
     def test_invalid_trials(self):
         campaign, _ = _campaign()
         with pytest.raises(ValueError):

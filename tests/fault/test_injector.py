@@ -129,6 +129,81 @@ class TestInjector:
         with pytest.raises(ConfigurationError):
             FaultInjector(nn.ReLU())
 
+    def test_apply_rejects_out_of_range_word(self):
+        model = _model()
+        injector = FaultInjector(model)
+        before = _snapshot(model)
+        bad = FaultSites(np.array([injector.total_words]), np.array([0]))
+        with pytest.raises(ConfigurationError):
+            injector.apply(bad)
+        # Nothing was corrupted and the injector is immediately reusable.
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+        assert not injector._active
+        with injector.inject(injector.sample(BitFlipFaultModel.exact(1), rng=0)):
+            pass
+
+    def test_apply_rejects_out_of_range_bit(self):
+        model = _model()
+        injector = FaultInjector(model)
+        before = _snapshot(model)
+        bad = FaultSites(np.array([0]), np.array([32]))
+        with pytest.raises(ConfigurationError):
+            injector.apply(bad)
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+        assert not injector._active
+
+    def test_apply_rejects_negative_positions(self):
+        injector = FaultInjector(_model())
+        with pytest.raises(ConfigurationError):
+            injector.apply(FaultSites(np.array([-1]), np.array([0])))
+        with pytest.raises(ConfigurationError):
+            injector.apply(FaultSites(np.array([0]), np.array([-1])))
+        assert not injector._active
+
+    def test_inject_with_invalid_sites_leaves_injector_clean(self):
+        model = _model()
+        injector = FaultInjector(model)
+        bad = FaultSites(np.array([injector.total_words + 7]), np.array([0]))
+        with pytest.raises(ConfigurationError):
+            with injector.inject(bad):
+                pytest.fail("inject must not enter the context on bad sites")
+        assert not injector._active
+
+    def test_mid_apply_failure_restores_everything(self, monkeypatch):
+        """A fault mid-apply (after some parameters were already flipped)
+        must restore the flipped prefix and deactivate the injector."""
+        import repro.fault.injector as injector_module
+
+        model = _model()
+        injector = FaultInjector(model)
+        before = _snapshot(model)
+        # Sites spanning the first and last parameter force multiple
+        # flip_bits calls; the second one explodes.
+        sites = FaultSites(
+            np.array([0, injector.total_words - 1]), np.array([30, 30])
+        )
+        real_flip_bits = injector_module.flip_bits
+        calls = {"n": 0}
+
+        def exploding_flip_bits(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise RuntimeError("simulated mid-apply fault")
+            return real_flip_bits(*args, **kwargs)
+
+        monkeypatch.setattr(injector_module, "flip_bits", exploding_flip_bits)
+        with pytest.raises(RuntimeError, match="mid-apply"):
+            injector.apply(sites)
+        assert calls["n"] == 2
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+        assert not injector._active
+        monkeypatch.setattr(injector_module, "flip_bits", real_flip_bits)
+        with injector.inject(sites) as count:
+            assert count == 2
+
     def test_single_flip_changes_single_value(self):
         model = _model()
         injector = FaultInjector(model)
