@@ -196,61 +196,30 @@ def _cmd_protect(args: argparse.Namespace) -> int:
         "clean_accuracy": info["clean_accuracy"],
         "format": str(fmt),
     }
-    save_protected(args.out, model, meta=meta)
+    written = save_protected(args.out, model, meta=meta)
     print(
         f"protected {args.model}/{args.dataset} with {args.method}: "
-        f"clean accuracy {info['clean_accuracy']:.2%} -> {args.out}"
+        f"clean accuracy {info['clean_accuracy']:.2%} -> {written}"
     )
     return 0
 
 
 def _checkpoint_format(meta: dict[str, object]):
-    """Quantisation format recorded in a checkpoint manifest.
+    """Manifest quantisation format, warning on stderr when absent."""
+    from repro.core.checkpoint import checkpoint_format
 
-    Older checkpoints predate the ``format`` field; fall back to the
-    paper's Q15.16 with a warning rather than silently injecting faults
-    into the wrong bit-space.
-    """
-    from repro.quant.fixed_point import Q15_16
-    from repro.quant.formats import parse_format
-
-    spec = meta.get("format")
-    if spec is None:
-        print(
-            "warning: checkpoint manifest records no quantisation format; "
-            "assuming Q15.16",
-            file=sys.stderr,
-        )
-        return Q15_16
-    return parse_format(str(spec))
+    return checkpoint_format(
+        meta, warn=lambda message: print(f"warning: {message}", file=sys.stderr)
+    )
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    from repro.core.checkpoint import load_protected
+    from repro.core.checkpoint import load_protected_auto
     from repro.fault.campaign import FaultCampaign
     from repro.fault.injector import FaultInjector
-    from repro.models.registry import build_model
 
     preset = _preset_from_args(args)
-
-    probe_meta: dict[str, object] = {}
-
-    def builder():
-        from repro.utils.serialization import load_state
-        import json
-
-        state = load_state(args.checkpoint)
-        manifest = json.loads(str(state["__repro_checkpoint__"]))
-        probe_meta.update(manifest.get("meta", {}))
-        return build_model(
-            str(probe_meta["model"]),
-            num_classes=int(probe_meta["num_classes"]),
-            scale=float(probe_meta["scale"]),
-            image_size=int(probe_meta["image_size"]),
-            seed=int(probe_meta.get("seed", 0)),
-        )
-
-    model, meta = load_protected(args.checkpoint, builder)
+    model, meta = load_protected_auto(args.checkpoint)
     preset = preset.with_overrides(image_size=int(meta["image_size"]))
     evaluator = _evaluator_for(str(meta["dataset"]), preset)
     clean = evaluator.accuracy(model)
@@ -277,6 +246,61 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
                 f"{result.median:.2%}  min {result.min:.2%}  "
                 f"({result.trials} trials, mean {result.flip_counts.mean():.1f} flips)"
             )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.serve import (
+        ChaosConfig,
+        ModelRegistry,
+        ReproServer,
+        ServeApp,
+        ServeConfig,
+    )
+
+    registry = ModelRegistry(capacity=args.registry_capacity)
+    for spec in args.checkpoint:
+        if "=" in spec:
+            name, path = spec.split("=", 1)
+        else:
+            import os
+
+            name = os.path.splitext(os.path.basename(spec))[0]
+            path = spec
+        registry.register(name, path)
+
+    chaos = None
+    if args.chaos_ber is not None:
+        chaos = ChaosConfig(ber=args.chaos_ber, seed=args.chaos_seed)
+    app = ServeApp(
+        registry,
+        ServeConfig(
+            max_batch=args.max_batch,
+            max_latency_ms=args.max_latency_ms,
+            batch_workers=args.batch_workers,
+            chaos=chaos,
+        ),
+    )
+    server = ReproServer(app, host=args.host, port=args.port)
+    server.start()
+    chaos_note = f", chaos ber {chaos.ber:g}" if chaos else ""
+    print(
+        f"serving {', '.join(registry.names())} on {server.url} "
+        f"(max batch {args.max_batch}, max latency {args.max_latency_ms:g}ms"
+        f"{chaos_note})",
+        flush=True,
+    )
+
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    stop.wait()
+    print("shutting down...", flush=True)
+    server.stop()
+    print("shutdown complete", flush=True)
     return 0
 
 
@@ -369,6 +393,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_preset_arguments(p)
     p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser(
+        "serve", help="serve protected checkpoints over HTTP (batched)"
+    )
+    p.add_argument(
+        "--checkpoint",
+        required=True,
+        action="append",
+        metavar="[NAME=]PATH",
+        help=(
+            "protected checkpoint to serve; repeat for multiple models "
+            "(name defaults to the file stem)"
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=_nonnegative_int,
+        default=8080,
+        help="listening port (0 = ephemeral; the resolved port is printed)",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="samples per coalesced forward pass (default: 32)",
+    )
+    p.add_argument(
+        "--max-latency-ms",
+        type=float,
+        default=5.0,
+        help="how long an open batch waits for more requests (default: 5)",
+    )
+    p.add_argument(
+        "--batch-workers",
+        type=int,
+        default=1,
+        help="batch-execution threads per model (default: 1)",
+    )
+    p.add_argument(
+        "--registry-capacity",
+        type=int,
+        default=4,
+        help="models resident at once before LRU eviction (default: 4)",
+    )
+    p.add_argument(
+        "--chaos-ber",
+        type=float,
+        default=None,
+        help=(
+            "enable chaos mode: per-bit fault rate injected into the live "
+            "model around every batch (e.g. 1e-5); SDC counters appear "
+            "in /metrics"
+        ),
+    )
+    p.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="base seed for the deterministic chaos fault stream",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("experiment", help="regenerate a paper artefact by id")
     p.add_argument("--id", required=True, help="see 'repro list-experiments'")

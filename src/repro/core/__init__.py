@@ -4,7 +4,13 @@ Clip-Act, Ranger, and Tanh-swap baselines it is evaluated against."""
 
 from repro.core.bounded_relu import BoundedReLU, FitReLUNaive, GBReLU
 from repro.core.bounded_tanh import BoundedTanh
-from repro.core.checkpoint import load_protected, save_protected
+from repro.core.checkpoint import (
+    checkpoint_format,
+    load_protected,
+    load_protected_auto,
+    read_checkpoint_meta,
+    save_protected,
+)
 from repro.core.fitact import FitActConfig, FitActPipeline, FitActResult
 from repro.core.fitrelu import DEFAULT_SLOPE, FitReLU
 from repro.core.post_training import (
@@ -63,7 +69,10 @@ __all__ = [
     "bound_parameter_count",
     "evaluate_accuracy",
     "find_activation_sites",
+    "checkpoint_format",
     "load_protected",
+    "load_protected_auto",
+    "read_checkpoint_meta",
     "make_factory",
     "profile_activations",
     "protect_model",

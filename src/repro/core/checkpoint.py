@@ -31,10 +31,20 @@ from repro.errors import ConfigurationError
 from repro.nn.module import Module
 from repro.utils.serialization import load_state, save_state
 
-__all__ = ["load_protected", "save_protected"]
+__all__ = [
+    "checkpoint_format",
+    "load_protected",
+    "load_protected_auto",
+    "read_checkpoint_meta",
+    "save_protected",
+]
 
 _META_KEY = "__repro_checkpoint__"
 _FORMAT_VERSION = 1
+
+#: Manifest meta fields ``load_protected_auto`` needs to rebuild the
+#: base architecture without a user-supplied builder.
+_AUTO_FIELDS = ("model", "num_classes", "scale", "image_size")
 
 
 def _site_spec(module: Module) -> dict[str, object]:
@@ -80,15 +90,62 @@ def _build_site(spec: dict[str, object], bounds: np.ndarray) -> Module:
     raise ConfigurationError(f"unknown protected-site type {kind!r} in checkpoint")
 
 
+def read_checkpoint_meta(path: str | os.PathLike) -> dict[str, object]:
+    """Manifest meta of a checkpoint without restoring the model.
+
+    Reads only the manifest member of the archive, so it is cheap even
+    for large checkpoints — the serving layer uses it to describe
+    models that are registered but not resident.
+    """
+    fspath = os.fspath(path)
+    if not fspath.endswith(".npz") and not os.path.exists(fspath):
+        fspath = f"{fspath}.npz"
+    with np.load(fspath) as archive:
+        if _META_KEY not in archive.files:
+            raise ConfigurationError(
+                f"{os.fspath(path)!r} is not a protected-model checkpoint "
+                f"(missing {_META_KEY!r})"
+            )
+        manifest = json.loads(str(archive[_META_KEY]))
+    return dict(manifest.get("meta", {}))
+
+
+def checkpoint_format(
+    meta: dict[str, object],
+    warn: "Callable[[str], None] | None" = None,
+):
+    """Quantisation format recorded in a checkpoint's manifest meta.
+
+    Checkpoints written before the ``format`` field existed fall back to
+    the paper's Q15.16; ``warn`` (if given) is called with a message in
+    that case so fault-injecting callers don't silently target a
+    possibly wrong bit-space.
+    """
+    from repro.quant.fixed_point import Q15_16
+    from repro.quant.formats import parse_format
+
+    spec = meta.get("format")
+    if spec is None:
+        if warn is not None:
+            warn(
+                "checkpoint manifest records no quantisation format; "
+                "assuming Q15.16"
+            )
+        return Q15_16
+    return parse_format(str(spec))
+
+
 def save_protected(
     path: str | os.PathLike,
     model: Module,
     meta: dict[str, object] | None = None,
-) -> None:
+) -> str:
     """Save a protected (or plain) model with its surgery manifest.
 
     ``meta`` may carry arbitrary JSON-serialisable metadata (method name,
     clean accuracy, preset…) returned verbatim by :func:`load_protected`.
+    Returns the path actually written (``.npz`` is appended when the
+    suffix is missing).
     """
     sites = {site_path: _site_spec(m) for site_path, m in bound_modules(model).items()}
     manifest = {
@@ -100,7 +157,53 @@ def save_protected(
     if _META_KEY in state:
         raise ConfigurationError(f"state dict already contains {_META_KEY!r}")
     state[_META_KEY] = np.array(json.dumps(manifest))
-    save_state(path, state)
+    return save_state(path, state)
+
+
+def _load_manifest(
+    path: str | os.PathLike,
+) -> tuple[dict[str, np.ndarray], dict[str, object]]:
+    """Load a checkpoint's state and validated surgery manifest."""
+    state = load_state(path)
+    raw_manifest = state.pop(_META_KEY, None)
+    if raw_manifest is None:
+        raise ConfigurationError(
+            f"{os.fspath(path)!r} is not a protected-model checkpoint "
+            f"(missing {_META_KEY!r})"
+        )
+    manifest = json.loads(str(raw_manifest))
+    version = manifest.get("version")
+    if version != _FORMAT_VERSION:
+        hint = (
+            "written by a newer build — upgrade to read it"
+            if isinstance(version, int) and version > _FORMAT_VERSION
+            else "the checkpoint is corrupt or from an incompatible build"
+        )
+        raise ConfigurationError(
+            f"{os.fspath(path)!r}: unsupported checkpoint format version "
+            f"{version!r}; this build reads version {_FORMAT_VERSION} ({hint})"
+        )
+    return state, manifest
+
+
+def _restore(
+    state: dict[str, np.ndarray],
+    manifest: dict[str, object],
+    builder: Callable[[], Module],
+) -> tuple[Module, dict[str, object]]:
+    """Replay the surgery manifest onto a fresh base model."""
+    model = builder()
+    for site_path, spec in manifest["sites"].items():
+        bound_key = f"{site_path}.bound"
+        if bound_key not in state:
+            raise ConfigurationError(
+                f"checkpoint manifest lists {site_path!r} but the state "
+                f"has no {bound_key!r}"
+            )
+        bounds = np.asarray(state[bound_key], dtype=np.float32)
+        model.set_submodule(site_path, _build_site(spec, bounds))
+    model.load_state_dict(state, strict=True)
+    return model, dict(manifest.get("meta", {}))
 
 
 def load_protected(
@@ -114,29 +217,41 @@ def load_protected(
     activations; typically ``lambda: build_model(name, ...)``.  Returns
     ``(model, meta)``.
     """
-    state = load_state(path)
-    raw_manifest = state.pop(_META_KEY, None)
-    if raw_manifest is None:
+    state, manifest = _load_manifest(path)
+    return _restore(state, manifest, builder)
+
+
+def load_protected_auto(
+    path: str | os.PathLike,
+) -> tuple[Module, dict[str, object]]:
+    """Rebuild a protected model using the architecture recorded in meta.
+
+    Checkpoints written by ``repro protect`` record the base
+    architecture (``model``/``num_classes``/``scale``/``image_size`` and
+    optionally ``seed``) in the manifest meta, so no builder is needed —
+    this is what the CLI and the serving registry use.  Checkpoints
+    saved with a bare ``save_protected`` call lack those fields and must
+    go through :func:`load_protected` with an explicit builder.
+    """
+    state, manifest = _load_manifest(path)
+    meta = dict(manifest.get("meta", {}))
+    missing = [field for field in _AUTO_FIELDS if field not in meta]
+    if missing:
         raise ConfigurationError(
-            f"{os.fspath(path)!r} is not a protected-model checkpoint "
-            f"(missing {_META_KEY!r})"
+            f"{os.fspath(path)!r} records no base architecture (meta is "
+            f"missing {', '.join(missing)}); reload it with load_protected() "
+            "and an explicit builder"
         )
-    manifest = json.loads(str(raw_manifest))
-    version = manifest.get("version")
-    if version != _FORMAT_VERSION:
-        raise ConfigurationError(
-            f"unsupported checkpoint version {version!r} "
-            f"(this build reads version {_FORMAT_VERSION})"
+
+    def builder() -> Module:
+        from repro.models.registry import build_model
+
+        return build_model(
+            str(meta["model"]),
+            num_classes=int(meta["num_classes"]),
+            scale=float(meta["scale"]),
+            image_size=int(meta["image_size"]),
+            seed=int(meta.get("seed", 0)),
         )
-    model = builder()
-    for site_path, spec in manifest["sites"].items():
-        bound_key = f"{site_path}.bound"
-        if bound_key not in state:
-            raise ConfigurationError(
-                f"checkpoint manifest lists {site_path!r} but the state "
-                f"has no {bound_key!r}"
-            )
-        bounds = np.asarray(state[bound_key], dtype=np.float32)
-        model.set_submodule(site_path, _build_site(spec, bounds))
-    model.load_state_dict(state, strict=True)
-    return model, dict(manifest.get("meta", {}))
+
+    return _restore(state, manifest, builder)

@@ -2,7 +2,7 @@
 text reporting, machine-readable export, and the per-figure experiment
 runners."""
 
-from repro.eval.evaluator import BoundAccuracy, Evaluator
+from repro.eval.evaluator import BoundAccuracy, Evaluator, forward_logits
 from repro.eval.export import result_to_dict, save_csv, save_json
 from repro.eval.metrics import (
     class_accuracy,
@@ -25,6 +25,7 @@ __all__ = [
     "confusion_matrix",
     "format_curves",
     "format_table",
+    "forward_logits",
     "measure_inference_seconds",
     "measure_overhead",
     "percent",

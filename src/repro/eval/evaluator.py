@@ -16,7 +16,23 @@ from repro.data.loader import DataLoader
 from repro.errors import ConfigurationError
 from repro.nn.module import Module
 
-__all__ = ["BoundAccuracy", "Evaluator"]
+__all__ = ["BoundAccuracy", "Evaluator", "forward_logits"]
+
+
+def forward_logits(model: Module, inputs: np.ndarray | Tensor) -> np.ndarray:
+    """One inference-mode forward pass; returns the logits array.
+
+    Runs in eval mode under ``no_grad`` and restores the model's
+    training flag afterwards — the single-batch building block shared by
+    :class:`Evaluator` and the serving stack (:mod:`repro.serve`).
+    """
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            return model(Tensor(inputs)).data
+    finally:
+        model.train(was_training)
 
 
 class BoundAccuracy:

@@ -1,0 +1,70 @@
+"""Batched inference serving for protected checkpoints.
+
+``repro.serve`` turns the offline reproduction into a deployable
+service: ``repro protect`` writes a checkpoint, ``repro serve`` puts it
+behind an HTTP endpoint, and chaos mode injects the paper's bit-flip
+faults into the *live* model so resilience is observable under traffic.
+
+Architecture (stdlib-only — ``ThreadingHTTPServer``, ``queue``,
+``threading``, ``urllib``):
+
+- :class:`ModelRegistry` (``registry.py``) maps serving names to
+  ``save_protected`` checkpoints, loads them on demand via
+  :func:`repro.core.checkpoint.load_protected_auto`, keeps at most
+  ``capacity`` resident with LRU eviction, single-flights concurrent
+  first loads, and gives each model an ``infer_lock``.
+- :class:`MicroBatcher` (``batcher.py``) coalesces concurrent predict
+  requests into one forward pass: a batch closes when ``max_batch``
+  samples are pending or ``max_latency`` has elapsed, whichever comes
+  first.  Batched throughput is the reason the service beats
+  request-at-a-time evaluation (see ``benchmarks/test_bench_serve.py``).
+- :class:`ChaosEngine` (``chaos.py``) reuses
+  :class:`repro.fault.FaultInjector` to flip parameter bits at a
+  configured BER around each batch — exact restore guaranteed — and
+  counts silent data corruptions against a fault-free forward pass of
+  the same inputs.
+- :class:`ServerMetrics` (``metrics.py``) aggregates request counts, a
+  latency histogram, the achieved batch-size distribution, and
+  per-model chaos/SDC counters for ``GET /metrics``.
+- :class:`ServeApp` / :class:`ReproServer` (``http.py``) expose
+  ``POST /predict``, ``GET /models``, ``GET /healthz`` and
+  ``GET /metrics``; :class:`ServeClient` / :func:`run_load`
+  (``client.py``) are the matching client and load generator.
+
+Quick start (library)::
+
+    from repro.serve import ModelRegistry, ReproServer, ServeApp, ServeConfig
+
+    registry = ModelRegistry(capacity=2)
+    registry.register("lenet-fitact", "lenet-fitact.npz")
+    with ReproServer(ServeApp(registry, ServeConfig(max_batch=32))) as server:
+        print(server.url)  # ephemeral port
+        ...
+
+or from the CLI: ``repro serve --checkpoint lenet-fitact.npz --port 8080
+--chaos-ber 1e-5``.
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.chaos import ChaosConfig, ChaosEngine
+from repro.serve.client import LoadReport, ServeClient, run_load
+from repro.serve.http import ReproServer, ServeApp, ServeConfig
+from repro.serve.metrics import ChaosBatchReport, Histogram, ServerMetrics
+from repro.serve.registry import ModelRegistry, ServedModel
+
+__all__ = [
+    "ChaosBatchReport",
+    "ChaosConfig",
+    "ChaosEngine",
+    "Histogram",
+    "LoadReport",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ReproServer",
+    "ServeApp",
+    "ServeClient",
+    "ServeConfig",
+    "ServedModel",
+    "ServerMetrics",
+    "run_load",
+]

@@ -1,0 +1,109 @@
+"""Chaos mode: transient bit-flips injected into the live model.
+
+FitAct's claim is that protected models keep working when parameter
+memory is corrupted *in deployment*.  Chaos mode makes that observable
+on a running server: for each batch, it samples fresh fault sites at a
+configured bit-error rate with the same :class:`repro.fault.FaultInjector`
+the offline campaigns use, serves the batch from the faulted model, and
+restores the exact pre-fault parameters before the next batch (the
+injector's context manager guarantees restoration on any exit path).
+
+Each batch is also evaluated once fault-free so the engine can count
+silent data corruptions — predictions the faults changed — without
+ground-truth labels.  Those counters surface per model in ``/metrics``,
+which is how a protected checkpoint's lower SDC rate shows up next to an
+unprotected baseline under identical traffic and fault patterns.
+
+Fault patterns are deterministic: batch ``i`` of model ``name`` derives
+its seed as ``derive_seed(seed, "chaos", name, i)``, so two servers with
+the same chaos seed inject identical faults regardless of traffic
+timing.  The batch counter lives in the engine, which lives in the
+model's serving lane — evicting and reloading a model restarts its
+stream from batch 0.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fault.fault_model import BitFlipFaultModel
+from repro.fault.injector import FaultInjector
+from repro.quant.model import quantize_module
+from repro.serve.metrics import ChaosBatchReport
+from repro.serve.registry import ServedModel
+from repro.utils.rng import derive_seed
+
+__all__ = ["ChaosConfig", "ChaosEngine"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs for live fault injection.
+
+    Parameters
+    ----------
+    ber:
+        Per-bit fault rate over the model's parameter memory, applied
+        independently to every batch (the paper sweeps 1e-7 … 3e-5).
+    seed:
+        Base seed for the per-batch fault-pattern derivation.
+    """
+
+    ber: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ber <= 1.0:
+            raise ConfigurationError(
+                f"chaos ber must be in (0, 1], got {self.ber}"
+            )
+
+
+class ChaosEngine:
+    """Per-model fault injection driver for the serving path.
+
+    Quantises the model on construction (idempotent for checkpoints
+    written by ``repro protect``) so the injector's encode/decode round
+    trip — and therefore its restore — is bit-exact.
+    """
+
+    def __init__(self, entry: ServedModel, config: ChaosConfig) -> None:
+        self.name = entry.name
+        self.config = config
+        with entry.infer_lock:
+            quantize_module(entry.model, entry.fmt)
+            self.injector = FaultInjector(entry.model, fmt=entry.fmt)
+        self.fault_model = BitFlipFaultModel.at_rate(config.ber)
+        self._batches = 0
+
+    def run_batch(
+        self,
+        forward: Callable[[np.ndarray], np.ndarray],
+        inputs: np.ndarray,
+    ) -> tuple[np.ndarray, ChaosBatchReport]:
+        """Serve one batch under fault; returns (outputs, report).
+
+        The caller must hold the model's ``infer_lock``: the engine
+        mutates shared parameters and both forward passes must see a
+        consistent model.
+        """
+        clean = forward(inputs)
+        seed = derive_seed(self.config.seed, "chaos", self.name, self._batches)
+        self._batches += 1
+        sites = self.injector.sample(self.fault_model, rng=seed)
+        samples = int(np.asarray(inputs).shape[0])
+        if len(sites) == 0:
+            # The Binomial draw produced no faults this batch.
+            return clean, ChaosBatchReport(
+                samples=samples, flips=0, injected=False, sdc_events=0
+            )
+        with self.injector.inject(sites) as flips:
+            faulty = forward(inputs)
+        sdc = int((faulty.argmax(axis=1) != clean.argmax(axis=1)).sum())
+        return faulty, ChaosBatchReport(
+            samples=samples, flips=int(flips), injected=True, sdc_events=sdc
+        )

@@ -1,0 +1,168 @@
+"""Client utilities: a thin JSON client and a threaded load generator.
+
+``ServeClient`` speaks the server's four endpoints over
+``urllib.request`` (stdlib only, same as the server).  ``run_load``
+drives ``POST /predict`` from many threads at once — enough concurrency
+for the micro-batcher to actually form batches — and reports achieved
+throughput; it backs ``benchmarks/test_bench_serve.py`` and
+``examples/serve_client.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LoadReport", "ServeClient", "run_load"]
+
+
+class ServeClient:
+    """Minimal JSON/HTTP client for a running ``repro serve`` instance."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, path: str, payload: dict[str, object] | None = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                detail = json.loads(error.read().decode("utf-8")).get("error", "")
+            except (ValueError, OSError):
+                detail = ""
+            raise ConfigurationError(
+                f"{path} failed with HTTP {error.code}: {detail or error.reason}"
+            ) from error
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("/healthz")
+
+    def models(self) -> dict:
+        return self._request("/models")
+
+    def metrics(self) -> dict:
+        return self._request("/metrics")
+
+    def predict(
+        self,
+        inputs: np.ndarray,
+        model: str | None = None,
+        return_logits: bool = False,
+    ) -> dict:
+        payload: dict[str, object] = {"inputs": np.asarray(inputs).tolist()}
+        if model is not None:
+            payload["model"] = model
+        if return_logits:
+            payload["return_logits"] = True
+        return self._request("/predict", payload)
+
+    def wait_ready(self, attempts: int = 50, delay: float = 0.1) -> dict:
+        """Poll ``/healthz`` until the server answers (startup races)."""
+        last_error: Exception | None = None
+        for _ in range(attempts):
+            try:
+                return self.healthz()
+            except (urllib.error.URLError, OSError, ConfigurationError) as error:
+                last_error = error
+                time.sleep(delay)
+        raise ConfigurationError(
+            f"server at {self.base_url} never became ready: {last_error}"
+        )
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    requests: int
+    samples: int
+    errors: int
+    seconds: float
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.requests / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def samples_per_second(self) -> float:
+        return self.samples / self.seconds if self.seconds > 0 else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.requests} requests ({self.samples} samples) in "
+            f"{self.seconds:.2f}s -> {self.samples_per_second:,.1f} "
+            f"samples/s, {self.errors} errors"
+        )
+
+
+def run_load(
+    client: ServeClient,
+    inputs: np.ndarray,
+    requests: int,
+    concurrency: int = 8,
+    model: str | None = None,
+) -> LoadReport:
+    """Fire ``requests`` predicts from ``concurrency`` threads.
+
+    Every request carries the same ``inputs`` payload (shape
+    ``(k, 3, H, W)`` or a single sample); the point is to measure the
+    serving path, not to vary the data.
+    """
+    if requests < 1:
+        raise ConfigurationError(f"requests must be >= 1, got {requests}")
+    if concurrency < 1:
+        raise ConfigurationError(f"concurrency must be >= 1, got {concurrency}")
+    payload = np.asarray(inputs)
+    samples_per_request = payload.shape[0] if payload.ndim == 4 else 1
+    remaining = threading.BoundedSemaphore(requests)
+    counters = {"done": 0, "errors": 0}
+    counters_lock = threading.Lock()
+
+    def worker() -> None:
+        while True:
+            if not remaining.acquire(blocking=False):
+                return
+            try:
+                client.predict(payload, model=model)
+                error = 0
+            except Exception:  # noqa: BLE001 — load gen records, not raises
+                error = 1
+            with counters_lock:
+                counters["done"] += 1
+                counters["errors"] += error
+
+    threads = [
+        threading.Thread(target=worker, name=f"repro-load-{i}", daemon=True)
+        for i in range(concurrency)
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - started
+    return LoadReport(
+        requests=counters["done"],
+        samples=counters["done"] * samples_per_request,
+        errors=counters["errors"],
+        seconds=elapsed,
+    )

@@ -1,0 +1,378 @@
+"""The HTTP face of the serving stack.
+
+:class:`ServeApp` glues the pieces together — registry, one micro-batch
+lane per resident model, optional chaos engine, shared metrics — and
+:class:`ReproServer` exposes it over a ``ThreadingHTTPServer``:
+
+- ``POST /predict``  — ``{"model": name?, "inputs": [[...], ...]}`` →
+  ``{"model", "predictions", ...}``; inputs are model-ready (normalised)
+  arrays, one sample of shape (3, H, W) or a batch of them.
+- ``GET /models``    — registered checkpoints with metadata.
+- ``GET /healthz``   — liveness plus resident-model summary.
+- ``GET /metrics``   — :class:`repro.serve.metrics.ServerMetrics` snapshot.
+
+Transport is stdlib-only JSON over HTTP; concurrency comes from the
+threading server (one thread per connection) feeding the batcher queues.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReproError
+from repro.eval.evaluator import forward_logits
+from repro.serve.batcher import MicroBatcher
+from repro.serve.chaos import ChaosConfig, ChaosEngine
+from repro.serve.metrics import ServerMetrics
+from repro.serve.registry import ModelRegistry, ServedModel
+from repro.utils.logging import get_logger
+
+__all__ = ["ReproServer", "ServeApp", "ServeConfig"]
+
+_logger = get_logger("serve.http")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Server-wide serving knobs (see ``repro serve --help``)."""
+
+    max_batch: int = 32
+    max_latency_ms: float = 5.0
+    batch_workers: int = 1
+    request_timeout: float = 60.0
+    chaos: ChaosConfig | None = None
+
+
+class _Lane:
+    """One model's serving lane: entry + batcher (+ chaos engine)."""
+
+    def __init__(
+        self, entry: ServedModel, config: ServeConfig, metrics: ServerMetrics
+    ) -> None:
+        self.entry = entry
+        self.chaos = (
+            ChaosEngine(entry, config.chaos) if config.chaos is not None else None
+        )
+
+        def run_batch(stacked: np.ndarray) -> np.ndarray:
+            with entry.infer_lock:
+                if self.chaos is None:
+                    return forward_logits(entry.model, stacked)
+                outputs, report = self.chaos.run_batch(
+                    lambda arr: forward_logits(entry.model, arr), stacked
+                )
+            metrics.observe_chaos(entry.name, report)
+            return outputs
+
+        self.batcher = MicroBatcher(
+            run_batch,
+            max_batch=config.max_batch,
+            max_latency=config.max_latency_ms / 1000.0,
+            workers=config.batch_workers,
+            on_batch=lambda size, _seconds: metrics.observe_batch(size),
+        )
+
+
+class ServeApp:
+    """Transport-independent serving logic (the HTTP layer is a shim).
+
+    Tests and benchmarks drive :meth:`predict` directly; the handler
+    only parses JSON and maps exceptions to status codes.
+    """
+
+    def __init__(self, registry: ModelRegistry, config: ServeConfig | None = None) -> None:
+        self.registry = registry
+        self.config = config or ServeConfig()
+        self.metrics = ServerMetrics()
+        self.started_at = time.monotonic()
+        self._lanes: dict[str, _Lane] = {}
+        self._lanes_lock = threading.Lock()
+        self._lane_builds: dict[str, threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    # Lanes
+    # ------------------------------------------------------------------
+    def _prune_stale_lanes(self, current: str) -> None:
+        """Retire lanes whose models the registry has evicted.
+
+        The residency snapshot is taken under ``_lanes_lock`` so a lane
+        created for a concurrently loaded model can't be mistaken for
+        stale; batchers are closed outside the lock because close()
+        joins worker threads (possibly mid-forward-pass) and must not
+        stall other models' predicts.
+        """
+        stale: list[_Lane] = []
+        with self._lanes_lock:
+            resident = set(self.registry.resident_names())
+            for name in list(self._lanes):
+                if name != current and name not in resident:
+                    stale.append(self._lanes.pop(name))
+        for lane in stale:
+            lane.batcher.close()
+
+    def _lane(self, entry: ServedModel) -> _Lane:
+        self._prune_stale_lanes(entry.name)
+        with self._lanes_lock:
+            lane = self._lanes.get(entry.name)
+            if lane is not None and lane.entry is entry:
+                return lane
+            build_lock = self._lane_builds.setdefault(
+                entry.name, threading.Lock()
+            )
+        # Single-flight lane construction per name, outside _lanes_lock:
+        # building a lane can be slow (chaos mode quantises the model
+        # and snapshots its fault space) and must not block predicts on
+        # other, already-warm models.
+        with build_lock:
+            with self._lanes_lock:
+                lane = self._lanes.get(entry.name)
+                if lane is not None and lane.entry is entry:
+                    return lane
+                old = self._lanes.pop(entry.name, None)
+            if old is not None:
+                # The registry evicted and reloaded this name; retire
+                # the stale lane (in-flight batches still complete).
+                old.batcher.close()
+            lane = _Lane(entry, self.config, self.metrics)
+            with self._lanes_lock:
+                self._lanes[entry.name] = lane
+            return lane
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def resolve_model_name(self, name: str | None) -> str:
+        if name is not None:
+            return str(name)
+        names = self.registry.names()
+        if len(names) == 1:
+            return names[0]
+        raise ConfigurationError(
+            "request names no model and the server hosts "
+            f"{len(names)}; pass \"model\" (one of: {', '.join(names)})"
+        )
+
+    def predict(
+        self,
+        inputs: np.ndarray,
+        model: str | None = None,
+        return_logits: bool = False,
+    ) -> dict[str, object]:
+        """Run ``inputs`` through the (micro-batched) model."""
+        name = self.resolve_model_name(model)
+        entry = self.registry.get(name)
+        array = np.asarray(inputs, dtype=np.float32)
+        if array.shape == entry.input_shape:
+            array = array[np.newaxis]
+        if array.ndim != 4 or array.shape[1:] != entry.input_shape:
+            raise ConfigurationError(
+                f"inputs must be one sample or a batch of shape "
+                f"{entry.input_shape}, got array of shape {array.shape}"
+            )
+        try:
+            logits = self._lane(entry).batcher.predict(
+                array, timeout=self.config.request_timeout
+            )
+        except ConfigurationError as error:
+            # Capacity-thrash window: the lane can be retired between
+            # our registry.get and the submit if another thread evicted
+            # this model.  One reload-and-retry keeps the request valid.
+            if "closed" not in str(error):
+                raise
+            entry = self.registry.get(name)
+            logits = self._lane(entry).batcher.predict(
+                array, timeout=self.config.request_timeout
+            )
+        response: dict[str, object] = {
+            "model": name,
+            "predictions": [int(p) for p in logits.argmax(axis=1)],
+        }
+        if return_logits:
+            response["logits"] = [
+                [float(v) for v in row] for row in np.asarray(logits)
+            ]
+        return response
+
+    def describe_models(self) -> dict[str, object]:
+        # Read-only view: must not touch LRU order or trigger model
+        # loads (non-resident entries are described from a cheap
+        # manifest peek).
+        resident = {
+            entry.name: entry for entry in self.registry.resident_entries()
+        }
+        models = []
+        for name in self.registry.names():
+            entry = resident.get(name)
+            if entry is not None:
+                models.append({**entry.describe(), "resident": True})
+            else:
+                models.append(
+                    {**self.registry.describe_spec(name), "resident": False}
+                )
+        return {
+            "models": models,
+            "capacity": self.registry.capacity,
+            "loads": self.registry.loads,
+            "evictions": self.registry.evictions,
+            "chaos": self.config.chaos is not None,
+        }
+
+    def health(self) -> dict[str, object]:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+            "models": self.registry.names(),
+            "resident": self.registry.resident_names(),
+            "chaos_ber": self.config.chaos.ber if self.config.chaos else None,
+        }
+
+    def close(self) -> None:
+        """Retire every lane (drains queued batches)."""
+        with self._lanes_lock:
+            lanes, self._lanes = list(self._lanes.values()), {}
+        for lane in lanes:
+            lane.batcher.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """JSON shim: route, parse, call the app, map errors to statuses."""
+
+    server: "_HTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, endpoint: str, handler) -> None:
+        app = self.server.app
+        started = time.monotonic()
+        try:
+            status, payload = handler(app)
+        except ConfigurationError as error:
+            status = 404 if "unknown model" in str(error) else 400
+            payload = {"error": str(error)}
+        except ReproError as error:
+            status, payload = 400, {"error": str(error)}
+        except (ValueError, TypeError, KeyError) as error:
+            status, payload = 400, {"error": f"bad request: {error}"}
+        except Exception as error:  # noqa: BLE001 — last-resort 500
+            _logger.exception("unhandled error serving %s", endpoint)
+            status, payload = 500, {"error": f"internal error: {error}"}
+        app.metrics.observe_request(endpoint, status, time.monotonic() - started)
+        self._send_json(status, payload)
+
+    def _read_body(self) -> dict[str, object]:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ConfigurationError("request body must be a JSON object")
+        raw = self.rfile.read(length)
+        body = json.loads(raw.decode("utf-8"))
+        if not isinstance(body, dict):
+            raise ConfigurationError("request body must be a JSON object")
+        return body
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._dispatch(path, lambda app: (200, app.health()))
+        elif path == "/models":
+            self._dispatch(path, lambda app: (200, app.describe_models()))
+        elif path == "/metrics":
+            self._dispatch(path, lambda app: (200, app.metrics.snapshot()))
+        else:
+            self._dispatch(path, lambda app: (404, {"error": f"no route {path}"}))
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/predict":
+            self._dispatch(path, lambda app: (404, {"error": f"no route {path}"}))
+            return
+
+        def run(app: ServeApp) -> tuple[int, dict[str, object]]:
+            body = self._read_body()
+            inputs = body.get("inputs")
+            if inputs is None:
+                raise ConfigurationError('request is missing "inputs"')
+            return 200, app.predict(
+                np.asarray(inputs, dtype=np.float32),
+                model=body.get("model"),
+                return_logits=bool(body.get("return_logits", False)),
+            )
+
+        self._dispatch(path, run)
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        _logger.debug("%s - %s", self.address_string(), format % args)
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    app: ServeApp
+
+
+class ReproServer:
+    """Own the listening socket and background accept thread.
+
+    ``port=0`` binds an ephemeral port; read the resolved one from
+    :attr:`port` / :attr:`url`.  ``stop()`` is graceful: it stops
+    accepting, finishes in-flight requests, and drains the batchers.
+    """
+
+    def __init__(self, app: ServeApp, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.app = app
+        self._httpd = _HTTPServer((host, port), _Handler)
+        self._httpd.app = app
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ReproServer":
+        if self._thread is not None:
+            raise ConfigurationError("server is already running")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-accept",
+            daemon=True,
+        )
+        self._thread.start()
+        _logger.info("serving on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout=10.0)
+        self._thread = None
+        self._httpd.server_close()
+        self.app.close()
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,200 @@
+"""Thread-safe serving metrics.
+
+One :class:`ServerMetrics` instance aggregates everything ``GET
+/metrics`` reports: per-endpoint request counts and status codes, a
+log-scale request-latency histogram, the batch-size distribution the
+micro-batcher actually achieved, and — when chaos mode is on — per-model
+fault-injection counters (batches injected, bits flipped, SDC events).
+
+All observers take one lock per observation; snapshots are deep copies,
+so handlers can serialise them without racing the hot path.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "ChaosBatchReport",
+    "LATENCY_BUCKETS_MS",
+    "Histogram",
+    "ServerMetrics",
+]
+
+LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+    math.inf,
+)
+"""Upper bounds (ms) of the request-latency histogram buckets."""
+
+BATCH_SIZE_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, math.inf)
+"""Upper bounds of the batch-size distribution buckets."""
+
+
+def _bucket_label(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    return f"{bound:g}"
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` semantics.
+
+    Observations are binned internally, and :meth:`snapshot` emits
+    *cumulative* bucket counts — ``le_X`` counts every observation
+    ``<= X``, as ``histogram_quantile``-style consumers expect.  Not
+    thread-safe on its own; :class:`ServerMetrics` serialises access.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "sum")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.counts = [0] * len(bounds)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.total += 1
+        self.sum += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+
+    def snapshot(self) -> dict[str, object]:
+        buckets = {}
+        cumulative = 0
+        for bound, count in zip(self.bounds, self.counts):
+            cumulative += count
+            buckets[f"le_{_bucket_label(bound)}"] = cumulative
+        return {
+            "count": self.total,
+            "sum": round(self.sum, 6),
+            "mean": round(self.sum / self.total, 6) if self.total else 0.0,
+            "buckets": buckets,
+        }
+
+
+@dataclass(frozen=True)
+class ChaosBatchReport:
+    """What one chaos-mode batch did to the live model.
+
+    ``sdc_events`` counts predictions that changed relative to the
+    fault-free forward pass of the same inputs — the serving analogue of
+    the campaign engine's silent-data-corruption trials.
+    """
+
+    samples: int
+    flips: int
+    injected: bool
+    sdc_events: int
+
+
+@dataclass
+class _ChaosCounters:
+    batches: int = 0
+    injected_batches: int = 0
+    flips: int = 0
+    samples: int = 0
+    sdc_events: int = 0
+
+    def add(self, report: ChaosBatchReport) -> None:
+        self.batches += 1
+        self.injected_batches += int(report.injected)
+        self.flips += report.flips
+        self.samples += report.samples
+        self.sdc_events += report.sdc_events
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "batches": self.batches,
+            "injected_batches": self.injected_batches,
+            "flips": self.flips,
+            "samples": self.samples,
+            "sdc_events": self.sdc_events,
+            # Fraction of served predictions silently corrupted by the
+            # injected faults — an upper bound on the accuracy drop the
+            # traffic experienced (some flipped predictions may have
+            # been wrong anyway).
+            "sdc_rate": round(self.sdc_events / self.samples, 6)
+            if self.samples
+            else 0.0,
+        }
+
+
+@dataclass
+class _EndpointCounters:
+    count: int = 0
+    errors: int = 0
+    by_status: dict[int, int] = field(default_factory=dict)
+
+
+class ServerMetrics:
+    """Aggregated observability state behind ``GET /metrics``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: dict[str, _EndpointCounters] = {}
+        self._latency = Histogram(LATENCY_BUCKETS_MS)
+        self._batch_sizes = Histogram(BATCH_SIZE_BUCKETS)
+        self._samples_served = 0
+        self._chaos: dict[str, _ChaosCounters] = {}
+
+    def observe_request(self, endpoint: str, status: int, seconds: float) -> None:
+        with self._lock:
+            counters = self._endpoints.setdefault(endpoint, _EndpointCounters())
+            counters.count += 1
+            counters.by_status[status] = counters.by_status.get(status, 0) + 1
+            if status >= 400:
+                counters.errors += 1
+            self._latency.observe(seconds * 1000.0)
+
+    def observe_batch(self, size: int) -> None:
+        with self._lock:
+            self._batch_sizes.observe(size)
+            self._samples_served += size
+
+    def observe_chaos(self, model: str, report: ChaosBatchReport) -> None:
+        with self._lock:
+            self._chaos.setdefault(model, _ChaosCounters()).add(report)
+
+    def chaos_snapshot(self, model: str) -> dict[str, object]:
+        """Chaos counters for one model (zeros when never injected)."""
+        with self._lock:
+            counters = self._chaos.get(model, _ChaosCounters())
+            return counters.snapshot()
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "requests": {
+                    "total": sum(c.count for c in self._endpoints.values()),
+                    "errors": sum(c.errors for c in self._endpoints.values()),
+                    "by_endpoint": {
+                        endpoint: {
+                            "count": counters.count,
+                            "errors": counters.errors,
+                            "by_status": {
+                                str(status): count
+                                for status, count in sorted(
+                                    counters.by_status.items()
+                                )
+                            },
+                        }
+                        for endpoint, counters in sorted(self._endpoints.items())
+                    },
+                },
+                "latency_ms": self._latency.snapshot(),
+                "batches": {
+                    "samples_served": self._samples_served,
+                    "sizes": self._batch_sizes.snapshot(),
+                },
+                "chaos": {
+                    model: counters.snapshot()
+                    for model, counters in sorted(self._chaos.items())
+                },
+            }

@@ -1,0 +1,209 @@
+"""Checkpoint registry: on-demand loading with LRU eviction.
+
+The registry maps serving names to ``save_protected`` checkpoint paths
+and materialises models lazily on first request.  At most ``capacity``
+models stay resident; the least recently used entry is evicted when a
+load would exceed it.  Loading the same name concurrently is
+single-flighted through a per-name load lock, so a burst of first
+requests costs one checkpoint read, not N.
+
+Every resident model carries an ``infer_lock`` — the micro-batcher (and
+chaos engine, which mutates parameters in place) hold it around forward
+passes, so eviction and reload never interleave with inference on the
+same instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.checkpoint import (
+    checkpoint_format,
+    load_protected_auto,
+    read_checkpoint_meta,
+)
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+from repro.quant.fixed_point import FixedPointFormat
+from repro.utils.logging import get_logger
+
+__all__ = ["ModelRegistry", "ServedModel"]
+
+_logger = get_logger("serve.registry")
+
+
+@dataclass
+class ServedModel:
+    """One resident model plus everything serving needs alongside it."""
+
+    name: str
+    path: str
+    model: Module
+    meta: dict[str, object]
+    fmt: FixedPointFormat
+    infer_lock: threading.RLock = field(default_factory=threading.RLock)
+
+    @property
+    def input_shape(self) -> tuple[int, int, int]:
+        """Expected per-sample (channels, height, width)."""
+        size = int(self.meta.get("image_size", 32))
+        return (3, size, size)
+
+    def describe(self) -> dict[str, object]:
+        """JSON-ready summary for ``GET /models``."""
+        return {
+            "name": self.name,
+            "path": self.path,
+            "model": self.meta.get("model"),
+            "dataset": self.meta.get("dataset"),
+            "method": self.meta.get("method"),
+            "num_classes": self.meta.get("num_classes"),
+            "input_shape": list(self.input_shape),
+            "format": str(self.fmt),
+            "clean_accuracy": self.meta.get("clean_accuracy"),
+        }
+
+
+class ModelRegistry:
+    """Name → checkpoint map with lazy loading and LRU eviction.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of models resident at once (>= 1).  Evicted
+        entries are simply dropped from the cache; in-flight batches on
+        an evicted instance finish normally because they hold their own
+        reference.
+    """
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._specs: dict[str, str] = {}
+        self._spec_meta: dict[str, dict[str, object]] = {}
+        self._resident: OrderedDict[str, ServedModel] = OrderedDict()
+        self._gate = threading.Lock()
+        self._load_locks: dict[str, threading.Lock] = {}
+        self.hits = 0
+        self.loads = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, path: str) -> None:
+        """Map ``name`` to a checkpoint path (does not load it)."""
+        if not name:
+            raise ConfigurationError("model name must be non-empty")
+        with self._gate:
+            if name in self._specs:
+                raise ConfigurationError(f"model {name!r} is already registered")
+            self._specs[name] = path
+
+    def names(self) -> list[str]:
+        with self._gate:
+            return sorted(self._specs)
+
+    def resident_names(self) -> list[str]:
+        with self._gate:
+            return list(self._resident)
+
+    def resident_entries(self) -> list[ServedModel]:
+        """Resident models without touching LRU order (read-only views)."""
+        with self._gate:
+            return list(self._resident.values())
+
+    def describe_spec(self, name: str) -> dict[str, object]:
+        """Checkpoint metadata for ``name`` without loading the model.
+
+        Peeks at the manifest on first call (cached afterwards), so
+        ``GET /models`` can report input geometry for models that are
+        registered but not resident — and never perturbs LRU order or
+        triggers a full load.
+        """
+        with self._gate:
+            if name not in self._specs:
+                raise ConfigurationError(f"unknown model {name!r}")
+            path = self._specs[name]
+            meta = self._spec_meta.get(name)
+        if meta is None:
+            try:
+                meta = read_checkpoint_meta(path)
+            except (OSError, ValueError) as error:
+                _logger.warning("cannot read manifest of %s: %s", path, error)
+                meta = {}
+            with self._gate:
+                self._spec_meta[name] = meta
+        size = meta.get("image_size")
+        return {
+            "name": name,
+            "path": path,
+            "model": meta.get("model"),
+            "dataset": meta.get("dataset"),
+            "method": meta.get("method"),
+            "num_classes": meta.get("num_classes"),
+            "input_shape": [3, int(size), int(size)] if size else None,
+            "clean_accuracy": meta.get("clean_accuracy"),
+        }
+
+    def __contains__(self, name: str) -> bool:
+        with self._gate:
+            return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> ServedModel:
+        """Resident entry for ``name``, loading (and evicting) as needed."""
+        with self._gate:
+            entry = self._resident.get(name)
+            if entry is not None:
+                self._resident.move_to_end(name)
+                self.hits += 1
+                return entry
+            if name not in self._specs:
+                known = ", ".join(sorted(self._specs)) or "none registered"
+                raise ConfigurationError(
+                    f"unknown model {name!r} (available: {known})"
+                )
+            path = self._specs[name]
+            load_lock = self._load_locks.setdefault(name, threading.Lock())
+        # Single-flight the slow checkpoint read outside the gate so
+        # other names keep loading/serving concurrently.
+        with load_lock:
+            with self._gate:
+                entry = self._resident.get(name)
+                if entry is not None:
+                    self._resident.move_to_end(name)
+                    self.hits += 1
+                    return entry
+            entry = self._load(name, path)
+            with self._gate:
+                self._resident[name] = entry
+                self._resident.move_to_end(name)
+                self.loads += 1
+                while len(self._resident) > self.capacity:
+                    self._resident.popitem(last=False)
+                    self.evictions += 1
+            return entry
+
+    def evict(self, name: str) -> bool:
+        """Drop ``name`` from the resident cache (True if it was there)."""
+        with self._gate:
+            if self._resident.pop(name, None) is None:
+                return False
+            self.evictions += 1
+            return True
+
+    def _load(self, name: str, path: str) -> ServedModel:
+        model, meta = load_protected_auto(path)
+        fmt = checkpoint_format(
+            meta, warn=lambda message: _logger.warning("%s: %s", path, message)
+        )
+        return ServedModel(name=name, path=path, model=model, meta=meta, fmt=fmt)

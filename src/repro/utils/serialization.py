@@ -15,14 +15,22 @@ import numpy as np
 __all__ = ["load_state", "save_state"]
 
 
-def save_state(path: str | os.PathLike, state: Mapping[str, np.ndarray]) -> None:
-    """Save a flat state mapping to ``path`` (``.npz`` appended if absent)."""
+def save_state(path: str | os.PathLike, state: Mapping[str, np.ndarray]) -> str:
+    """Save a flat state mapping; returns the path actually written.
+
+    ``np.savez_compressed`` silently appends ``.npz`` when the suffix is
+    missing, so the written file can differ from ``path`` — callers that
+    report or reuse the location must use the returned path.
+    """
     arrays = {}
     for name, value in state.items():
         if not isinstance(name, str):
             raise TypeError(f"state keys must be str, got {type(name).__name__}")
         arrays[name] = np.asarray(value)
-    np.savez_compressed(os.fspath(path), **arrays)
+    path = os.fspath(path)
+    written = path if path.endswith(".npz") else f"{path}.npz"
+    np.savez_compressed(path, **arrays)
+    return written
 
 
 def load_state(path: str | os.PathLike) -> dict[str, np.ndarray]:

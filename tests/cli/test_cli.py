@@ -260,3 +260,50 @@ class TestEnvironmentIsolation:
         assert main(["train", "--model", "lenet", *TINY]) == 0
         assert os.environ["REPRO_CACHE_DIR"] == str(isolated_cache)
         assert any(isolated_cache.iterdir())
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--checkpoint", "model.npz"]
+        )
+        assert args.checkpoint == ["model.npz"]
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.max_batch == 32
+        assert args.max_latency_ms == 5.0
+        assert args.batch_workers == 1
+        assert args.registry_capacity == 4
+        assert args.chaos_ber is None
+        assert args.chaos_seed == 0
+
+    def test_serve_collects_repeated_checkpoints_and_chaos(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--checkpoint",
+                "fit=a.npz",
+                "--checkpoint",
+                "plain=b.npz",
+                "--port",
+                "0",
+                "--chaos-ber",
+                "1e-5",
+                "--chaos-seed",
+                "3",
+            ]
+        )
+        assert args.checkpoint == ["fit=a.npz", "plain=b.npz"]
+        assert args.port == 0
+        assert args.chaos_ber == 1e-5
+        assert args.chaos_seed == 3
+
+    def test_serve_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_rejects_negative_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--checkpoint", "a.npz", "--port", "-1"]
+            )

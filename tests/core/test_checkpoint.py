@@ -8,14 +8,15 @@ from repro.core import (
     FitReLU,
     ProtectionConfig,
     load_protected,
+    load_protected_auto,
     protect_model,
     save_protected,
 )
-from repro.core.bounded_relu import FitReLUNaive, GBReLU
+from repro.core.bounded_relu import BoundedReLU, FitReLUNaive, GBReLU
 from repro.core.surgery import bound_modules
 from repro.errors import ConfigurationError
 from repro.models.registry import build_model
-from repro.utils.serialization import save_state
+from repro.utils.serialization import load_state, save_state
 
 NUM_CLASSES = 10
 IMAGE_SIZE = 16
@@ -113,6 +114,157 @@ class TestRoundTrip:
         assert meta["accuracy"] == pytest.approx(0.93)
         assert meta["preset"] == "quick"
         assert meta["rates"] == [1e-7, 1e-6]
+
+
+class TestPerClassRoundTrip:
+    """Direct coverage for every protected-site class the format knows.
+
+    The method-level parametrisation above exercises whatever classes
+    the protection pipeline happens to pick; these pin the round trip of
+    each activation class (and its config knobs) explicitly.
+    """
+
+    # Bounds are scalar/size-1 so they broadcast at any site; real
+    # per-neuron shapes are covered by the pipeline methods above.
+    SITE_BUILDERS = {
+        "gbrelu-zero": lambda: GBReLU(3.5, mode="zero"),
+        "gbrelu-saturate": lambda: GBReLU(4.25, mode="saturate"),
+        "fitrelu-naive": lambda: FitReLUNaive(np.full(1, 1.75, np.float32)),
+        "bounded-relu-saturate": lambda: BoundedReLU(
+            np.full(1, 2.5, np.float32), mode="saturate"
+        ),
+        "bounded-tanh-fixed": lambda: BoundedTanh(6.0, trainable=False),
+        "bounded-tanh-trainable": lambda: BoundedTanh(
+            np.full(1, 3.0, np.float32), trainable=True
+        ),
+        "fitrelu-trainable": lambda: FitReLU(
+            np.full(1, 1.25, np.float32),
+            k=30.0,
+            slope_mode="relative",
+            trainable=True,
+        ),
+        "fitrelu-frozen": lambda: FitReLU(
+            np.full(1, 2.0, np.float32),
+            k=15.0,
+            slope_mode="absolute",
+            trainable=False,
+        ),
+    }
+
+    @pytest.mark.parametrize("site_kind", sorted(SITE_BUILDERS))
+    def test_single_site_round_trip(
+        self, trained_model, tmp_path, test_loader, site_kind
+    ):
+        relu_paths = [
+            path
+            for path, module in trained_model.named_modules()
+            if type(module).__name__ == "ReLU"
+        ]
+        site = self.SITE_BUILDERS[site_kind]()
+        trained_model.set_submodule(relu_paths[0], site)
+        path = tmp_path / f"{site_kind}.npz"
+        save_protected(path, trained_model)
+
+        reloaded, _ = load_protected(path, _builder)
+        twin = bound_modules(reloaded)[relu_paths[0]]
+        assert type(twin) is type(site)
+        np.testing.assert_array_equal(twin.bound.data, site.bound.data)
+        assert twin.bound.requires_grad == site.bound.requires_grad
+        if isinstance(site, FitReLU):
+            assert twin.k == site.k
+            assert twin.slope_mode == site.slope_mode
+        elif isinstance(site, BoundedReLU):
+            assert twin.mode == site.mode
+        x = _eval_batch(test_loader)
+        np.testing.assert_array_equal(trained_model(x).data, reloaded(x).data)
+
+
+class TestSavePath:
+    def test_save_protected_returns_written_path(self, trained_model, tmp_path):
+        bare = tmp_path / "no-suffix"
+        written = save_protected(bare, trained_model)
+        assert written == f"{bare}.npz"
+        assert not bare.exists()
+        reloaded, _ = load_protected(written, _builder)
+        assert reloaded is not None
+
+    def test_save_protected_keeps_explicit_suffix(self, trained_model, tmp_path):
+        path = tmp_path / "explicit.npz"
+        assert save_protected(path, trained_model) == str(path)
+
+    def test_save_state_returns_written_path(self, tmp_path):
+        written = save_state(tmp_path / "raw", {"w": np.ones(2)})
+        assert written.endswith("raw.npz")
+        assert load_state(written)["w"].tolist() == [1.0, 1.0]
+
+
+def _tamper_version(path, version):
+    """Rewrite a checkpoint's manifest format version in place."""
+    import json
+
+    state = load_state(path)
+    manifest = json.loads(str(state["__repro_checkpoint__"]))
+    manifest["version"] = version
+    state["__repro_checkpoint__"] = np.array(json.dumps(manifest))
+    return save_state(path, state)
+
+
+class TestFormatVersion:
+    @pytest.mark.parametrize("version", [99, 0, "banana", None])
+    def test_unknown_version_rejected(self, trained_model, tmp_path, version):
+        path = save_protected(tmp_path / "versioned.npz", trained_model)
+        _tamper_version(path, version)
+        with pytest.raises(
+            ConfigurationError, match="unsupported checkpoint format version"
+        ):
+            load_protected(path, _builder)
+
+    def test_newer_version_hints_upgrade(self, trained_model, tmp_path):
+        path = save_protected(tmp_path / "future.npz", trained_model)
+        _tamper_version(path, 2)
+        with pytest.raises(ConfigurationError, match="newer build"):
+            load_protected(path, _builder)
+
+
+class TestAutoLoad:
+    FULL_META = {
+        "model": "lenet",
+        "num_classes": NUM_CLASSES,
+        "scale": 1.0,
+        "image_size": IMAGE_SIZE,
+        "seed": 0,
+        "method": "clipact",
+    }
+
+    def test_auto_load_round_trip(self, protected, tmp_path, test_loader):
+        model = protected("clipact")
+        path = save_protected(tmp_path / "auto.npz", model, meta=self.FULL_META)
+        reloaded, meta = load_protected_auto(path)
+        assert meta["method"] == "clipact"
+        x = _eval_batch(test_loader)
+        np.testing.assert_array_equal(model(x).data, reloaded(x).data)
+
+    def test_missing_architecture_meta_rejected(self, protected, tmp_path):
+        model = protected("clipact")
+        path = save_protected(tmp_path / "bare-meta.npz", model)
+        with pytest.raises(ConfigurationError, match="missing model, num_classes"):
+            load_protected_auto(path)
+
+    def test_read_checkpoint_meta_peeks_manifest(self, protected, tmp_path):
+        from repro.core import read_checkpoint_meta
+
+        model = protected("clipact")
+        path = save_protected(tmp_path / "peek.npz", model, meta=self.FULL_META)
+        meta = read_checkpoint_meta(path)
+        assert meta["model"] == "lenet"
+        assert meta["image_size"] == IMAGE_SIZE
+
+    def test_read_checkpoint_meta_rejects_bare_state(self, tmp_path):
+        from repro.core import read_checkpoint_meta
+
+        bare = save_state(tmp_path / "bare.npz", {"w": np.zeros(2)})
+        with pytest.raises(ConfigurationError, match="not a protected-model"):
+            read_checkpoint_meta(bare)
 
 
 class TestErrors:

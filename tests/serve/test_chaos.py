@@ -1,0 +1,132 @@
+"""ChaosEngine: guaranteed restore, deterministic streams, SDC counting."""
+
+import numpy as np
+import pytest
+
+from repro.eval.evaluator import forward_logits
+from repro.quant.fixed_point import Q15_16
+from repro.quant.model import quantize_module
+from repro.serve import ChaosConfig, ChaosEngine, ServerMetrics
+from repro.serve.registry import ServedModel
+
+# High enough that a LeNet-sized fault space (~2M bits) flips bits in
+# every batch with overwhelming probability.
+BER = 5e-5
+
+
+@pytest.fixture
+def entry(trained_model):
+    quantize_module(trained_model, Q15_16)
+    return ServedModel(
+        name="lenet",
+        path="unused.npz",
+        model=trained_model,
+        meta={"model": "lenet", "image_size": 16},
+        fmt=Q15_16,
+    )
+
+
+@pytest.fixture
+def batch(test_loader):
+    inputs, _ = next(iter(test_loader))
+    return inputs.data[:16]
+
+
+def _forward(entry):
+    return lambda arr: forward_logits(entry.model, arr)
+
+
+class TestRestore:
+    def test_parameters_bit_exact_after_batch(self, entry, batch):
+        engine = ChaosEngine(entry, ChaosConfig(ber=BER, seed=3))
+        before = {k: v.copy() for k, v in entry.model.state_dict().items()}
+        for _ in range(5):
+            engine.run_batch(_forward(entry), batch)
+        after = entry.model.state_dict()
+        for key, value in before.items():
+            np.testing.assert_array_equal(after[key], value)
+
+    def test_restores_even_when_forward_raises(self, entry, batch):
+        engine = ChaosEngine(entry, ChaosConfig(ber=BER, seed=3))
+        before = {k: v.copy() for k, v in entry.model.state_dict().items()}
+        calls = {"n": 0}
+
+        def flaky(arr):
+            calls["n"] += 1
+            if calls["n"] == 2:  # the faulted pass
+                raise RuntimeError("forward exploded")
+            return forward_logits(entry.model, arr)
+
+        with pytest.raises(RuntimeError, match="forward exploded"):
+            engine.run_batch(flaky, batch)
+        after = entry.model.state_dict()
+        for key, value in before.items():
+            np.testing.assert_array_equal(after[key], value)
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_stream(self, entry, batch):
+        """Two engines with one seed produce identical batch sequences."""
+
+        def stream():
+            engine = ChaosEngine(entry, ChaosConfig(ber=BER, seed=11))
+            return [
+                engine.run_batch(_forward(entry), batch)[1] for _ in range(4)
+            ]
+
+        assert stream() == stream()
+
+    def test_different_seeds_diverge(self, entry, batch):
+        def totals(seed):
+            engine = ChaosEngine(entry, ChaosConfig(ber=BER, seed=seed))
+            reports = [
+                engine.run_batch(_forward(entry), batch)[1] for _ in range(4)
+            ]
+            return [r.flips for r in reports]
+
+        assert totals(1) != totals(2)
+
+
+class TestReports:
+    def test_report_counts_are_consistent(self, entry, batch):
+        engine = ChaosEngine(entry, ChaosConfig(ber=BER, seed=5))
+        outputs, report = engine.run_batch(_forward(entry), batch)
+        assert outputs.shape[0] == batch.shape[0]
+        assert report.samples == batch.shape[0]
+        assert 0 <= report.sdc_events <= report.samples
+        if report.injected:
+            assert report.flips > 0
+        else:
+            assert report.flips == 0 and report.sdc_events == 0
+
+    def test_sdc_events_count_changed_predictions(self, entry, batch):
+        engine = ChaosEngine(entry, ChaosConfig(ber=BER, seed=5))
+        clean = forward_logits(entry.model, batch).argmax(axis=1)
+        outputs, report = engine.run_batch(_forward(entry), batch)
+        assert report.sdc_events == int(
+            (outputs.argmax(axis=1) != clean).sum()
+        )
+
+    def test_metrics_aggregate_reports(self, entry, batch):
+        engine = ChaosEngine(entry, ChaosConfig(ber=BER, seed=5))
+        metrics = ServerMetrics()
+        total = 0
+        for _ in range(3):
+            _, report = engine.run_batch(_forward(entry), batch)
+            metrics.observe_chaos("lenet", report)
+            total += report.sdc_events
+        snapshot = metrics.chaos_snapshot("lenet")
+        assert snapshot["batches"] == 3
+        assert snapshot["samples"] == 3 * batch.shape[0]
+        assert snapshot["sdc_events"] == total
+        assert snapshot["sdc_rate"] == pytest.approx(
+            total / (3 * batch.shape[0]), abs=1e-6
+        )
+
+    def test_bad_ber_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="ber"):
+            ChaosConfig(ber=0.0)
+        with pytest.raises(ConfigurationError, match="ber"):
+            ChaosConfig(ber=1.5)

@@ -1,0 +1,202 @@
+"""End-to-end HTTP serving: real checkpoints, real sockets, chaos mode."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProtectionConfig, protect_model, save_protected
+from repro.errors import ConfigurationError
+from repro.eval.evaluator import forward_logits
+from repro.serve import (
+    ChaosConfig,
+    ModelRegistry,
+    ReproServer,
+    ServeApp,
+    ServeClient,
+    ServeConfig,
+)
+
+NUM_CLASSES = 10
+IMAGE_SIZE = 16
+
+
+def _meta(method: str) -> dict:
+    return {
+        "model": "lenet",
+        "dataset": "synth10",
+        "method": method,
+        "num_classes": NUM_CLASSES,
+        "scale": 1.0,
+        "image_size": IMAGE_SIZE,
+        "seed": 0,
+        "format": "Q15.16",
+    }
+
+
+@pytest.fixture(scope="module")
+def checkpoints(tmp_path_factory, trained_state, train_loader):
+    """One protected and one unprotected checkpoint on disk."""
+    from repro.models.registry import build_model
+
+    root = tmp_path_factory.mktemp("serve-ckpt")
+    paths = {}
+    for method in ("clipact", "none"):
+        model = build_model(
+            "lenet",
+            num_classes=NUM_CLASSES,
+            scale=1.0,
+            image_size=IMAGE_SIZE,
+            seed=0,
+        )
+        model.load_state_dict(trained_state["state"])
+        if method != "none":
+            protect_model(model, train_loader, ProtectionConfig(method=method))
+        paths[method] = save_protected(
+            root / f"{method}.npz", model, meta=_meta(method)
+        )
+    return paths
+
+
+@pytest.fixture()
+def server(checkpoints):
+    registry = ModelRegistry(capacity=2)
+    registry.register("protected", checkpoints["clipact"])
+    registry.register("plain", checkpoints["none"])
+    app = ServeApp(registry, ServeConfig(max_batch=8, max_latency_ms=2.0))
+    with ReproServer(app) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    client = ServeClient(server.url, timeout=30.0)
+    client.wait_ready()
+    return client
+
+
+@pytest.fixture(scope="module")
+def sample_batch(test_loader):
+    inputs, _ = next(iter(test_loader))
+    return inputs.data[:4].astype(np.float32)
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["models"] == ["plain", "protected"]
+        assert health["chaos_ber"] is None
+
+    def test_models_before_and_after_load(self, client, sample_batch):
+        listing = client.models()
+        assert {m["name"] for m in listing["models"]} == {"plain", "protected"}
+        assert all(not m["resident"] for m in listing["models"])
+        # Geometry is reported even before a model is resident (manifest
+        # peek), so clients can shape their first request correctly.
+        assert all(
+            m["input_shape"] == [3, IMAGE_SIZE, IMAGE_SIZE]
+            for m in listing["models"]
+        )
+        client.predict(sample_batch, model="protected")
+        listing = client.models()
+        resident = {m["name"]: m for m in listing["models"]}
+        assert resident["protected"]["resident"] is True
+        assert resident["protected"]["input_shape"] == [3, IMAGE_SIZE, IMAGE_SIZE]
+        assert resident["protected"]["method"] == "clipact"
+
+    def test_predict_matches_local_forward(self, client, server, sample_batch):
+        response = client.predict(sample_batch, model="protected", return_logits=True)
+        entry = server.app.registry.get("protected")
+        local = forward_logits(entry.model, sample_batch)
+        assert response["predictions"] == local.argmax(axis=1).tolist()
+        np.testing.assert_allclose(
+            np.asarray(response["logits"], dtype=np.float32), local, rtol=1e-5
+        )
+
+    def test_predict_single_sample_auto_batches(self, client, sample_batch):
+        response = client.predict(sample_batch[0], model="plain")
+        assert len(response["predictions"]) == 1
+
+    def test_metrics_accumulate(self, client, sample_batch):
+        client.predict(sample_batch, model="plain")
+        client.predict(sample_batch, model="plain")
+        metrics = client.metrics()
+        predict = metrics["requests"]["by_endpoint"]["/predict"]
+        assert predict["count"] >= 2
+        assert metrics["batches"]["samples_served"] >= 2 * len(sample_batch)
+        assert metrics["latency_ms"]["count"] >= 2
+
+    def test_errors_map_to_statuses(self, client, sample_batch):
+        with pytest.raises(ConfigurationError, match="HTTP 404"):
+            client.predict(sample_batch, model="nope")
+        with pytest.raises(ConfigurationError, match="HTTP 400"):
+            client.predict(np.zeros((2, 5), dtype=np.float32), model="plain")
+        with pytest.raises(ConfigurationError, match="HTTP 400"):
+            # Two models hosted: the request must name one.
+            client.predict(sample_batch)
+        with pytest.raises(ConfigurationError, match="HTTP 404"):
+            client._request("/nothing-here")
+        metrics = client.metrics()
+        assert metrics["requests"]["errors"] >= 4
+
+
+class TestChaosServing:
+    @pytest.fixture()
+    def chaos_server(self, checkpoints):
+        registry = ModelRegistry(capacity=2)
+        registry.register("protected", checkpoints["clipact"])
+        app = ServeApp(
+            registry,
+            ServeConfig(
+                max_batch=8,
+                max_latency_ms=1.0,
+                chaos=ChaosConfig(ber=5e-5, seed=7),
+            ),
+        )
+        with ReproServer(app) as running:
+            yield running
+
+    def test_chaos_counters_surface_in_metrics(self, chaos_server, sample_batch):
+        client = ServeClient(chaos_server.url, timeout=30.0)
+        client.wait_ready()
+        for _ in range(4):
+            client.predict(sample_batch, model="protected")
+        chaos = client.metrics()["chaos"]["protected"]
+        assert chaos["batches"] >= 4
+        assert chaos["injected_batches"] >= 1
+        assert chaos["flips"] > 0
+        assert 0.0 <= chaos["sdc_rate"] <= 1.0
+
+    def test_chaos_leaves_parameters_clean_between_requests(
+        self, chaos_server, sample_batch
+    ):
+        client = ServeClient(chaos_server.url, timeout=30.0)
+        client.wait_ready()
+        client.predict(sample_batch, model="protected")
+        entry = chaos_server.app.registry.get("protected")
+        with entry.infer_lock:
+            before = {k: v.copy() for k, v in entry.model.state_dict().items()}
+        for _ in range(3):
+            client.predict(sample_batch, model="protected")
+        with entry.infer_lock:
+            after = entry.model.state_dict()
+            for key, value in before.items():
+                np.testing.assert_array_equal(after[key], value)
+
+
+class TestEvictionOverHTTP:
+    def test_capacity_one_flips_between_models(self, checkpoints, sample_batch):
+        registry = ModelRegistry(capacity=1)
+        registry.register("protected", checkpoints["clipact"])
+        registry.register("plain", checkpoints["none"])
+        app = ServeApp(registry, ServeConfig(max_batch=8, max_latency_ms=1.0))
+        with ReproServer(app) as running:
+            client = ServeClient(running.url, timeout=30.0)
+            client.wait_ready()
+            for _ in range(2):
+                client.predict(sample_batch, model="protected")
+                client.predict(sample_batch, model="plain")
+            assert registry.evictions >= 3
+            assert len(registry.resident_names()) == 1
+            # Lanes reconcile with residency: evicted models must not
+            # accumulate stale batchers (and their worker threads).
+            assert list(app._lanes) == ["plain"]
