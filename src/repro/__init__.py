@@ -8,7 +8,9 @@ a neural-network layer library (:mod:`repro.nn`), optimisers
 Q15.16 fixed-point codec (:mod:`repro.quant`), a bit-flip fault injector
 (:mod:`repro.fault`), the CIFAR model zoo (:mod:`repro.models`), the FitAct
 contribution itself plus the Clip-Act/Ranger baselines (:mod:`repro.core`),
-and the paper's evaluation harness (:mod:`repro.eval`).
+the paper's evaluation harness (:mod:`repro.eval`), a compiled inference
+runtime for campaigns and serving (:mod:`repro.runtime`), and a batched
+HTTP serving stack with live fault injection (:mod:`repro.serve`).
 
 Quickstart::
 

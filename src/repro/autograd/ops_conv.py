@@ -18,18 +18,23 @@ from repro.autograd.function import Function
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.errors import ShapeError
 
-__all__ = ["avg_pool2d", "conv2d", "max_pool2d"]
+__all__ = ["as_pair", "avg_pool2d", "conv2d", "max_pool2d"]
 
 IntPair = int | tuple[int, int]
 
 
-def _pair(value: IntPair, name: str) -> tuple[int, int]:
+def as_pair(value: IntPair, name: str) -> tuple[int, int]:
+    """Normalise an int-or-pair geometry argument to a 2-tuple of ints."""
     if isinstance(value, int):
         return (value, value)
     pair = tuple(int(v) for v in value)
     if len(pair) != 2:
         raise ShapeError(f"{name} must be an int or 2-tuple, got {value!r}")
     return pair
+
+
+# Internal alias kept for the call sites below.
+_pair = as_pair
 
 
 def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:

@@ -75,7 +75,7 @@ def _add_preset_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _evaluator_for(dataset_name: str, preset):
+def _evaluator_for(dataset_name: str, preset, runtime: bool = False):
     """Build the test-set evaluator the experiment contexts use."""
     from repro.data.loader import DataLoader
     from repro.data.synthetic import SYNTH_MEAN, SYNTH_STD, SyntheticImageDataset
@@ -97,7 +97,7 @@ def _evaluator_for(dataset_name: str, preset):
         batch_size=max(preset.batch_size, 128),
         transform=Normalize(SYNTH_MEAN, SYNTH_STD),
     )
-    return Evaluator(loader, max_batches=preset.eval_batches)
+    return Evaluator(loader, max_batches=preset.eval_batches, runtime=runtime)
 
 
 # ----------------------------------------------------------------------
@@ -221,11 +221,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     preset = _preset_from_args(args)
     model, meta = load_protected_auto(args.checkpoint)
     preset = preset.with_overrides(image_size=int(meta["image_size"]))
-    evaluator = _evaluator_for(str(meta["dataset"]), preset)
+    evaluator = _evaluator_for(str(meta["dataset"]), preset, runtime=args.runtime)
     clean = evaluator.accuracy(model)
+    runtime_note = " [compiled runtime]" if args.runtime else ""
     print(
         f"checkpoint {args.checkpoint}: {meta['model']}/{meta['dataset']} "
-        f"({meta['method']})"
+        f"({meta['method']}){runtime_note}"
     )
     print(f"clean accuracy: {clean:.2%}")
     if not args.rates:
@@ -261,7 +262,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ServeConfig,
     )
 
-    registry = ModelRegistry(capacity=args.registry_capacity)
+    registry = ModelRegistry(capacity=args.registry_capacity, runtime=args.runtime)
     for spec in args.checkpoint:
         if "=" in spec:
             name, path = spec.split("=", 1)
@@ -287,10 +288,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = ReproServer(app, host=args.host, port=args.port)
     server.start()
     chaos_note = f", chaos ber {chaos.ber:g}" if chaos else ""
+    runtime_note = ", compiled runtime" if args.runtime else ""
     print(
         f"serving {', '.join(registry.names())} on {server.url} "
         f"(max batch {args.max_batch}, max latency {args.max_latency_ms:g}ms"
-        f"{chaos_note})",
+        f"{chaos_note}{runtime_note})",
         flush=True,
     )
 
@@ -391,6 +393,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=(),
         help="fault rates for an under-fault campaign (e.g. 1e-6 3e-6)",
     )
+    p.add_argument(
+        "--runtime",
+        action="store_true",
+        help=(
+            "evaluate through the compiled inference runtime "
+            "(repro.runtime; bit-identical results, faster trials)"
+        ),
+    )
     _add_preset_arguments(p)
     p.set_defaults(func=_cmd_evaluate)
 
@@ -453,6 +463,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="base seed for the deterministic chaos fault stream",
+    )
+    p.add_argument(
+        "--runtime",
+        action="store_true",
+        help=(
+            "compile each resident checkpoint into the inference "
+            "runtime's fast path (bit-identical predictions, lower "
+            "batch latency; chaos-compatible)"
+        ),
     )
     p.set_defaults(func=_cmd_serve)
 

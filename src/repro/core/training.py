@@ -16,7 +16,7 @@ import numpy as np
 from repro.autograd.grad_mode import no_grad
 from repro.data.loader import DataLoader
 from repro.nn.loss import CrossEntropyLoss
-from repro.nn.module import Module
+from repro.nn.module import Module, eval_mode
 from repro.optim.scheduler import CosineAnnealingLR
 from repro.optim.sgd import SGD
 from repro.utils.logging import get_logger
@@ -31,25 +31,21 @@ def evaluate_accuracy(
 ) -> float:
     """Top-1 accuracy of ``model`` over ``loader`` (eval mode, no grads).
 
-    The model's training flag is restored afterwards.  This is the
-    paper's metric everywhere: "we compute the top-1 classification
-    accuracy" (§VI-A1).
+    Eval semantics come from the thread-local override, so the shared
+    training flag is never written.  This is the paper's metric
+    everywhere: "we compute the top-1 classification accuracy"
+    (§VI-A1).
     """
-    was_training = model.training
-    model.eval()
     correct = 0
     total = 0
-    try:
-        with no_grad():
-            for index, (inputs, targets) in enumerate(loader):
-                if max_batches is not None and index >= max_batches:
-                    break
-                logits = model(inputs)
-                predictions = logits.data.argmax(axis=1)
-                correct += int((predictions == targets).sum())
-                total += len(targets)
-    finally:
-        model.train(was_training)
+    with eval_mode(), no_grad():
+        for index, (inputs, targets) in enumerate(loader):
+            if max_batches is not None and index >= max_batches:
+                break
+            logits = model(inputs)
+            predictions = logits.data.argmax(axis=1)
+            correct += int((predictions == targets).sum())
+            total += len(targets)
     if total == 0:
         raise ValueError("evaluation loader produced no samples")
     return correct / total

@@ -4,6 +4,19 @@ Fault campaigns evaluate the same test set dozens-to-hundreds of times
 (once per trial).  :class:`Evaluator` materialises the batches once so
 each evaluation is pure forward compute, and exposes the zero-argument
 closure interface :class:`repro.fault.FaultCampaign` expects.
+
+Two execution paths share identical results:
+
+- the **module path** runs the model's own forward under the
+  thread-local eval override (:func:`repro.nn.eval_mode`) — inference
+  never mutates the shared ``training`` flag, so concurrent serving
+  threads and in-process campaigns cannot race each other into a
+  train-mode BatchNorm forward;
+- the **runtime path** (``runtime=True``) compiles the model once into
+  a :class:`repro.runtime.InferencePlan` and reuses it for every later
+  evaluation of the same model instance.  Plans are bit-exact with the
+  module forward and track fault injection automatically, so campaign
+  results are identical either way — just faster.
 """
 
 from __future__ import annotations
@@ -14,7 +27,7 @@ from repro.autograd.grad_mode import no_grad
 from repro.autograd.tensor import Tensor
 from repro.data.loader import DataLoader
 from repro.errors import ConfigurationError
-from repro.nn.module import Module
+from repro.nn.module import Module, eval_mode
 
 __all__ = ["BoundAccuracy", "Evaluator", "forward_logits"]
 
@@ -22,17 +35,15 @@ __all__ = ["BoundAccuracy", "Evaluator", "forward_logits"]
 def forward_logits(model: Module, inputs: np.ndarray | Tensor) -> np.ndarray:
     """One inference-mode forward pass; returns the logits array.
 
-    Runs in eval mode under ``no_grad`` and restores the model's
-    training flag afterwards — the single-batch building block shared by
-    :class:`Evaluator` and the serving stack (:mod:`repro.serve`).
+    Runs under ``no_grad`` with the *thread-local* eval override — the
+    model's shared ``training`` flag is never written, so concurrent
+    callers (batcher workers, the chaos engine, an in-process campaign)
+    can share one model without racing BatchNorm into training mode.
+    The single-batch building block shared by :class:`Evaluator` and the
+    serving stack (:mod:`repro.serve`).
     """
-    was_training = model.training
-    model.eval()
-    try:
-        with no_grad():
-            return model(Tensor(inputs)).data
-    finally:
-        model.train(was_training)
+    with eval_mode(), no_grad():
+        return model(Tensor(inputs)).data
 
 
 class BoundAccuracy:
@@ -64,9 +75,20 @@ class Evaluator:
         Source of evaluation batches (consumed once, at construction).
     max_batches:
         Optional cap for quicker campaigns.
+    runtime:
+        Evaluate through a compiled :class:`repro.runtime.InferencePlan`
+        (one per model instance, cached) instead of the module forward.
+        Bit-identical results, measurably faster per trial; plans stay
+        coherent under fault injection via the runtime's refresh
+        contract.
     """
 
-    def __init__(self, loader: DataLoader, max_batches: int | None = None) -> None:
+    def __init__(
+        self,
+        loader: DataLoader,
+        max_batches: int | None = None,
+        runtime: bool = False,
+    ) -> None:
         self._batches: list[tuple[Tensor, np.ndarray]] = []
         for index, (inputs, targets) in enumerate(loader):
             if max_batches is not None and index >= max_batches:
@@ -75,19 +97,54 @@ class Evaluator:
         if not self._batches:
             raise ConfigurationError("evaluation loader produced no batches")
         self.total_samples = sum(len(t) for _, t in self._batches)
+        self.runtime = bool(runtime)
+        # id(model) -> (model, plan).  The model reference pins the id
+        # against reuse; entries live as long as the evaluator (one or
+        # two models in practice).
+        self._plans: dict[int, tuple[Module, object]] = {}
 
+    # ------------------------------------------------------------------
+    # Pickling (worker-pool transport)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, object]:
+        """Compiled plans hold model references and large reused buffers;
+        workers recompile lazily on first use instead of unpickling them
+        (which would silently duplicate the campaign's model)."""
+        state = self.__dict__.copy()
+        state["_plans"] = {}
+        return state
+
+    def _plan_for(self, model: Module):
+        entry = self._plans.get(id(model))
+        if entry is not None:
+            return entry[1]
+        from repro.runtime import compile_model
+
+        plan = compile_model(model, self._batches[0][0].shape)
+        self._plans[id(model)] = (model, plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
     def accuracy(self, model: Module) -> float:
-        """Top-1 accuracy of ``model`` on the materialised set."""
-        was_training = model.training
-        model.eval()
+        """Top-1 accuracy of ``model`` on the materialised set.
+
+        Inference-mode semantics without mutating shared module state:
+        the eval override is thread-local, so campaigns and serving
+        threads can evaluate one model concurrently.
+        """
         correct = 0
-        try:
-            with no_grad():
+        if self.runtime:
+            plan = self._plan_for(model)
+            for inputs, targets in self._batches:
+                logits = plan(inputs)
+                correct += int((logits.argmax(axis=1) == targets).sum())
+        else:
+            with eval_mode(), no_grad():
                 for inputs, targets in self._batches:
                     logits = model(inputs)
                     correct += int((logits.data.argmax(axis=1) == targets).sum())
-        finally:
-            model.train(was_training)
         return correct / self.total_samples
 
     def bind(self, model: Module) -> BoundAccuracy:

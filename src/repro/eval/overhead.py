@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.autograd.grad_mode import no_grad
 from repro.autograd.tensor import Tensor
-from repro.nn.module import Module
+from repro.nn.module import Module, eval_mode
 from repro.quant.fixed_point import FixedPointFormat, Q15_16
 from repro.quant.model import model_memory_bytes
 from repro.utils.timing import time_callable
@@ -60,17 +60,12 @@ def measure_inference_seconds(
     model: Module, inputs: Tensor, repeats: int = 10, warmup: int = 2
 ) -> float:
     """Median-of-min inference wall time for one batch (eval, no grads)."""
-    was_training = model.training
-    model.eval()
 
     def run() -> None:
-        with no_grad():
+        with eval_mode(), no_grad():
             model(inputs)
 
-    try:
-        timing = time_callable(run, repeats=repeats, warmup=warmup)
-    finally:
-        model.train(was_training)
+    timing = time_callable(run, repeats=repeats, warmup=warmup)
     return timing["min"]
 
 

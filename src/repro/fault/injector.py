@@ -25,7 +25,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.fault.fault_model import BitFlipFaultModel
 from repro.fault.sites import FaultSites, sample_sites
-from repro.nn.module import Module
+from repro.nn.module import Module, invalidate_runtime_plans
 from repro.nn.parameter import Parameter
 from repro.quant.fixed_point import FixedPointFormat, Q15_16, decode, encode, flip_bits
 from repro.utils.rng import new_rng
@@ -242,6 +242,10 @@ class FaultInjector:
         except BaseException:
             self.restore()
             raise
+        # Compiled inference plans cache BatchNorm-folded constants;
+        # signal them so the flipped bits are visible in the very next
+        # runtime forward.
+        invalidate_runtime_plans(self.module)
         return len(sites)
 
     def restore(self) -> None:
@@ -249,6 +253,7 @@ class FaultInjector:
         for param, clean in zip(self._params, self._clean):
             param.data = clean.reshape(param.shape).copy()
         self._active = False
+        invalidate_runtime_plans(self.module)
 
     @contextmanager
     def inject(self, sites: FaultSites) -> Iterator[int]:

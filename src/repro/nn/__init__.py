@@ -12,7 +12,12 @@ from repro.nn.dropout import Dropout
 from repro.nn.flatten import Flatten
 from repro.nn.linear import Linear
 from repro.nn.loss import CrossEntropyLoss, MSELoss
-from repro.nn.module import Module
+from repro.nn.module import (
+    Module,
+    eval_mode,
+    invalidate_runtime_plans,
+    register_runtime_plan,
+)
 from repro.nn.norm import BatchNorm1d, BatchNorm2d
 from repro.nn.parameter import Parameter
 from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
@@ -38,5 +43,8 @@ __all__ = [
     "Sigmoid",
     "Softmax",
     "Tanh",
+    "eval_mode",
     "init",
+    "invalidate_runtime_plans",
+    "register_runtime_plan",
 ]

@@ -52,8 +52,11 @@ class Conv2d(Module):
         if isinstance(kernel_size, int):
             kernel_size = (kernel_size, kernel_size)
         self.kernel_size = tuple(int(k) for k in kernel_size)
-        self.stride = stride
-        self.padding = padding
+        # Normalise to canonical 2-tuples up front, so extra_repr,
+        # checkpoint metadata, and the runtime compiler all see one
+        # form regardless of how the layer was constructed.
+        self.stride = ops_conv.as_pair(stride, "stride")
+        self.padding = ops_conv.as_pair(padding, "padding")
         shape = (
             self.out_channels,
             self.in_channels // self.groups,

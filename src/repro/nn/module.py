@@ -7,7 +7,10 @@ original FitAct codebase would: ``named_parameters``, ``state_dict``,
 
 from __future__ import annotations
 
+import threading
+import weakref
 from collections.abc import Callable, Iterator, Mapping
+from contextlib import contextmanager
 from typing import Any
 
 import numpy as np
@@ -16,7 +19,77 @@ from repro.autograd.tensor import Tensor
 from repro.errors import ConfigurationError, ShapeError
 from repro.nn.parameter import Parameter
 
-__all__ = ["Module"]
+__all__ = [
+    "Module",
+    "eval_mode",
+    "invalidate_runtime_plans",
+    "is_eval_forced",
+    "register_runtime_plan",
+]
+
+# ----------------------------------------------------------------------
+# Thread-local inference override
+# ----------------------------------------------------------------------
+# Inference-mode forwards (fault campaigns, the serving stack) must not
+# mutate the *shared* ``training`` flag: under ``repro.serve`` several
+# threads run forwards on the same model concurrently, and a
+# set-eval/restore dance in one thread can leave another thread's
+# forward running BatchNorm in training mode (updating running stats
+# mid-serve).  Instead, ``eval_mode()`` forces ``Module.training`` to
+# read False *in the current thread only* — other threads, and the
+# stored flag itself, are untouched.
+_eval_override = threading.local()
+
+
+def is_eval_forced() -> bool:
+    """Whether the current thread is inside an :func:`eval_mode` block."""
+    return getattr(_eval_override, "depth", 0) > 0
+
+
+@contextmanager
+def eval_mode() -> Iterator[None]:
+    """Force eval-mode semantics for the current thread only.
+
+    Inside the block every ``module.training`` read returns False
+    (BatchNorm uses running stats, Dropout is the identity) without
+    writing to any module — safe to nest and safe to run concurrently
+    with other threads training or serving the same model.
+    """
+    depth = getattr(_eval_override, "depth", 0)
+    _eval_override.depth = depth + 1
+    try:
+        yield
+    finally:
+        _eval_override.depth = depth
+
+
+# ----------------------------------------------------------------------
+# Compiled-plan bookkeeping
+# ----------------------------------------------------------------------
+def register_runtime_plan(module: "Module", plan: object) -> None:
+    """Attach a compiled inference plan to the module it was built from.
+
+    The module keeps only a weak reference; plans register themselves so
+    parameter-mutating code paths (fault injection, checkpoint loads,
+    quantisation) can call :func:`invalidate_runtime_plans` and have
+    every plan recompute its folded constants before its next forward.
+    """
+    plans = module.__dict__.setdefault("_runtime_plans", [])
+    plans.append(weakref.ref(plan))
+
+
+def invalidate_runtime_plans(module: "Module") -> None:
+    """Mark every compiled plan of ``module`` stale (dead refs pruned)."""
+    plans = module.__dict__.get("_runtime_plans")
+    if not plans:
+        return
+    alive = []
+    for ref in plans:
+        plan = ref()
+        if plan is not None:
+            plan.invalidate()
+            alive.append(ref)
+    module.__dict__["_runtime_plans"] = alive
 
 
 class Module:
@@ -32,7 +105,27 @@ class Module:
         object.__setattr__(self, "_parameters", {})
         object.__setattr__(self, "_buffers", {})
         object.__setattr__(self, "_modules", {})
-        object.__setattr__(self, "training", True)
+        object.__setattr__(self, "_training", True)
+
+    # ------------------------------------------------------------------
+    # Training flag
+    # ------------------------------------------------------------------
+    @property
+    def training(self) -> bool:
+        """Training-mode flag, as seen by the *current thread*.
+
+        Reads False inside an :func:`eval_mode` block regardless of the
+        stored flag, so inference-mode forwards never need to mutate
+        (and racily restore) shared module state.  Assignment writes the
+        stored flag as before.
+        """
+        if is_eval_forced():
+            return False
+        return self.__dict__.get("_training", True)
+
+    @training.setter
+    def training(self, mode: bool) -> None:
+        self.__dict__["_training"] = bool(mode)
 
     # ------------------------------------------------------------------
     # Attribute routing
@@ -90,6 +183,22 @@ class Module:
             raise ConfigurationError(f"unknown buffer {name!r}")
         self._buffers[name] = value
         object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, Any]:
+        """Drop compiled-plan weakrefs: they are process-local state.
+
+        Weak references cannot pickle, and a transported model has no
+        live plans anyway — consumers (e.g. a campaign worker's
+        ``Evaluator``) recompile lazily after transport.  Without this,
+        compiling a plan would make the model unpicklable and break
+        spawn-based campaign pools.
+        """
+        state = self.__dict__.copy()
+        state.pop("_runtime_plans", None)
+        return state
 
     # ------------------------------------------------------------------
     # Forward
@@ -241,6 +350,7 @@ class Module:
             missing = (set(own_params) | set(own_buffer_names)) - matched
             if missing:
                 raise ConfigurationError(f"missing state entries: {sorted(missing)}")
+        invalidate_runtime_plans(self)
 
     def _assign_buffer_by_path(self, path: str, value: np.ndarray) -> None:
         module_path, _, leaf = path.rpartition(".")

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.module import Module
+from repro.nn.module import Module, invalidate_runtime_plans
 from repro.quant.fixed_point import FixedPointFormat, Q15_16, quantize
 
 __all__ = ["model_memory_bytes", "quantize_module"]
@@ -20,6 +20,7 @@ def quantize_module(module: Module, fmt: FixedPointFormat = Q15_16) -> Module:
     """
     for _, param in module.named_parameters():
         param.data = quantize(param.data, fmt).astype(param.dtype, copy=False)
+    invalidate_runtime_plans(module)
     return module
 
 

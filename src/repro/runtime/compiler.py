@@ -1,0 +1,235 @@
+"""Module-tree → kernel-list compilation with peephole fusion.
+
+The compiler walks a model structurally (no tracing, no example input)
+and emits the flat kernel list an :class:`~repro.runtime.plan.InferencePlan`
+executes.  Dispatch is by module type:
+
+- containers flatten into their children, then a peephole pass fuses
+  ``Conv2d → BatchNorm2d → activation`` and ``Linear → BatchNorm1d →
+  activation`` windows into single GEMM-epilogue kernels;
+- the model zoo's composite blocks (ResNet basic/bottleneck blocks,
+  MobileNet separable blocks) and the zoo architectures themselves have
+  structural compilers that reproduce their ``forward`` dataflow;
+- eval-mode no-ops (``Dropout``, ``Identity``) compile to nothing;
+- anything unrecognised becomes a :class:`FallbackKernel`, which runs
+  the module's own forward (still eval-mode, still no-grad) — custom
+  architectures compile correctly, just without the speedup.
+
+``register_block_compiler`` is the extension point for custom composite
+modules (checked before the built-ins, so registering a subclass of a
+known block overrides the default treatment).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.models.lenet import LeNet
+from repro.models.mobilenet import MobileNet, _SeparableBlock
+from repro.models.alexnet import AlexNet
+from repro.models.resnet import BasicBlock, Bottleneck, ResNet
+from repro.models.vgg import VGG
+from repro.nn.activations import Identity
+from repro.nn.container import Sequential
+from repro.nn.conv import Conv2d
+from repro.nn.dropout import Dropout
+from repro.nn.flatten import Flatten
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.norm import BatchNorm1d, BatchNorm2d
+from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.runtime.kernels import (
+    ACTIVATION_TYPES,
+    ActivationKernel,
+    AvgPoolKernel,
+    BatchNormKernel,
+    ConvKernel,
+    FallbackKernel,
+    FlattenKernel,
+    GlobalAvgPoolKernel,
+    Kernel,
+    LinearKernel,
+    MaxPoolKernel,
+    ResidualKernel,
+)
+
+__all__ = ["compile_module", "register_block_compiler"]
+
+BlockCompiler = Callable[[Module], list[Kernel]]
+
+_CUSTOM_COMPILERS: list[tuple[type, BlockCompiler]] = []
+
+
+def register_block_compiler(cls: type, compiler: BlockCompiler) -> None:
+    """Register a structural compiler for a custom composite module.
+
+    ``compiler(module)`` must return the kernel list realising the
+    module's eval-mode forward.  Custom entries are consulted before the
+    built-ins, most-recently-registered first.
+    """
+    _CUSTOM_COMPILERS.insert(0, (cls, compiler))
+
+
+def _is_activation(module: Module) -> bool:
+    return isinstance(module, ACTIVATION_TYPES) and not isinstance(module, Identity)
+
+
+def _compile_chain(children: list[Module]) -> list[Kernel]:
+    """Compile an ordered layer list, fusing GEMM → BN → activation runs."""
+    steps: list[Kernel] = []
+    i = 0
+    while i < len(children):
+        module = children[i]
+        if isinstance(module, Conv2d):
+            bn = act = None
+            j = i + 1
+            if (
+                j < len(children)
+                and isinstance(children[j], BatchNorm2d)
+                and children[j].num_features == module.out_channels
+            ):
+                bn = children[j]
+                j += 1
+            if j < len(children) and _is_activation(children[j]):
+                act = children[j]
+                j += 1
+            steps.append(ConvKernel(module, bn, act))
+            i = j
+        elif isinstance(module, Linear):
+            bn = act = None
+            j = i + 1
+            if (
+                j < len(children)
+                and isinstance(children[j], BatchNorm1d)
+                and children[j].num_features == module.out_features
+            ):
+                bn = children[j]
+                j += 1
+            if j < len(children) and _is_activation(children[j]):
+                act = children[j]
+                j += 1
+            steps.append(LinearKernel(module, bn, act))
+            i = j
+        else:
+            steps.extend(compile_module(module))
+            i += 1
+    return steps
+
+
+def _compile_sequential(module: Sequential) -> list[Kernel]:
+    return _compile_chain(list(module.children()))
+
+
+def _compile_shortcut(module: Module) -> list[Kernel] | None:
+    """A residual block's downsample branch (None = identity shortcut)."""
+    if isinstance(module, Identity):
+        return None
+    return compile_module(module)
+
+
+def _compile_basic_block(block: BasicBlock) -> list[Kernel]:
+    main = _compile_chain(
+        [block.conv1, block.bn1, block.relu1, block.conv2, block.bn2]
+    )
+    return [ResidualKernel(main, _compile_shortcut(block.downsample), block.relu2)]
+
+
+def _compile_bottleneck(block: Bottleneck) -> list[Kernel]:
+    main = _compile_chain(
+        [
+            block.conv1,
+            block.bn1,
+            block.relu1,
+            block.conv2,
+            block.bn2,
+            block.relu2,
+            block.conv3,
+            block.bn3,
+        ]
+    )
+    return [ResidualKernel(main, _compile_shortcut(block.downsample), block.relu3)]
+
+
+def _compile_separable(block: _SeparableBlock) -> list[Kernel]:
+    return _compile_chain(
+        [
+            block.depthwise,
+            block.bn_dw,
+            block.relu_dw,
+            block.pointwise,
+            block.bn_pw,
+            block.relu_pw,
+        ]
+    )
+
+
+def _compile_feature_classifier(model: Module) -> list[Kernel]:
+    """The LeNet/AlexNet/VGG shape: features → flatten → classifier."""
+    return (
+        compile_module(model.features)
+        + compile_module(model.flatten)
+        + compile_module(model.classifier)
+    )
+
+
+def _compile_resnet(model: ResNet) -> list[Kernel]:
+    steps = _compile_chain([model.stem_conv, model.stem_bn, model.stem_relu])
+    for layer in (model.layer1, model.layer2, model.layer3, model.layer4):
+        steps.extend(compile_module(layer))
+    steps.extend(compile_module(model.pool))
+    steps.extend(compile_module(model.fc))
+    return steps
+
+
+def _compile_mobilenet(model: MobileNet) -> list[Kernel]:
+    return (
+        compile_module(model.stem)
+        + compile_module(model.blocks)
+        + compile_module(model.pool)
+        + compile_module(model.flatten)
+        + compile_module(model.classifier)
+    )
+
+
+def _leaf(kernel: Kernel) -> BlockCompiler:
+    return lambda module: [kernel(module)]  # type: ignore[call-arg]
+
+
+_BUILTIN_COMPILERS: list[tuple[type, BlockCompiler]] = [
+    # Composite blocks and architectures first (most specific match wins
+    # by order, e.g. a ResNet is also a Module with children).
+    (BasicBlock, _compile_basic_block),
+    (Bottleneck, _compile_bottleneck),
+    (_SeparableBlock, _compile_separable),
+    (ResNet, _compile_resnet),
+    (MobileNet, _compile_mobilenet),
+    (LeNet, _compile_feature_classifier),
+    (AlexNet, _compile_feature_classifier),
+    (VGG, _compile_feature_classifier),
+    (Sequential, _compile_sequential),
+    # Leaves.
+    (Conv2d, _leaf(ConvKernel)),
+    (Linear, _leaf(LinearKernel)),
+    (BatchNorm1d, _leaf(BatchNormKernel)),
+    (BatchNorm2d, _leaf(BatchNormKernel)),
+    (MaxPool2d, _leaf(MaxPoolKernel)),
+    (AvgPool2d, _leaf(AvgPoolKernel)),
+    (GlobalAvgPool2d, _leaf(GlobalAvgPoolKernel)),
+    (Flatten, lambda module: [FlattenKernel(module.start_dim)]),
+    # Eval-mode no-ops compile away entirely.
+    (Dropout, lambda module: []),
+    (Identity, lambda module: []),
+]
+
+
+def compile_module(module: Module) -> list[Kernel]:
+    """Compile one module (recursively) into its kernel steps."""
+    for cls, compiler in _CUSTOM_COMPILERS:
+        if isinstance(module, cls):
+            return compiler(module)
+    if _is_activation(module):
+        return [ActivationKernel(module)]
+    for cls, compiler in _BUILTIN_COMPILERS:
+        if isinstance(module, cls):
+            return compiler(module)
+    return [FallbackKernel(module)]

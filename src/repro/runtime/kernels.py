@@ -1,0 +1,562 @@
+"""Pure-numpy inference kernels with preallocated, reused buffers.
+
+Each kernel wraps one (or a fused group of) :class:`~repro.nn.Module`
+layers and evaluates the *identical* float32 arithmetic the module's
+autograd forward performs — same primitive calls, same operand order —
+without constructing a single ``Tensor`` or ``Function``.  Bit-for-bit
+equality with the eval-mode module forward is a hard contract, verified
+for every registry model by ``tests/runtime/test_bit_exact.py``; it is
+what lets fault campaigns switch the compiled path on and off without
+changing a result.
+
+Two rules keep fault-injection semantics intact:
+
+- **Live parameter views.**  Kernels never copy weights: every ``run``
+  reads ``param.data`` at call time, so a bit flipped by
+  :class:`repro.fault.FaultInjector` (which *replaces* ``param.data``)
+  is picked up by the very next forward.
+- **Refreshable folded constants.**  The only derived quantities a
+  kernel caches between calls are eval-mode BatchNorm statistics (the
+  reshaped running mean and the precomputed ``(var + eps) ** -0.5``).
+  :meth:`Kernel.refresh` recomputes them from the live module; the
+  owning :class:`~repro.runtime.plan.InferencePlan` calls it whenever a
+  parameter mutation is signalled or detected.
+
+Intermediate buffers are allocated lazily per ``(name, shape)`` and
+reused across calls — the im2col column matrix, the GEMM output, and
+the NCHW output of every layer are written in place on each forward,
+which removes the per-pass allocation churn that dominates the module
+path.  Kernels never write into their *input* array: plan inputs (e.g.
+an :class:`~repro.eval.Evaluator`'s materialised batches) are read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.autograd.grad_mode import no_grad
+from repro.autograd.ops_conv import _out_size, as_pair
+from repro.autograd.tensor import Tensor
+from repro.core.bounded_relu import BoundedReLU
+from repro.core.bounded_tanh import BoundedTanh
+from repro.core.fitrelu import FitReLU
+from repro.errors import ConfigurationError
+from repro.nn.activations import Identity, LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Linear
+from repro.nn.module import Module, eval_mode
+from repro.nn.norm import _BatchNormBase
+from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+
+__all__ = [
+    "ACTIVATION_TYPES",
+    "ActivationKernel",
+    "AvgPoolKernel",
+    "BatchNormKernel",
+    "ConvKernel",
+    "FallbackKernel",
+    "FlattenKernel",
+    "GlobalAvgPoolKernel",
+    "Kernel",
+    "LinearKernel",
+    "MaxPoolKernel",
+    "ResidualKernel",
+    "apply_activation",
+]
+
+#: Activation modules the kernels can evaluate inline (as fused
+#: epilogues or standalone steps) with bit-exact module semantics.
+#: ``BoundedReLU`` covers its subclasses GBReLU and FitReLUNaive.
+ACTIVATION_TYPES = (
+    ReLU,
+    LeakyReLU,
+    Sigmoid,
+    Tanh,
+    Softmax,
+    BoundedReLU,
+    BoundedTanh,
+    FitReLU,
+    Identity,
+)
+
+
+class _Buffers:
+    """Lazily-allocated scratch arrays, reused by ``(name, shape)``.
+
+    Distinct batch sizes (a serve lane's variable micro-batches, an
+    evaluator's ragged final batch) keep distinct buffers, so switching
+    between them never reallocates.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self) -> None:
+        self._store: dict[tuple, np.ndarray] = {}
+
+    def get(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: type = np.float32,
+        fill: float | None = None,
+    ) -> np.ndarray:
+        key = (name, shape, np.dtype(dtype))
+        buf = self._store.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            if fill is not None:
+                # One-time fill: callers rely on never-rewritten regions
+                # (padding borders) keeping this value across reuses.
+                buf.fill(fill)
+            self._store[key] = buf
+        return buf
+
+
+def _sigmoid_into(a: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """The numerically stable sigmoid of ``ops_nn._Sigmoid``, verbatim."""
+    positive = a >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-a[positive]))
+    exp_a = np.exp(a[~positive])
+    out[~positive] = exp_a / (1.0 + exp_a)
+    return out
+
+
+def apply_activation(
+    module: Module, src: np.ndarray, out: np.ndarray, bufs: _Buffers
+) -> np.ndarray:
+    """Evaluate ``module``'s activation on ``src``, writing into ``out``.
+
+    ``out`` may alias ``src`` (the fused-epilogue case); every branch
+    reads any pre-activation-dependent masks before overwriting.  The
+    arithmetic mirrors each module's forward exactly — same primitive
+    ops in the same order — so results are bit-identical to the
+    autograd path.
+    """
+    if isinstance(module, Identity):
+        return src
+    if isinstance(module, ReLU):
+        mask = bufs.get("act_mask", src.shape, dtype=np.bool_)
+        np.greater(src, 0, out=mask)
+        return np.multiply(src, mask, out=out)
+    if isinstance(module, BoundedReLU):
+        bound = module.bound.data
+        mask = bufs.get("act_mask", src.shape, dtype=np.bool_)
+        if module.mode == "saturate":
+            np.greater(src, 0, out=mask)
+            np.multiply(src, mask, out=out)
+            return np.minimum(out, bound, out=out)
+        over = bufs.get("act_over", src.shape, dtype=np.bool_)
+        np.greater(src, bound, out=over)
+        np.greater(src, 0, out=mask)
+        np.multiply(src, mask, out=out)
+        out[over] = 0.0
+        return out
+    if isinstance(module, BoundedTanh):
+        bound = module.bound.data
+        mask = bufs.get("act_mask", src.shape, dtype=np.bool_)
+        np.greater(src, 0, out=mask)
+        np.multiply(src, mask, out=out)
+        np.divide(out, bound, out=out)
+        np.tanh(out, out=out)
+        return np.multiply(bound, out, out=out)
+    if isinstance(module, FitReLU):
+        bound = module.bound.data
+        if module.slope_mode == "relative":
+            scale = (module.k / np.maximum(np.abs(bound), 1e-6)).astype(np.float32)
+        else:
+            scale = np.float32(module.k)
+        z = bufs.get("act_z", src.shape)
+        np.subtract(bound, src, out=z)
+        np.multiply(z, scale, out=z)
+        gate = bufs.get("act_gate", src.shape)
+        _sigmoid_into(z, gate)
+        np.multiply(src, gate, out=out)
+        mask = bufs.get("act_mask", src.shape, dtype=np.bool_)
+        np.greater(out, 0, out=mask)
+        return np.multiply(out, mask, out=out)
+    if isinstance(module, LeakyReLU):
+        mask = src > 0
+        out[...] = np.where(mask, src, module.negative_slope * src)
+        return out
+    if isinstance(module, Sigmoid):
+        return _sigmoid_into(src, out)
+    if isinstance(module, Tanh):
+        return np.tanh(src, out=out)
+    if isinstance(module, Softmax):
+        shifted = src - src.max(axis=module.axis, keepdims=True)
+        exp = np.exp(shifted)
+        out[...] = exp / exp.sum(axis=module.axis, keepdims=True)
+        return out
+    raise ConfigurationError(
+        f"no inline kernel for activation {type(module).__name__}"
+    )
+
+
+class Kernel:
+    """One step of an :class:`~repro.runtime.plan.InferencePlan`."""
+
+    def refresh(self) -> None:
+        """Recompute cached constants from the live module state."""
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class _BNFold:
+    """Cached eval-mode BatchNorm constants (the plan's folded state).
+
+    ``mean`` and ``inv_std`` are flat per-channel vectors; the affine
+    weight/bias are read live at run time (views are cheap and live
+    views keep injected faults in BN parameters immediately visible).
+    """
+
+    __slots__ = ("bn", "mean", "inv_std")
+
+    def __init__(self, bn: _BatchNormBase) -> None:
+        self.bn = bn
+        self.refresh()
+
+    def refresh(self) -> None:
+        bn = self.bn
+        # Snapshots, not views: both constants change only via refresh(),
+        # which is the whole point of the fold/refresh contract.
+        self.mean = np.array(bn.running_mean, dtype=np.float32).reshape(-1)
+        # Same expression as the module's (var + eps) ** -0.5: float32
+        # array + float32 scalar, then a python-float exponent.
+        self.inv_std = (
+            np.asarray(bn.running_var, dtype=np.float32).reshape(-1)
+            + np.float32(bn.eps)
+        ) ** -0.5
+
+    def apply_vectors(self, flat: np.ndarray) -> None:
+        """Normalise a channels-last 2-D view in place (GEMM epilogue)."""
+        np.subtract(flat, self.mean, out=flat)
+        np.multiply(flat, self.inv_std, out=flat)
+        if self.bn.affine:
+            np.multiply(flat, self.bn.weight.data.reshape(-1), out=flat)
+            np.add(flat, self.bn.bias.data.reshape(-1), out=flat)
+
+
+class ConvKernel(Kernel):
+    """im2col convolution with optional fused BatchNorm + activation.
+
+    The BatchNorm epilogue runs on the GEMM output while it is still in
+    channels-last ``(positions, channels)`` layout — per-channel
+    vectors broadcast along rows for free — and the activation runs on
+    the final NCHW buffer (bound arrays of any granularity broadcast
+    there).  Elementwise ops are layout-independent, so both fusions
+    stay bit-exact with the unfused module chain.
+    """
+
+    def __init__(
+        self,
+        conv: Conv2d,
+        bn: _BatchNormBase | None = None,
+        act: Module | None = None,
+    ) -> None:
+        self.conv = conv
+        self.bn = _BNFold(bn) if bn is not None else None
+        self.act = act
+        self.bufs = _Buffers()
+
+    def refresh(self) -> None:
+        if self.bn is not None:
+            self.bn.refresh()
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        conv = self.conv
+        weight = conv.weight.data
+        n, c, h, w = x.shape
+        kh, kw = conv.kernel_size
+        sh, sw = conv.stride
+        ph, pw = conv.padding
+        groups = conv.groups
+        out_channels = conv.out_channels
+        oh = _out_size(h, kh, sh, ph)
+        ow = _out_size(w, kw, sw, pw)
+
+        if ph or pw:
+            padded = self.bufs.get(
+                "padded", (n, c, h + 2 * ph, w + 2 * pw), fill=0.0
+            )
+            padded[:, :, ph : ph + h, pw : pw + w] = x
+        else:
+            padded = x
+        windows = sliding_window_view(padded, (kh, kw), axis=(2, 3))[
+            :, :, ::sh, ::sw
+        ]
+        cols6 = self.bufs.get("cols", (n, oh, ow, c, kh, kw))
+        np.copyto(cols6, windows.transpose(0, 2, 3, 1, 4, 5))
+        positions = n * oh * ow
+        if groups == 1:
+            cols = cols6.reshape(positions, c * kh * kw)
+            w_mat = weight.reshape(out_channels, -1)
+            gemm = self.bufs.get("gemm", (positions, out_channels))
+            np.matmul(cols, w_mat.T, out=gemm)
+        else:
+            cg = c // groups
+            og = out_channels // groups
+            cols = cols6.reshape(positions, groups, cg * kh * kw)
+            w_mat = weight.reshape(groups, og, cg * kh * kw)
+            gemm3 = self.bufs.get("gemm", (positions, groups, og))
+            np.einsum("pgk,gok->pgo", cols, w_mat, out=gemm3)
+            gemm = gemm3.reshape(positions, out_channels)
+        if conv.bias is not None:
+            gemm += conv.bias.data
+        if self.bn is not None:
+            self.bn.apply_vectors(gemm)
+        out = self.bufs.get("out", (n, out_channels, oh, ow))
+        np.copyto(out, gemm.reshape(n, oh, ow, out_channels).transpose(0, 3, 1, 2))
+        if self.act is not None:
+            apply_activation(self.act, out, out, self.bufs)
+        return out
+
+    def describe(self) -> str:
+        parts = [f"conv{self.conv.kernel_size}"]
+        if self.bn is not None:
+            parts.append("bn")
+        if self.act is not None:
+            parts.append(type(self.act).__name__)
+        return "+".join(parts)
+
+
+class LinearKernel(Kernel):
+    """GEMM linear layer with optional fused BatchNorm1d + activation."""
+
+    def __init__(
+        self,
+        linear: Linear,
+        bn: _BatchNormBase | None = None,
+        act: Module | None = None,
+    ) -> None:
+        self.linear = linear
+        self.bn = _BNFold(bn) if bn is not None else None
+        self.act = act
+        self.bufs = _Buffers()
+
+    def refresh(self) -> None:
+        if self.bn is not None:
+            self.bn.refresh()
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        linear = self.linear
+        out = self.bufs.get("out", (x.shape[0], linear.out_features))
+        np.matmul(x, linear.weight.data.T, out=out)
+        if linear.bias is not None:
+            np.add(out, linear.bias.data, out=out)
+        if self.bn is not None:
+            self.bn.apply_vectors(out)
+        if self.act is not None:
+            apply_activation(self.act, out, out, self.bufs)
+        return out
+
+    def describe(self) -> str:
+        parts = [f"linear({self.linear.in_features}->{self.linear.out_features})"]
+        if self.bn is not None:
+            parts.append("bn")
+        if self.act is not None:
+            parts.append(type(self.act).__name__)
+        return "+".join(parts)
+
+
+class BatchNormKernel(Kernel):
+    """Standalone eval-mode BatchNorm (when no GEMM precedes it)."""
+
+    def __init__(self, bn: _BatchNormBase) -> None:
+        self.fold = _BNFold(bn)
+        self.bufs = _Buffers()
+
+    def refresh(self) -> None:
+        self.fold.refresh()
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        bn = self.fold.bn
+        stat_shape = [1] * x.ndim
+        stat_shape[1] = bn.num_features
+        shape = tuple(stat_shape)
+        out = self.bufs.get("out", x.shape)
+        np.subtract(x, self.fold.mean.reshape(shape), out=out)
+        np.multiply(out, self.fold.inv_std.reshape(shape), out=out)
+        if bn.affine:
+            np.multiply(out, bn.weight.data.reshape(shape), out=out)
+            np.add(out, bn.bias.data.reshape(shape), out=out)
+        return out
+
+
+class MaxPoolKernel(Kernel):
+    """Max pooling.
+
+    Max selects an element exactly (no rounding), so any evaluation
+    order is bit-identical to the module's argmax/take formulation —
+    which frees the kernel to use the fastest strategy per geometry:
+    non-overlapping unpadded windows (the zoo's only configuration)
+    reduce over a pure reshape view; everything else copies the window
+    view contiguous once and reduces that.
+    """
+
+    def __init__(self, pool: MaxPool2d) -> None:
+        self.kernel = as_pair(pool.kernel_size, "kernel")
+        stride = pool.kernel_size if pool.stride is None else pool.stride
+        self.stride = as_pair(stride, "stride")
+        self.padding = as_pair(pool.padding, "padding")
+        self.bufs = _Buffers()
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        ph, pw = self.padding
+        n, c, h, w = x.shape
+        oh = _out_size(h, kh, sh, ph)
+        ow = _out_size(w, kw, sw, pw)
+        if ph or pw:
+            padded = self.bufs.get(
+                "padded", (n, c, h + 2 * ph, w + 2 * pw), fill=-np.inf
+            )
+            padded[:, :, ph : ph + h, pw : pw + w] = x
+        else:
+            padded = x
+        out = self.bufs.get("out", (n, c, oh, ow))
+        # One vectorised elementwise max per kernel offset — an order of
+        # magnitude faster than a windowed reduction, and exact: max
+        # selects an element, whatever the evaluation order.
+        first = True
+        for i in range(kh):
+            for j in range(kw):
+                window = padded[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw]
+                if first:
+                    np.copyto(out, window)
+                    first = False
+                else:
+                    np.maximum(out, window, out=out)
+        return out
+
+
+class AvgPoolKernel(Kernel):
+    """Strided-window average pooling (same reduction call as the op)."""
+
+    def __init__(self, pool: AvgPool2d) -> None:
+        self.kernel = as_pair(pool.kernel_size, "kernel")
+        stride = pool.kernel_size if pool.stride is None else pool.stride
+        self.stride = as_pair(stride, "stride")
+        self.padding = as_pair(pool.padding, "padding")
+        self.bufs = _Buffers()
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        ph, pw = self.padding
+        n, c, h, w = x.shape
+        oh = _out_size(h, kh, sh, ph)
+        ow = _out_size(w, kw, sw, pw)
+        if ph or pw:
+            padded = self.bufs.get(
+                "padded", (n, c, h + 2 * ph, w + 2 * pw), fill=0.0
+            )
+            padded[:, :, ph : ph + h, pw : pw + w] = x
+        else:
+            padded = x
+        windows = sliding_window_view(padded, (kh, kw), axis=(2, 3))[
+            :, :, ::sh, ::sw
+        ]
+        out = self.bufs.get("out", (n, c, oh, ow))
+        return np.mean(windows, axis=(-2, -1), out=out)
+
+
+class GlobalAvgPoolKernel(Kernel):
+    """Mean over the spatial axes: (N, C, H, W) -> (N, C)."""
+
+    def __init__(self, pool: GlobalAvgPool2d) -> None:
+        del pool
+        self.bufs = _Buffers()
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        out = self.bufs.get("out", x.shape[:2])
+        return np.mean(x, axis=(2, 3), out=out)
+
+
+class FlattenKernel(Kernel):
+    """Collapse trailing dims (a view on the contiguous input buffer)."""
+
+    def __init__(self, start_dim: int) -> None:
+        self.start_dim = int(start_dim)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(x.shape[: self.start_dim] + (-1,))
+
+
+class ActivationKernel(Kernel):
+    """A standalone activation step (input is another kernel's output)."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.bufs = _Buffers()
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        if isinstance(self.module, Identity):
+            return x
+        out = self.bufs.get("out", x.shape)
+        return apply_activation(self.module, x, out, self.bufs)
+
+    def describe(self) -> str:
+        return type(self.module).__name__
+
+
+class ResidualKernel(Kernel):
+    """Two-branch residual block: main chain + shortcut, summed, activated."""
+
+    def __init__(
+        self,
+        main: list[Kernel],
+        down: list[Kernel] | None,
+        act: Module | None,
+    ) -> None:
+        self.main = main
+        self.down = down
+        self.act = act
+        self.bufs = _Buffers()
+
+    def refresh(self) -> None:
+        for step in self.main:
+            step.refresh()
+        for step in self.down or ():
+            step.refresh()
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        identity = x
+        for step in self.down or ():
+            identity = step.run(identity)
+        h = x
+        for step in self.main:
+            h = step.run(h)
+        out = self.bufs.get("out", h.shape)
+        np.add(h, identity, out=out)
+        if self.act is not None:
+            apply_activation(self.act, out, out, self.bufs)
+        return out
+
+    def describe(self) -> str:
+        shortcut = "identity" if self.down is None else "projection"
+        return f"residual[{len(self.main)} steps, {shortcut} shortcut]"
+
+
+class FallbackKernel(Kernel):
+    """Run an uncompilable module through its own (eval-mode) forward.
+
+    Correctness net for custom architectures: semantics are identical to
+    the module path (thread-local eval override, no grad recording), the
+    step just forgoes the compiled speedup.
+    """
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        with eval_mode(), no_grad():
+            return self.module(Tensor(x)).data
+
+    def describe(self) -> str:
+        return f"fallback({type(self.module).__name__})"

@@ -1,0 +1,182 @@
+"""The compiled inference plan: a linear kernel program over a model.
+
+``compile_model(model, input_shape)`` flattens the module tree into an
+:class:`InferencePlan` — a list of pure-numpy kernels with reused
+intermediate buffers and zero autograd objects on the hot path.  The
+plan is the fast path for every inference-only consumer: fault-campaign
+trials (:class:`repro.eval.Evaluator` with ``runtime=True``), the
+serving stack (one plan per resident checkpoint), and the CLI's
+``--runtime`` flags.
+
+Fault-visibility contract
+-------------------------
+Kernels read parameter arrays by live view — ``param.data`` is fetched
+at call time, never copied at compile time — so a bit flipped in
+``model.parameters()`` by :class:`repro.fault.FaultInjector` or the
+serving chaos engine is visible in the very next plan forward.  The only
+cached derived state is eval-mode BatchNorm folding; it is recomputed by
+:meth:`InferencePlan.refresh`, which runs automatically when
+
+- a mutation path signals :func:`repro.nn.invalidate_runtime_plans`
+  (``FaultInjector.apply``/``restore``, ``Module.load_state_dict``,
+  ``quantize_module`` all do), or
+- the plan's per-call staleness probe sees that any parameter or buffer
+  array object was replaced since the last refresh (the injector and
+  checkpoint loaders assign fresh arrays, so this catches them even
+  without the explicit signal).
+
+Code that mutates parameter values strictly *in place* (writing through
+an existing ``param.data`` array) must call ``plan.refresh()`` — or the
+module-level ``invalidate`` helper — itself; no stock mutation path in
+this codebase does that.
+
+Concurrency: a plan serialises its forwards behind an internal lock
+(buffers are shared state) and returns a fresh output array per call,
+so serve-lane worker threads can share one plan safely.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError
+from repro.nn.module import Module, register_runtime_plan
+from repro.runtime.compiler import compile_module
+from repro.runtime.kernels import Kernel
+
+__all__ = ["InferencePlan", "compile_model"]
+
+
+class InferencePlan:
+    """Executable kernel program compiled from one model.
+
+    Call the plan with a float32 input batch to get the logits array
+    (always a fresh copy — safe to keep across later forwards).  Any
+    batch size works; intermediate buffers are allocated per batch size
+    on first use and reused afterwards.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        steps: list[Kernel],
+        input_shape: tuple[int, ...],
+    ) -> None:
+        self.model = model
+        self.steps = steps
+        self.input_shape = tuple(int(dim) for dim in input_shape)
+        self._lock = threading.RLock()
+        self._dirty = True
+        self._signature: tuple[int, ...] = ()
+        register_runtime_plan(model, self)
+
+    # ------------------------------------------------------------------
+    # Folded-constant lifecycle
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Mark folded constants stale; the next forward refreshes them."""
+        self._dirty = True
+
+    def refresh(self) -> None:
+        """Recompute folded/fused constants from the live module state."""
+        with self._lock:
+            for step in self.steps:
+                step.refresh()
+            self._signature = self._state_signature()
+            self._dirty = False
+
+    def _state_signature(self) -> tuple[int, ...]:
+        """Identity fingerprint of every parameter/buffer array object.
+
+        Mutation paths in this codebase *replace* ``param.data`` (the
+        injector decodes into a fresh array, ``load_state_dict`` copies,
+        ``quantize_module`` reassigns), so an identity change is a
+        reliable staleness probe.  It backs up — not replaces — the
+        explicit invalidation hooks: identity can theoretically recycle
+        after garbage collection, which is why the hooks exist.
+        """
+        model = self.model
+        signature = [id(param.data) for _, param in model.named_parameters()]
+        signature.extend(id(buffer) for _, buffer in model.named_buffers())
+        return tuple(signature)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def __call__(self, inputs: np.ndarray | Tensor) -> np.ndarray:
+        """One inference forward; returns a fresh logits array.
+
+        Inputs are converted to a contiguous float32 array (the plan's
+        numeric contract); the input array itself is never written.
+        """
+        x = inputs.data if isinstance(inputs, Tensor) else inputs
+        x = np.ascontiguousarray(np.asarray(x, dtype=np.float32))
+        with self._lock:
+            if self._dirty or self._signature != self._state_signature():
+                self.refresh()
+            for step in self.steps:
+                x = step.run(x)
+            # The final buffer is reused by the next call: hand the
+            # caller an owned copy (logits are small).
+            return np.array(x, dtype=np.float32, copy=True)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def describe(self) -> str:
+        """One line per kernel step (diagnostics and tests)."""
+        return "\n".join(
+            f"[{index:2d}] {step.describe()}" for index, step in enumerate(self.steps)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"InferencePlan({type(self.model).__name__}, "
+            f"{len(self.steps)} steps, input_shape={self.input_shape})"
+        )
+
+
+def compile_model(
+    model: Module,
+    input_shape: tuple[int, ...],
+    warm: bool = True,
+) -> InferencePlan:
+    """Compile ``model`` into an :class:`InferencePlan`.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.nn.Module`.  Zoo architectures and layer
+        containers compile to fused numpy kernels; unrecognised modules
+        fall back to their own eval-mode forward (correct, not faster).
+    input_shape:
+        Expected input geometry — either a full batch shape
+        (``(N, C, H, W)`` / ``(N, F)``) or a single-sample shape
+        (``(C, H, W)``), in which case batch size 1 is assumed for the
+        warm-up pass.  Plans accept any batch size at call time.
+    warm:
+        Run one zero-input forward at compile time to allocate buffers
+        and validate the kernel shapes end-to-end (default True).
+    """
+    shape = tuple(int(dim) for dim in input_shape)
+    if len(shape) == 3:
+        shape = (1, *shape)
+    if not shape or any(dim < 1 for dim in shape):
+        raise ConfigurationError(
+            f"input_shape must be a non-empty positive shape, got {input_shape!r}"
+        )
+    steps = compile_module(model)
+    if not steps:
+        raise ConfigurationError(
+            f"{type(model).__name__} compiled to an empty plan"
+        )
+    plan = InferencePlan(model, steps, shape)
+    if warm:
+        plan(np.zeros(shape, dtype=np.float32))
+    return plan

@@ -26,7 +26,6 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from repro.errors import ConfigurationError, ReproError
-from repro.eval.evaluator import forward_logits
 from repro.serve.batcher import MicroBatcher
 from repro.serve.chaos import ChaosConfig, ChaosEngine
 from repro.serve.metrics import ServerMetrics
@@ -61,12 +60,14 @@ class _Lane:
         )
 
         def run_batch(stacked: np.ndarray) -> np.ndarray:
+            # entry.forward routes through the compiled runtime plan
+            # when the registry was built with runtime=True, else the
+            # module path; both run under the thread-local eval
+            # override, so shared training-flag state is never touched.
             with entry.infer_lock:
                 if self.chaos is None:
-                    return forward_logits(entry.model, stacked)
-                outputs, report = self.chaos.run_batch(
-                    lambda arr: forward_logits(entry.model, arr), stacked
-                )
+                    return entry.forward(stacked)
+                outputs, report = self.chaos.run_batch(entry.forward, stacked)
             metrics.observe_chaos(entry.name, report)
             return outputs
 
@@ -230,6 +231,7 @@ class ServeApp:
             "models": self.registry.names(),
             "resident": self.registry.resident_names(),
             "chaos_ber": self.config.chaos.ber if self.config.chaos else None,
+            "runtime": self.registry.runtime,
         }
 
     def close(self) -> None:

@@ -25,6 +25,7 @@ from repro.core.checkpoint import (
     read_checkpoint_meta,
 )
 from repro.errors import ConfigurationError
+from repro.eval.evaluator import forward_logits
 from repro.nn.module import Module
 from repro.quant.fixed_point import FixedPointFormat
 from repro.utils.logging import get_logger
@@ -36,13 +37,22 @@ _logger = get_logger("serve.registry")
 
 @dataclass
 class ServedModel:
-    """One resident model plus everything serving needs alongside it."""
+    """One resident model plus everything serving needs alongside it.
+
+    ``plan`` is the checkpoint's compiled inference fast path
+    (:class:`repro.runtime.InferencePlan`), present when the registry
+    was built with ``runtime=True``; batches forward through it instead
+    of the module path.  Chaos-mode bit flips stay visible: the plan
+    reads parameters live and refreshes its folded constants whenever
+    the fault injector touches the model.
+    """
 
     name: str
     path: str
     model: Module
     meta: dict[str, object]
     fmt: FixedPointFormat
+    plan: object | None = None
     infer_lock: threading.RLock = field(default_factory=threading.RLock)
 
     @property
@@ -50,6 +60,16 @@ class ServedModel:
         """Expected per-sample (channels, height, width)."""
         size = int(self.meta.get("image_size", 32))
         return (3, size, size)
+
+    def forward(self, inputs):
+        """One inference pass — compiled plan if present, module path else.
+
+        Callers must hold :attr:`infer_lock` (the chaos engine mutates
+        parameters around forwards).
+        """
+        if self.plan is not None:
+            return self.plan(inputs)
+        return forward_logits(self.model, inputs)
 
     def describe(self) -> dict[str, object]:
         """JSON-ready summary for ``GET /models``."""
@@ -63,6 +83,7 @@ class ServedModel:
             "input_shape": list(self.input_shape),
             "format": str(self.fmt),
             "clean_accuracy": self.meta.get("clean_accuracy"),
+            "runtime": self.plan is not None,
         }
 
 
@@ -76,12 +97,18 @@ class ModelRegistry:
         entries are simply dropped from the cache; in-flight batches on
         an evicted instance finish normally because they hold their own
         reference.
+    runtime:
+        Compile every loaded checkpoint into a
+        :class:`repro.runtime.InferencePlan` once at load time; lanes
+        then serve batches through the compiled fast path (bit-exact
+        with the module forward, chaos-compatible).
     """
 
-    def __init__(self, capacity: int = 4) -> None:
+    def __init__(self, capacity: int = 4, runtime: bool = False) -> None:
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
+        self.runtime = bool(runtime)
         self._specs: dict[str, str] = {}
         self._spec_meta: dict[str, dict[str, object]] = {}
         self._resident: OrderedDict[str, ServedModel] = OrderedDict()
@@ -206,4 +233,12 @@ class ModelRegistry:
         fmt = checkpoint_format(
             meta, warn=lambda message: _logger.warning("%s: %s", path, message)
         )
-        return ServedModel(name=name, path=path, model=model, meta=meta, fmt=fmt)
+        entry = ServedModel(name=name, path=path, model=model, meta=meta, fmt=fmt)
+        if self.runtime:
+            from repro.runtime import compile_model
+
+            entry.plan = compile_model(model, entry.input_shape)
+            _logger.info(
+                "compiled runtime plan for %s (%d kernels)", name, len(entry.plan)
+            )
+        return entry

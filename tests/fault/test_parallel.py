@@ -143,6 +143,62 @@ class TestParallelDeterminism:
         np.testing.assert_array_equal(serial.accuracies, spawned.accuracies)
         np.testing.assert_array_equal(serial.flip_counts, spawned.flip_counts)
 
+    def test_runtime_evaluator_matches_across_pool(self):
+        """The compiled-runtime snapshot path: workers recompile plans
+        after transport and still reproduce the serial stream exactly."""
+        from repro.data.loader import DataLoader
+        from repro.data.synthetic import (
+            SYNTH_MEAN,
+            SYNTH_STD,
+            SyntheticImageDataset,
+        )
+        from repro.data.transforms import Normalize
+        from repro.eval.evaluator import Evaluator
+        from repro.models.registry import build_model
+
+        def campaign(workers, **kwargs):
+            model = quantize_module(
+                build_model(
+                    "lenet", num_classes=10, scale=0.25, image_size=16, seed=0
+                )
+            )
+            dataset = SyntheticImageDataset(
+                num_classes=10, num_samples=128, image_size=16, seed=0, split="test"
+            )
+            evaluator = Evaluator(
+                DataLoader(
+                    dataset,
+                    batch_size=64,
+                    transform=Normalize(SYNTH_MEAN, SYNTH_STD),
+                ),
+                runtime=True,
+            )
+            # A clean-accuracy pass first, as `repro evaluate --runtime`
+            # does: compiles (and registers) a plan on the model in the
+            # parent *before* the pool pickles the campaign state.
+            evaluator.accuracy(model)
+            return FaultCampaign(
+                FaultInjector(model),
+                evaluator.bind(model),
+                trials=3,
+                seed=5,
+                workers=workers,
+                **kwargs,
+            )
+
+        spec = BitFlipFaultModel.at_rate(1e-4)
+        serial = campaign(0).run(spec, tag="rt")
+        with campaign(2) as pooled_campaign:
+            pooled = pooled_campaign.run(spec, tag="rt")
+        np.testing.assert_array_equal(serial.accuracies, pooled.accuracies)
+        np.testing.assert_array_equal(serial.flip_counts, pooled.flip_counts)
+        # Spawn pickles the model after plan compilation — the path that
+        # used to die on the plan registry's weakrefs.
+        with campaign(2, start_method="spawn") as spawn_campaign:
+            spawned = spawn_campaign.run(spec, tag="rt")
+        np.testing.assert_array_equal(serial.accuracies, spawned.accuracies)
+        np.testing.assert_array_equal(serial.flip_counts, spawned.flip_counts)
+
 
 class TestPoolLifecycle:
     def test_pool_persists_across_runs(self):

@@ -56,6 +56,23 @@ class TestConv2d:
         a, b = nn.Conv2d(2, 4, 3, rng=7), nn.Conv2d(2, 4, 3, rng=7)
         np.testing.assert_array_equal(a.weight.data, b.weight.data)
 
+    def test_stride_padding_normalised_to_pairs(self):
+        # Int and tuple constructions must land on one canonical form,
+        # so extra_repr, checkpoint meta, and the runtime compiler agree.
+        from_int = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=0)
+        assert from_int.stride == (2, 2)
+        assert from_int.padding == (1, 1)
+        from_tuple = nn.Conv2d(3, 8, 3, stride=(2, 1), padding=(0, 1), rng=0)
+        assert from_tuple.stride == (2, 1)
+        assert from_tuple.padding == (0, 1)
+        assert "stride=(2, 2), padding=(1, 1)" in from_int.extra_repr()
+
+    def test_int_and_pair_construction_agree(self):
+        x = _x((2, 3, 8, 8))
+        a = nn.Conv2d(3, 4, 3, stride=2, padding=1, rng=5)
+        b = nn.Conv2d(3, 4, 3, stride=(2, 2), padding=(1, 1), rng=5)
+        np.testing.assert_array_equal(a(x).data, b(x).data)
+
 
 class TestPooling:
     def test_max_pool_module(self):

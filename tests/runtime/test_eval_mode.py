@@ -1,0 +1,176 @@
+"""Regression tests: inference must not mutate the shared training flag.
+
+The old ``forward_logits``/``Evaluator.accuracy`` flipped the model's
+``training`` flag and restored it afterwards.  Under ``repro.serve``
+several threads (batcher workers, the chaos engine, an in-process
+campaign) share one model, so that write/restore dance could race: one
+thread's restore landed mid-forward of another, running BatchNorm in
+training mode — corrupting running statistics and the served logits.
+The fix is a *thread-local* eval override (:func:`repro.nn.eval_mode`):
+these tests pin the new contract.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro import nn
+from repro.data.loader import DataLoader
+from repro.data.synthetic import SYNTH_MEAN, SYNTH_STD, SyntheticImageDataset
+from repro.data.transforms import Normalize
+from repro.eval.evaluator import Evaluator, forward_logits
+from repro.nn.module import eval_mode, is_eval_forced
+
+
+def _bn_model():
+    model = nn.Sequential(
+        nn.Conv2d(3, 4, 3, padding=1, rng=0),
+        nn.BatchNorm2d(4),
+        nn.ReLU(),
+        nn.Flatten(),
+        nn.Linear(4 * 16 * 16, 10, rng=1),
+    )
+    # One train-mode batch gives the running stats non-trivial values,
+    # so train- vs eval-mode BN forwards genuinely differ.
+    model(_random_batch(8))
+    return model
+
+
+def _random_batch(n):
+    return np.random.default_rng(3).standard_normal((n, 3, 16, 16)).astype(
+        np.float32
+    )
+
+
+def test_eval_mode_is_thread_local():
+    model = nn.Sequential(nn.BatchNorm1d(4))
+    model.train(True)
+    seen_by_other_thread: list[bool] = []
+
+    with eval_mode():
+        assert is_eval_forced()
+        assert model.training is False  # this thread sees eval semantics
+        probe = threading.Thread(
+            target=lambda: seen_by_other_thread.append(model.training)
+        )
+        probe.start()
+        probe.join()
+    assert model.training is True  # stored flag was never written
+    assert seen_by_other_thread == [True]  # other threads unaffected
+
+
+def test_eval_mode_nests():
+    model = nn.Sequential(nn.BatchNorm1d(2))
+    with eval_mode():
+        with eval_mode():
+            assert model.training is False
+        assert model.training is False
+    assert model.training is True
+
+
+def test_forward_logits_does_not_mutate_shared_state():
+    model = _bn_model()
+    model.train(True)
+    bn = model[1]
+    stats_before = (bn.running_mean.copy(), bn.running_var.copy())
+    tracked_before = int(bn.num_batches_tracked)
+
+    x = _random_batch(4)
+    logits = forward_logits(model, x)
+
+    assert model.training is True  # flag never flipped
+    for module in model.modules():
+        assert module.__dict__.get("_training", True) is True
+    # Eval-mode BN: running stats untouched by the inference pass.
+    np.testing.assert_array_equal(bn.running_mean, stats_before[0])
+    np.testing.assert_array_equal(bn.running_var, stats_before[1])
+    assert int(bn.num_batches_tracked) == tracked_before
+    # And the output is the eval-mode output.
+    model.eval()
+    expected = forward_logits(model, x)
+    model.train(True)
+    np.testing.assert_array_equal(logits, expected)
+
+
+def test_forward_logits_during_concurrent_flag_writes():
+    """The serving race, made deterministic.
+
+    A sampler module observes what *another thread* reads from the
+    shared flag while this thread's inference forward is in flight.
+    Before the fix, forward_logits wrote ``model.eval()`` into shared
+    state, so the observer saw False; now the override is thread-local
+    and the observer must always see the stored value (True).
+    """
+    observed: list[bool] = []
+    model_holder: list[nn.Module] = []
+
+    class Sampler(nn.Module):
+        def forward(self, x):
+            result: list[bool] = []
+            probe = threading.Thread(
+                target=lambda: result.append(model_holder[0].training)
+            )
+            probe.start()
+            probe.join()
+            observed.append(result[0])
+            return x
+
+    model = nn.Sequential(
+        Sampler(),
+        nn.BatchNorm2d(3),
+        nn.Flatten(),
+        nn.Linear(3 * 16 * 16, 4, rng=0),
+    )
+    model_holder.append(model)
+    model.train(True)
+    forward_logits(model, _random_batch(2))
+    assert observed == [True]
+
+
+def test_concurrent_forward_logits_all_eval_and_stable():
+    model = _bn_model()
+    model.train(True)
+    bn = model[1]
+    stats_before = bn.running_mean.copy()
+    x = _random_batch(4)
+    model.eval()
+    expected = forward_logits(model, x)
+    model.train(True)
+
+    results: list[np.ndarray] = []
+    errors: list[BaseException] = []
+
+    def worker() -> None:
+        try:
+            for _ in range(10):
+                results.append(forward_logits(model, x))
+        except BaseException as error:  # noqa: BLE001 - surface below
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    for result in results:
+        np.testing.assert_array_equal(result, expected)
+    np.testing.assert_array_equal(bn.running_mean, stats_before)
+    assert model.training is True
+
+
+def test_evaluator_accuracy_does_not_mutate_flag():
+    dataset = SyntheticImageDataset(
+        num_classes=10, num_samples=64, image_size=16, seed=0, split="test"
+    )
+    evaluator = Evaluator(
+        DataLoader(dataset, batch_size=32, transform=Normalize(SYNTH_MEAN, SYNTH_STD))
+    )
+    model = _bn_model()
+    model.train(True)
+    tracked_before = int(model[1].num_batches_tracked)
+    evaluator.accuracy(model)
+    assert model.training is True
+    assert int(model[1].num_batches_tracked) == tracked_before

@@ -200,3 +200,63 @@ class TestEvictionOverHTTP:
             # Lanes reconcile with residency: evicted models must not
             # accumulate stale batchers (and their worker threads).
             assert list(app._lanes) == ["plain"]
+
+
+class TestRuntimeServing:
+    """The compiled-runtime fast path: same predictions, chaos-compatible."""
+
+    def _app(self, checkpoints, runtime, chaos=None):
+        registry = ModelRegistry(capacity=2, runtime=runtime)
+        registry.register("protected", checkpoints["clipact"])
+        config = ServeConfig(max_batch=8, max_latency_ms=0.0, chaos=chaos)
+        return ServeApp(registry, config)
+
+    def test_registry_compiles_plan_once(self, checkpoints):
+        registry = ModelRegistry(capacity=2, runtime=True)
+        registry.register("protected", checkpoints["clipact"])
+        entry = registry.get("protected")
+        assert entry.plan is not None
+        assert registry.get("protected").plan is entry.plan  # cached, not rebuilt
+        assert entry.describe()["runtime"] is True
+
+    def test_runtime_predictions_bit_match_module_path(
+        self, checkpoints, sample_batch
+    ):
+        apps = [self._app(checkpoints, runtime) for runtime in (False, True)]
+        try:
+            logits = [
+                np.asarray(
+                    app.predict(sample_batch, model="protected", return_logits=True)[
+                        "logits"
+                    ]
+                )
+                for app in apps
+            ]
+        finally:
+            for app in apps:
+                app.close()
+        np.testing.assert_array_equal(logits[0], logits[1])
+
+    def test_runtime_chaos_stream_matches_module_path(
+        self, checkpoints, sample_batch
+    ):
+        snapshots = []
+        for runtime in (False, True):
+            app = self._app(
+                checkpoints, runtime, chaos=ChaosConfig(ber=3e-4, seed=9)
+            )
+            try:
+                for _ in range(4):
+                    app.predict(sample_batch, model="protected")
+                snapshots.append(app.metrics.snapshot()["chaos"]["protected"])
+            finally:
+                app.close()
+        assert snapshots[0] == snapshots[1]
+        assert snapshots[0]["injected_batches"] >= 1
+
+    def test_health_reports_runtime(self, checkpoints):
+        app = self._app(checkpoints, runtime=True)
+        try:
+            assert app.health()["runtime"] is True
+        finally:
+            app.close()
