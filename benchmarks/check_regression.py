@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Compare measured runtime-bench ratios against the committed baseline.
+
+The CI ``bench-regression`` job runs the quick-mode runtime benchmarks
+(``benchmarks/test_bench_runtime.py`` writes
+``benchmarks/outputs/runtime_speedup.json``) and then this script,
+which fails the build when any case's compiled-vs-module speedup ratio
+dropped more than ``tolerance`` (default 25%) below the committed
+baseline in ``benchmarks/baselines/runtime_ratios.json``.
+
+Ratios, not absolute times, are compared: the module path runs on the
+same machine in the same process, so machine speed divides out and the
+check stays meaningful across heterogeneous CI runners.
+
+Baseline refresh workflow (after an intentional perf change)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_runtime.py
+    python benchmarks/check_regression.py --update
+    git add benchmarks/baselines/runtime_ratios.json
+
+New cases missing from the baseline are reported but do not fail; run
+``--update`` to adopt them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+MEASURED = BENCH_DIR / "outputs" / "runtime_speedup.json"
+BASELINE = BENCH_DIR / "baselines" / "runtime_ratios.json"
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        sys.exit(f"error: {path} not found — run the runtime bench first")
+
+
+def update_baseline(measured: dict, baseline_doc: dict) -> None:
+    baseline_doc["ratios"] = {
+        label: result["speedup"] for label, result in sorted(measured.items())
+    }
+    BASELINE.write_text(
+        json.dumps(baseline_doc, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"baseline refreshed from {MEASURED.relative_to(BENCH_DIR.parent)}:")
+    for label, ratio in baseline_doc["ratios"].items():
+        print(f"  {label}: {ratio:.2f}x")
+
+
+def check(measured: dict, baseline_doc: dict) -> int:
+    tolerance = float(baseline_doc.get("tolerance", 0.25))
+    ratios = baseline_doc.get("ratios", {})
+    failures, new_cases, rows = [], [], []
+    for label, result in sorted(measured.items()):
+        speedup = float(result["speedup"])
+        baseline = ratios.get(label)
+        if baseline is None:
+            new_cases.append(label)
+            rows.append((label, speedup, None, "new"))
+            continue
+        floor = baseline * (1.0 - tolerance)
+        status = "ok" if speedup >= floor else "REGRESSED"
+        if status != "ok":
+            failures.append(
+                f"{label}: {speedup:.2f}x is below {floor:.2f}x "
+                f"(baseline {baseline:.2f}x - {tolerance:.0%})"
+            )
+        rows.append((label, speedup, baseline, status))
+    missing = sorted(set(ratios) - set(measured))
+
+    width = max(len(label) for label, *_ in rows) if rows else 4
+    print(f"bench-regression: compiled-vs-module ratios (tolerance {tolerance:.0%})")
+    for label, speedup, baseline, status in rows:
+        base = f"{baseline:.2f}x" if baseline is not None else "  -  "
+        print(f"  {label:<{width}}  measured {speedup:.2f}x  baseline {base}  {status}")
+    if new_cases:
+        print(
+            "note: cases without a baseline (run --update to adopt): "
+            + ", ".join(new_cases)
+        )
+    if missing:
+        print("note: baseline cases not measured this run: " + ", ".join(missing))
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("ok: no ratio regressed beyond tolerance")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the committed baseline from the measured ratios",
+    )
+    args = parser.parse_args()
+    measured = _load(MEASURED).get("cases", {})
+    if not measured:
+        sys.exit(f"error: {MEASURED} contains no cases")
+    baseline_doc = _load(BASELINE)
+    if args.update:
+        update_baseline(measured, baseline_doc)
+        return 0
+    return check(measured, baseline_doc)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -75,7 +75,12 @@ def _add_preset_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _evaluator_for(dataset_name: str, preset, runtime: bool = False):
+def _evaluator_for(
+    dataset_name: str,
+    preset,
+    runtime: bool = False,
+    gemm_workers: "int | str | None" = None,
+):
     """Build the test-set evaluator the experiment contexts use."""
     from repro.data.loader import DataLoader
     from repro.data.synthetic import SYNTH_MEAN, SYNTH_STD, SyntheticImageDataset
@@ -97,7 +102,12 @@ def _evaluator_for(dataset_name: str, preset, runtime: bool = False):
         batch_size=max(preset.batch_size, 128),
         transform=Normalize(SYNTH_MEAN, SYNTH_STD),
     )
-    return Evaluator(loader, max_batches=preset.eval_batches, runtime=runtime)
+    return Evaluator(
+        loader,
+        max_batches=preset.eval_batches,
+        runtime=runtime,
+        gemm_workers=gemm_workers,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -181,10 +191,13 @@ def _cmd_protect(args: argparse.Namespace) -> int:
     from repro.eval.experiments import prepare_context
     from repro.quant.formats import parse_format
 
+    from repro.core.checkpoint import model_input_channels
+
     preset = _preset_from_args(args)
     fmt = parse_format(args.format)
     context = prepare_context(args.model, args.dataset, preset)
     model, info = context.protected_model(args.method, fmt=fmt)
+    in_channels = model_input_channels(model)
     meta = {
         "model": args.model,
         "dataset": args.dataset,
@@ -192,6 +205,7 @@ def _cmd_protect(args: argparse.Namespace) -> int:
         "num_classes": context.num_classes,
         "scale": preset.scale_for(args.model),
         "image_size": preset.image_size,
+        "in_channels": in_channels,
         "seed": preset.seed,
         "clean_accuracy": info["clean_accuracy"],
         "format": str(fmt),
@@ -218,10 +232,23 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.fault.campaign import FaultCampaign
     from repro.fault.injector import FaultInjector
 
+    from repro.errors import ConfigurationError
+
+    if args.runtime_threads is not None and not args.runtime:
+        raise ConfigurationError(
+            "--runtime-threads threads the compiled runtime's kernels; "
+            "pass --runtime as well"
+        )
     preset = _preset_from_args(args)
     model, meta = load_protected_auto(args.checkpoint)
     preset = preset.with_overrides(image_size=int(meta["image_size"]))
-    evaluator = _evaluator_for(str(meta["dataset"]), preset, runtime=args.runtime)
+    # 0 = "auto" (one thread per usable core); None = serial default.
+    gemm_workers: "int | str | None" = args.runtime_threads
+    if gemm_workers == 0:
+        gemm_workers = "auto"
+    evaluator = _evaluator_for(
+        str(meta["dataset"]), preset, runtime=args.runtime, gemm_workers=gemm_workers
+    )
     clean = evaluator.accuracy(model)
     runtime_note = " [compiled runtime]" if args.runtime else ""
     print(
@@ -285,6 +312,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             chaos=chaos,
         ),
     )
+    preload_note = ""
+    if args.preload:
+        warmed = app.preload()
+        preload_note = f", preloaded {len(warmed)} model{'s' if len(warmed) != 1 else ''}"
     server = ReproServer(app, host=args.host, port=args.port)
     server.start()
     chaos_note = f", chaos ber {chaos.ber:g}" if chaos else ""
@@ -292,7 +323,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"serving {', '.join(registry.names())} on {server.url} "
         f"(max batch {args.max_batch}, max latency {args.max_latency_ms:g}ms"
-        f"{chaos_note}{runtime_note})",
+        f"{chaos_note}{runtime_note}{preload_note})",
         flush=True,
     )
 
@@ -401,6 +432,17 @@ def build_parser() -> argparse.ArgumentParser:
             "(repro.runtime; bit-identical results, faster trials)"
         ),
     )
+    p.add_argument(
+        "--runtime-threads",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help=(
+            "thread the runtime's conv GEMM pipelines across N workers "
+            "(0 = one per usable core; default: serial — results are "
+            "bit-identical either way); requires --runtime"
+        ),
+    )
     _add_preset_arguments(p)
     p.set_defaults(func=_cmd_evaluate)
 
@@ -471,6 +513,15 @@ def build_parser() -> argparse.ArgumentParser:
             "compile each resident checkpoint into the inference "
             "runtime's fast path (bit-identical predictions, lower "
             "batch latency; chaos-compatible)"
+        ),
+    )
+    p.add_argument(
+        "--preload",
+        action="store_true",
+        help=(
+            "load checkpoints, compile runtime plans, and build serving "
+            "lanes at startup (up to the registry capacity) instead of "
+            "inside the first request; reported in /healthz"
         ),
     )
     p.set_defaults(func=_cmd_serve)

@@ -35,9 +35,31 @@ __all__ = [
     "checkpoint_format",
     "load_protected",
     "load_protected_auto",
+    "model_input_channels",
     "read_checkpoint_meta",
     "save_protected",
 ]
+
+
+def model_input_channels(model: Module, default: int | None = 3) -> int | None:
+    """A model's input channel count, read from its first convolution.
+
+    The single rule for "what geometry does this checkpoint expect":
+    ``repro protect`` records it in the manifest (``in_channels``) and
+    the serving registry falls back to it for checkpoints written
+    before the field existed.  Conv-free models (flat-input MLPs)
+    return ``default``.
+    """
+    from repro.nn.conv import Conv2d
+
+    return next(
+        (
+            module.in_channels
+            for module in model.modules()
+            if isinstance(module, Conv2d)
+        ),
+        default,
+    )
 
 _META_KEY = "__repro_checkpoint__"
 _FORMAT_VERSION = 1
@@ -246,12 +268,21 @@ def load_protected_auto(
     def builder() -> Module:
         from repro.models.registry import build_model
 
+        kwargs: dict[str, object] = {}
+        if int(meta.get("in_channels", 3)) != 3:
+            # Recorded by `repro protect` so non-RGB checkpoints (e.g.
+            # grayscale) rebuild with their true input geometry.  RGB
+            # checkpoints omit the kwarg entirely: custom architectures
+            # registered via register_model may (validly) not accept
+            # it, and 3 is every builder's default anyway.
+            kwargs["in_channels"] = int(meta["in_channels"])
         return build_model(
             str(meta["model"]),
             num_classes=int(meta["num_classes"]),
             scale=float(meta["scale"]),
             image_size=int(meta["image_size"]),
             seed=int(meta.get("seed", 0)),
+            **kwargs,
         )
 
     return _restore(state, manifest, builder)

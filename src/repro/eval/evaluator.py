@@ -81,6 +81,14 @@ class Evaluator:
         Bit-identical results, measurably faster per trial; plans stay
         coherent under fault injection via the runtime's refresh
         contract.
+    gemm_workers:
+        Threading knob forwarded to :func:`repro.runtime.compile_model`
+        for the plans this evaluator compiles: ``None`` (default) keeps
+        the serial schedule — campaigns preserve the 1-core determinism
+        contract without depending on threading — ``"auto"`` engages
+        one thread per usable core, ``N >= 2`` forces a width.  Threaded
+        plans are bit-identical to serial ones, so this is purely a
+        wall-clock knob.  Ignored unless ``runtime=True``.
     """
 
     def __init__(
@@ -88,6 +96,7 @@ class Evaluator:
         loader: DataLoader,
         max_batches: int | None = None,
         runtime: bool = False,
+        gemm_workers: int | str | None = None,
     ) -> None:
         self._batches: list[tuple[Tensor, np.ndarray]] = []
         for index, (inputs, targets) in enumerate(loader):
@@ -98,6 +107,7 @@ class Evaluator:
             raise ConfigurationError("evaluation loader produced no batches")
         self.total_samples = sum(len(t) for _, t in self._batches)
         self.runtime = bool(runtime)
+        self.gemm_workers = gemm_workers
         # id(model) -> (model, plan).  The model reference pins the id
         # against reuse; entries live as long as the evaluator (one or
         # two models in practice).
@@ -120,7 +130,9 @@ class Evaluator:
             return entry[1]
         from repro.runtime import compile_model
 
-        plan = compile_model(model, self._batches[0][0].shape)
+        plan = compile_model(
+            model, self._batches[0][0].shape, gemm_workers=self.gemm_workers
+        )
         self._plans[id(model)] = (model, plan)
         return plan
 

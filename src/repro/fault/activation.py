@@ -39,7 +39,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.fault.campaign import CampaignResult
 from repro.fault.sites import sample_sites
-from repro.nn.module import Module
+from repro.nn.module import Module, is_warmup
 from repro.quant.fixed_point import FixedPointFormat, Q15_16, decode, encode, flip_bits
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_seed, new_rng
@@ -124,10 +124,15 @@ class ActivationFaultLayer(Module):
         self.fault_model = None
         self.rng = None
 
-    def forward(self, x):  # noqa: ANN001, ANN201 - Tensor in/out
-        if not self.enabled or self.fault_model is None:
-            return x
-        data = np.asarray(x.data)
+    def apply_faults(self, data: np.ndarray) -> np.ndarray:
+        """One forward's surgery: encode, flip fresh sites, decode.
+
+        The single source of truth for the fault arithmetic and the
+        random-stream consumption order — the module ``forward`` and the
+        compiled runtime's ``FaultStepKernel`` both call it, which is
+        what keeps the two paths bit-identical.  Callers check
+        ``enabled``/warm-up state; this assumes an armed layer.
+        """
         words = encode(data, self.fmt)
         sites = sample_sites(
             self.rng,
@@ -137,13 +142,21 @@ class ActivationFaultLayer(Module):
             n_flips=self.fault_model.n_flips,
         )
         self.flips_injected += len(sites)
-        if len(sites) == 0:
-            faulty = words
-        else:
-            faulty = flip_bits(words, sites.word_positions, sites.bit_positions, self.fmt)
+        if len(sites):
+            words = flip_bits(
+                words, sites.word_positions, sites.bit_positions, self.fmt
+            )
+        return decode(words, self.fmt).reshape(data.shape)
+
+    def forward(self, x):  # noqa: ANN001, ANN201 - Tensor in/out
+        if not self.enabled or self.fault_model is None or is_warmup():
+            # Warm-up forwards (plan compilation probing shapes) must
+            # not consume the random stream or bump counters — armed
+            # trial results would diverge between module and plan paths.
+            return x
         from repro.autograd.tensor import Tensor
 
-        return Tensor(decode(faulty, self.fmt).reshape(data.shape))
+        return Tensor(self.apply_faults(np.asarray(x.data)))
 
     def extra_repr(self) -> str:
         state = "armed" if self.enabled else "pass-through"

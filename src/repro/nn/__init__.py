@@ -16,7 +16,9 @@ from repro.nn.module import (
     Module,
     eval_mode,
     invalidate_runtime_plans,
+    is_warmup,
     register_runtime_plan,
+    warmup_mode,
 )
 from repro.nn.norm import BatchNorm1d, BatchNorm2d
 from repro.nn.parameter import Parameter
@@ -46,5 +48,7 @@ __all__ = [
     "eval_mode",
     "init",
     "invalidate_runtime_plans",
+    "is_warmup",
     "register_runtime_plan",
+    "warmup_mode",
 ]

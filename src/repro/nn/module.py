@@ -24,7 +24,9 @@ __all__ = [
     "eval_mode",
     "invalidate_runtime_plans",
     "is_eval_forced",
+    "is_warmup",
     "register_runtime_plan",
+    "warmup_mode",
 ]
 
 # ----------------------------------------------------------------------
@@ -61,6 +63,38 @@ def eval_mode() -> Iterator[None]:
         yield
     finally:
         _eval_override.depth = depth
+
+
+# ----------------------------------------------------------------------
+# Warm-up override
+# ----------------------------------------------------------------------
+# Compiled plans run one throwaway forward at build time to allocate
+# buffers and validate shapes.  That pass must be side-effect free even
+# for modules with per-forward state — most importantly transient
+# activation-fault layers, whose random streams would otherwise be
+# advanced by the warm-up and desynchronised from the module path.
+_warmup_override = threading.local()
+
+
+def is_warmup() -> bool:
+    """Whether the current thread is inside a :func:`warmup_mode` block."""
+    return getattr(_warmup_override, "depth", 0) > 0
+
+
+@contextmanager
+def warmup_mode() -> Iterator[None]:
+    """Mark forwards on the current thread as shape-probing warm-ups.
+
+    Stateful per-forward effects (transient activation-fault injection)
+    check this flag and skip themselves, so a compile-time warm pass
+    consumes no random numbers and perturbs no counters.
+    """
+    depth = getattr(_warmup_override, "depth", 0)
+    _warmup_override.depth = depth + 1
+    try:
+        yield
+    finally:
+        _warmup_override.depth = depth
 
 
 # ----------------------------------------------------------------------

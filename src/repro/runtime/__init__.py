@@ -26,7 +26,7 @@ Consumers: ``Evaluator(loader, runtime=True)`` for campaigns,
 
 from repro.runtime.compiler import compile_module, register_block_compiler
 from repro.runtime.kernels import Kernel
-from repro.runtime.plan import InferencePlan, compile_model
+from repro.runtime.plan import InferencePlan, compile_model, resolve_gemm_workers
 
 __all__ = [
     "InferencePlan",
@@ -34,4 +34,5 @@ __all__ = [
     "compile_model",
     "compile_module",
     "register_block_compiler",
+    "resolve_gemm_workers",
 ]

@@ -10,6 +10,11 @@ executes.  Dispatch is by module type:
 - the model zoo's composite blocks (ResNet basic/bottleneck blocks,
   MobileNet separable blocks) and the zoo architectures themselves have
   structural compilers that reproduce their ``forward`` dataflow;
+- activation-fault wrappers (:class:`repro.fault.activation._FaultedSite`)
+  compile natively: the wrapped activation fuses into the preceding
+  GEMM epilogue as usual and a :class:`FaultStepKernel` replays the
+  encode/flip/decode surgery — protected-model campaigns keep the full
+  compiled speedup at instrumented sites;
 - eval-mode no-ops (``Dropout``, ``Identity``) compile to nothing;
 - anything unrecognised becomes a :class:`FallbackKernel`, which runs
   the module's own forward (still eval-mode, still no-grad) — custom
@@ -45,6 +50,7 @@ from repro.runtime.kernels import (
     BatchNormKernel,
     ConvKernel,
     FallbackKernel,
+    FaultStepKernel,
     FlattenKernel,
     GlobalAvgPoolKernel,
     Kernel,
@@ -74,6 +80,40 @@ def _is_activation(module: Module) -> bool:
     return isinstance(module, ACTIVATION_TYPES) and not isinstance(module, Identity)
 
 
+def _fault_site_parts(module: Module) -> tuple[Module, Module] | None:
+    """``(wrapped, fault_layer)`` when ``module`` is a ``_FaultedSite``.
+
+    Imported lazily: the fault package is a consumer of the runtime,
+    not a dependency, and plenty of plans never see an instrumented
+    model.
+    """
+    from repro.fault.activation import _FaultedSite
+
+    if isinstance(module, _FaultedSite):
+        return module.wrapped, module.fault
+    return None
+
+
+def _epilogue_activation(
+    module: Module | None,
+) -> tuple[Module | None, list[Kernel]]:
+    """Resolve a GEMM epilogue candidate to ``(activation, trailing)``.
+
+    A plain activation fuses directly; a ``_FaultedSite`` wrapping one
+    fuses its *wrapped* activation and appends a native
+    :class:`FaultStepKernel` for the encode/flip/decode step.  Returns
+    ``(None, [])`` when the candidate cannot fuse.
+    """
+    if module is None:
+        return None, []
+    if _is_activation(module):
+        return module, []
+    site = _fault_site_parts(module)
+    if site is not None and _is_activation(site[0]):
+        return site[0], [FaultStepKernel(site[1])]
+    return None, []
+
+
 def _compile_chain(children: list[Module]) -> list[Kernel]:
     """Compile an ordered layer list, fusing GEMM → BN → activation runs."""
     steps: list[Kernel] = []
@@ -81,7 +121,7 @@ def _compile_chain(children: list[Module]) -> list[Kernel]:
     while i < len(children):
         module = children[i]
         if isinstance(module, Conv2d):
-            bn = act = None
+            bn = None
             j = i + 1
             if (
                 j < len(children)
@@ -90,13 +130,16 @@ def _compile_chain(children: list[Module]) -> list[Kernel]:
             ):
                 bn = children[j]
                 j += 1
-            if j < len(children) and _is_activation(children[j]):
-                act = children[j]
+            act, trailing = _epilogue_activation(
+                children[j] if j < len(children) else None
+            )
+            if act is not None:
                 j += 1
             steps.append(ConvKernel(module, bn, act))
+            steps.extend(trailing)
             i = j
         elif isinstance(module, Linear):
-            bn = act = None
+            bn = None
             j = i + 1
             if (
                 j < len(children)
@@ -105,10 +148,13 @@ def _compile_chain(children: list[Module]) -> list[Kernel]:
             ):
                 bn = children[j]
                 j += 1
-            if j < len(children) and _is_activation(children[j]):
-                act = children[j]
+            act, trailing = _epilogue_activation(
+                children[j] if j < len(children) else None
+            )
+            if act is not None:
                 j += 1
             steps.append(LinearKernel(module, bn, act))
+            steps.extend(trailing)
             i = j
         else:
             steps.extend(compile_module(module))
@@ -127,11 +173,23 @@ def _compile_shortcut(module: Module) -> list[Kernel] | None:
     return compile_module(module)
 
 
+def _residual_activation(module: Module) -> tuple[Module, list[Kernel]]:
+    """A residual block's closing activation, unwrapping fault sites."""
+    site = _fault_site_parts(module)
+    if site is not None and _is_activation(site[0]):
+        return site[0], [FaultStepKernel(site[1])]
+    return module, []
+
+
 def _compile_basic_block(block: BasicBlock) -> list[Kernel]:
     main = _compile_chain(
         [block.conv1, block.bn1, block.relu1, block.conv2, block.bn2]
     )
-    return [ResidualKernel(main, _compile_shortcut(block.downsample), block.relu2)]
+    act, trailing = _residual_activation(block.relu2)
+    return [
+        ResidualKernel(main, _compile_shortcut(block.downsample), act),
+        *trailing,
+    ]
 
 
 def _compile_bottleneck(block: Bottleneck) -> list[Kernel]:
@@ -147,7 +205,11 @@ def _compile_bottleneck(block: Bottleneck) -> list[Kernel]:
             block.bn3,
         ]
     )
-    return [ResidualKernel(main, _compile_shortcut(block.downsample), block.relu3)]
+    act, trailing = _residual_activation(block.relu3)
+    return [
+        ResidualKernel(main, _compile_shortcut(block.downsample), act),
+        *trailing,
+    ]
 
 
 def _compile_separable(block: _SeparableBlock) -> list[Kernel]:
@@ -227,6 +289,11 @@ def compile_module(module: Module) -> list[Kernel]:
     for cls, compiler in _CUSTOM_COMPILERS:
         if isinstance(module, cls):
             return compiler(module)
+    site = _fault_site_parts(module)
+    if site is not None:
+        # Compile whatever the wrapper encloses, then replay the
+        # encode/flip/decode surgery on its output.
+        return compile_module(site[0]) + [FaultStepKernel(site[1])]
     if _is_activation(module):
         return [ActivationKernel(module)]
     for cls, compiler in _BUILTIN_COMPILERS:

@@ -32,6 +32,9 @@ an :class:`~repro.eval.Evaluator`'s materialised batches) are read-only.
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
@@ -45,7 +48,7 @@ from repro.errors import ConfigurationError
 from repro.nn.activations import Identity, LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
 from repro.nn.conv import Conv2d
 from repro.nn.linear import Linear
-from repro.nn.module import Module, eval_mode
+from repro.nn.module import Module, eval_mode, is_warmup
 from repro.nn.norm import _BatchNormBase
 from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
 
@@ -56,6 +59,7 @@ __all__ = [
     "BatchNormKernel",
     "ConvKernel",
     "FallbackKernel",
+    "FaultStepKernel",
     "FlattenKernel",
     "GlobalAvgPoolKernel",
     "Kernel",
@@ -64,6 +68,82 @@ __all__ = [
     "ResidualKernel",
     "apply_activation",
 ]
+
+# ----------------------------------------------------------------------
+# GEMM execution knobs
+# ----------------------------------------------------------------------
+#: Byte budget for one batch-block's staging buffer in the blocked
+#: im2col gather — sized so a block transposes L2/L3-resident instead
+#: of round-tripping main memory.
+GEMM_BLOCK_BYTES = 1 << 20
+
+#: Minimum spatial positions per image for the blocked K-major gather;
+#: below this the position-major copy is already cheap (short planes,
+#: python loop overhead dominates) and the kernel uses it directly.
+KMAJOR_MIN_AREA = 64
+
+#: Column matrices smaller than this many cells keep the serial gather
+#: even when a kernel's ``gemm_workers`` allows threading: partitioning
+#: overhead would exceed the work.
+GEMM_THREAD_MIN_WORK = 1 << 21
+
+# Why the threads drive the *gather*, not the GEMM itself: splitting
+# one BLAS GEMM into row-partitioned calls is NOT float32-bit-exact —
+# BLAS backends select micro-kernels by matrix shape (OpenBLAS's
+# small-matrix paths accumulate K in a different order), so a sliced
+# call can round differently from the full one.  Copies, by contrast,
+# commute: parallel workers assembling disjoint column-matrix slices
+# produce byte-identical input for the one full-shape GEMM the module
+# path also performs.  The GEMM still parallelises — BLAS threads it
+# natively wherever more than one core is usable.
+
+_gemm_pool: ThreadPoolExecutor | None = None
+_gemm_pool_size = 0
+_gemm_pool_lock = threading.Lock()
+
+
+def _run_partitioned(jobs: list) -> None:
+    """Run thunks on the shared GEMM pool, propagating the first error.
+
+    The pool grows to the widest parallelism ever requested and is
+    shared by every kernel in the process; jobs from concurrently
+    executing plans simply interleave.  Correctness never depends on
+    the pool's actual width — each job owns a disjoint output slice —
+    so over-subscription (more jobs than cores) only costs scheduling.
+    """
+    global _gemm_pool, _gemm_pool_size
+    width = len(jobs)
+    with _gemm_pool_lock:
+        if _gemm_pool is None or _gemm_pool_size < width:
+            old = _gemm_pool
+            _gemm_pool = ThreadPoolExecutor(
+                max_workers=width, thread_name_prefix="repro-gemm"
+            )
+            _gemm_pool_size = width
+            if old is not None:
+                # Queued jobs on the retired pool still complete;
+                # wait=False only refuses new submissions.
+                old.shutdown(wait=False)
+        # Submit while still holding the lock: a concurrent wider
+        # request may retire this pool, and submitting to a shut-down
+        # executor raises.  Execution is unaffected — only the (cheap)
+        # enqueue is serialised.
+        futures = [_gemm_pool.submit(job) for job in jobs]
+    for future in futures:
+        future.result()
+
+
+def _row_ranges(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``parts`` contiguous, near-even runs."""
+    parts = max(1, min(parts, total))
+    base, extra = divmod(total, parts)
+    ranges = []
+    start = 0
+    for index in range(parts):
+        stop = start + base + (1 if index < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
 
 #: Activation modules the kernels can evaluate inline (as fused
 #: epilogues or standalone steps) with bit-exact module semantics.
@@ -242,7 +322,35 @@ class _BNFold:
 
 
 class ConvKernel(Kernel):
-    """im2col convolution with optional fused BatchNorm + activation.
+    """Tiered im2col convolution with optional fused BatchNorm + activation.
+
+    The execution tier is picked from the convolution's static geometry
+    at construction time (the compiler builds one kernel per layer, so
+    this is the "per-layer dispatch at plan build time"):
+
+    ``direct1x1``
+        Pointwise convolutions (1x1 kernel, no padding, any stride)
+        skip im2col entirely: the strided input view is copied to a
+        channels-last buffer once and multiplied in a single GEMM.
+    ``im2col``
+        General convolutions build the patch matrix blockwise: each
+        cache-sized batch block (``GEMM_BLOCK_BYTES``) is gathered in
+        **K-major** staging layout — one contiguous destination plane
+        per (channel, ki, kj) column, near-memcpy strided copies
+        instead of the cache-hostile position-major transpose — then
+        transposed, still cache-resident, into the standard
+        position-major column matrix.  Small feature maps
+        (``KMAJOR_MIN_AREA``) skip the staging and copy position-major
+        directly.
+    ``grouped``
+        Grouped/depthwise convolutions keep the batched-einsum
+        formulation of the autograd op.
+
+    Every tier hands BLAS the *identical* GEMM the module forward
+    performs — the same column-matrix values in the same memory layout
+    with the same shapes — so results are bit-exact by construction on
+    any BLAS backend, not merely on the one this machine happens to
+    link (enforced per tier by ``tests/runtime``).
 
     The BatchNorm epilogue runs on the GEMM output while it is still in
     channels-last ``(positions, channels)`` layout — per-channel
@@ -250,6 +358,13 @@ class ConvKernel(Kernel):
     the final NCHW buffer (bound arrays of any granularity broadcast
     there).  Elementwise ops are layout-independent, so both fusions
     stay bit-exact with the unfused module chain.
+
+    ``gemm_workers > 1`` (set via ``InferencePlan.set_gemm_workers``)
+    partitions the column-matrix assembly feeding each GEMM over the
+    shared thread pool; workers fill disjoint slices, so the GEMM input
+    — and therefore the output — is byte-identical to the serial
+    schedule (see the module-level note on why the BLAS call itself is
+    never split).
     """
 
     def __init__(
@@ -262,49 +377,218 @@ class ConvKernel(Kernel):
         self.bn = _BNFold(bn) if bn is not None else None
         self.act = act
         self.bufs = _Buffers()
+        self.gemm_workers = 1
+        if conv.groups != 1:
+            self.tier = "grouped"
+        elif conv.kernel_size == (1, 1) and conv.padding == (0, 0):
+            self.tier = "direct1x1"
+        else:
+            self.tier = "im2col"
 
     def refresh(self) -> None:
         if self.bn is not None:
             self.bn.refresh()
 
+    # ------------------------------------------------------------------
+    # GEMM tiers (all write the channels-last (positions, out) buffer)
+    # ------------------------------------------------------------------
+    def _workers_for(self, positions: int, k: int, out_channels: int) -> int:
+        if self.gemm_workers <= 1:
+            return 1
+        if positions * k < GEMM_THREAD_MIN_WORK:
+            return 1
+        return self.gemm_workers
+
+    def _run_direct1x1(
+        self, x: np.ndarray, gemm: np.ndarray, oh: int, ow: int
+    ) -> None:
+        conv = self.conv
+        n, c = x.shape[:2]
+        sh, sw = conv.stride
+        view = x if (sh, sw) == (1, 1) else x[:, :, ::sh, ::sw]
+        cols = self.bufs.get("cols1x1", (n, oh, ow, c))
+        nhwc = view.transpose(0, 2, 3, 1)
+        workers = self._workers_for(n * oh * ow, c, conv.out_channels)
+        if workers <= 1 or n < 2:
+            np.copyto(cols, nhwc)
+        else:
+            _run_partitioned(
+                [
+                    (lambda r0=r0, r1=r1: np.copyto(
+                        cols[r0:r1], nhwc[r0:r1]
+                    ))
+                    for r0, r1 in _row_ranges(n, workers)
+                ]
+            )
+        np.matmul(cols.reshape(n * oh * ow, c), conv.weight.data.reshape(
+            conv.out_channels, c
+        ).T, out=gemm)
+
+    def _gather_block(
+        self,
+        colsT: np.ndarray,
+        padded: np.ndarray,
+        b0: int,
+        b1: int,
+        oh: int,
+        ow: int,
+    ) -> None:
+        """Fill one batch block's K-major staging planes.
+
+        ``colsT[c, i, j]`` holds column ``(c, i, j)`` of the im2col
+        matrix for images ``b0:b1`` — the same values, in the same
+        K order ``(channel, ki, kj)``, as the module's position-major
+        patch matrix, just transposed in memory.  Each copy writes one
+        contiguous destination plane, which is what makes this gather
+        several times faster than the position-major transpose.
+        """
+        kh, kw = self.conv.kernel_size
+        sh, sw = self.conv.stride
+        block = padded[b0:b1]
+        for i in range(kh):
+            for j in range(kw):
+                np.copyto(
+                    colsT[:, i, j],
+                    block[
+                        :, :, i : i + sh * oh : sh, j : j + sw * ow : sw
+                    ].transpose(1, 0, 2, 3),
+                )
+
+    def _fill_cols(
+        self,
+        cols6: np.ndarray,
+        padded: np.ndarray,
+        n: int,
+        c: int,
+        oh: int,
+        ow: int,
+        workers: int,
+    ) -> None:
+        """Build the position-major column matrix the module GEMM reads.
+
+        Large feature maps go through the blocked K-major staging buffer
+        (gather with contiguous writes, then an L2-resident transpose
+        into ``cols6``); small ones copy position-major directly.  Both
+        produce byte-identical column matrices.
+        """
+        conv = self.conv
+        kh, kw = conv.kernel_size
+        per_image = oh * ow
+        if per_image < KMAJOR_MIN_AREA:
+            sh, sw = conv.stride
+            windows = sliding_window_view(padded, (kh, kw), axis=(2, 3))[
+                :, :, ::sh, ::sw
+            ]
+            np.copyto(cols6, windows.transpose(0, 2, 3, 1, 4, 5))
+            return
+        k = c * kh * kw
+        block = max(1, min(n, GEMM_BLOCK_BYTES // max(1, k * per_image * 4)))
+        ranges = [(b0, min(b0 + block, n)) for b0 in range(0, n, block)]
+        flat = cols6.reshape(n * per_image, k)
+
+        def do_range(b0: int, b1: int, colsT: np.ndarray) -> None:
+            self._gather_block(colsT, padded, b0, b1, oh, ow)
+            np.copyto(
+                flat[b0 * per_image : b1 * per_image],
+                colsT.reshape(k, (b1 - b0) * per_image).T,
+            )
+
+        workers = min(workers, len(ranges))
+        if workers <= 1:
+            for b0, b1 in ranges:
+                # The ragged tail gets its own (smaller) staging buffer;
+                # _Buffers keys by shape, so at most two exist.
+                colsT = self.bufs.get("colsT", (c, kh, kw, b1 - b0, oh, ow))
+                do_range(b0, b1, colsT)
+            return
+        # Deal blocks round-robin onto worker slots; buffers are
+        # allocated here (the _Buffers dict is not thread-safe) and each
+        # slot reuses its own, so concurrent gathers never collide.
+        slots: list[list] = [[] for _ in range(workers)]
+        for index, (b0, b1) in enumerate(ranges):
+            slot = index % workers
+            colsT = self.bufs.get(("colsT", slot), (c, kh, kw, b1 - b0, oh, ow))
+            slots[slot].append((b0, b1, colsT))
+
+        def run_slot(assigned: list) -> None:
+            for b0, b1, colsT in assigned:
+                do_range(b0, b1, colsT)
+
+        _run_partitioned(
+            [lambda a=assigned: run_slot(a) for assigned in slots if assigned]
+        )
+
+    def _run_im2col(
+        self,
+        padded: np.ndarray,
+        gemm: np.ndarray,
+        n: int,
+        c: int,
+        oh: int,
+        ow: int,
+    ) -> None:
+        conv = self.conv
+        kh, kw = conv.kernel_size
+        k = c * kh * kw
+        positions = n * oh * ow
+        cols6 = self.bufs.get("cols", (n, oh, ow, c, kh, kw))
+        workers = self._workers_for(positions, k, conv.out_channels)
+        self._fill_cols(cols6, padded, n, c, oh, ow, workers)
+        # One full-shape GEMM, exactly the module's call (BLAS threads
+        # it natively on multi-core machines; see module-level note).
+        np.matmul(
+            cols6.reshape(positions, k),
+            conv.weight.data.reshape(conv.out_channels, -1).T,
+            out=gemm,
+        )
+
+    def _run_grouped(
+        self, windows: np.ndarray, gemm: np.ndarray, n: int, c: int, oh: int, ow: int
+    ) -> np.ndarray:
+        conv = self.conv
+        kh, kw = conv.kernel_size
+        groups = conv.groups
+        positions = n * oh * ow
+        cols6 = self.bufs.get("cols", (n, oh, ow, c, kh, kw))
+        np.copyto(cols6, windows.transpose(0, 2, 3, 1, 4, 5))
+        cg = c // groups
+        og = conv.out_channels // groups
+        cols = cols6.reshape(positions, groups, cg * kh * kw)
+        w_mat = conv.weight.data.reshape(groups, og, cg * kh * kw)
+        gemm3 = gemm.reshape(positions, groups, og)
+        np.einsum("pgk,gok->pgo", cols, w_mat, out=gemm3)
+        return gemm
+
+    # ------------------------------------------------------------------
     def run(self, x: np.ndarray) -> np.ndarray:
         conv = self.conv
-        weight = conv.weight.data
         n, c, h, w = x.shape
         kh, kw = conv.kernel_size
         sh, sw = conv.stride
         ph, pw = conv.padding
-        groups = conv.groups
         out_channels = conv.out_channels
         oh = _out_size(h, kh, sh, ph)
         ow = _out_size(w, kw, sw, pw)
-
-        if ph or pw:
-            padded = self.bufs.get(
-                "padded", (n, c, h + 2 * ph, w + 2 * pw), fill=0.0
-            )
-            padded[:, :, ph : ph + h, pw : pw + w] = x
-        else:
-            padded = x
-        windows = sliding_window_view(padded, (kh, kw), axis=(2, 3))[
-            :, :, ::sh, ::sw
-        ]
-        cols6 = self.bufs.get("cols", (n, oh, ow, c, kh, kw))
-        np.copyto(cols6, windows.transpose(0, 2, 3, 1, 4, 5))
         positions = n * oh * ow
-        if groups == 1:
-            cols = cols6.reshape(positions, c * kh * kw)
-            w_mat = weight.reshape(out_channels, -1)
-            gemm = self.bufs.get("gemm", (positions, out_channels))
-            np.matmul(cols, w_mat.T, out=gemm)
+        gemm = self.bufs.get("gemm", (positions, out_channels))
+
+        if self.tier == "direct1x1":
+            self._run_direct1x1(x, gemm, oh, ow)
         else:
-            cg = c // groups
-            og = out_channels // groups
-            cols = cols6.reshape(positions, groups, cg * kh * kw)
-            w_mat = weight.reshape(groups, og, cg * kh * kw)
-            gemm3 = self.bufs.get("gemm", (positions, groups, og))
-            np.einsum("pgk,gok->pgo", cols, w_mat, out=gemm3)
-            gemm = gemm3.reshape(positions, out_channels)
+            if ph or pw:
+                padded = self.bufs.get(
+                    "padded", (n, c, h + 2 * ph, w + 2 * pw), fill=0.0
+                )
+                padded[:, :, ph : ph + h, pw : pw + w] = x
+            else:
+                padded = x
+            if self.tier == "im2col":
+                self._run_im2col(padded, gemm, n, c, oh, ow)
+            else:
+                windows = sliding_window_view(padded, (kh, kw), axis=(2, 3))[
+                    :, :, ::sh, ::sw
+                ]
+                self._run_grouped(windows, gemm, n, c, oh, ow)
         if conv.bias is not None:
             gemm += conv.bias.data
         if self.bn is not None:
@@ -321,7 +605,10 @@ class ConvKernel(Kernel):
             parts.append("bn")
         if self.act is not None:
             parts.append(type(self.act).__name__)
-        return "+".join(parts)
+        tag = self.tier
+        if self.gemm_workers > 1:
+            tag += f"@{self.gemm_workers}"
+        return "+".join(parts) + f"[{tag}]"
 
 
 class LinearKernel(Kernel):
@@ -343,6 +630,8 @@ class LinearKernel(Kernel):
             self.bn.refresh()
 
     def run(self, x: np.ndarray) -> np.ndarray:
+        # No gather stage to thread here: the input already is the GEMM
+        # operand, and the BLAS call must stay whole for bit-exactness.
         linear = self.linear
         out = self.bufs.get("out", (x.shape[0], linear.out_features))
         np.matmul(x, linear.weight.data.T, out=out)
@@ -539,8 +828,12 @@ class ResidualKernel(Kernel):
         return out
 
     def describe(self) -> str:
-        shortcut = "identity" if self.down is None else "projection"
-        return f"residual[{len(self.main)} steps, {shortcut} shortcut]"
+        main = " -> ".join(step.describe() for step in self.main)
+        if self.down is None:
+            shortcut = "identity"
+        else:
+            shortcut = " -> ".join(step.describe() for step in self.down)
+        return f"residual[{main}; shortcut {shortcut}]"
 
 
 class FallbackKernel(Kernel):
@@ -560,3 +853,35 @@ class FallbackKernel(Kernel):
 
     def describe(self) -> str:
         return f"fallback({type(self.module).__name__})"
+
+
+class FaultStepKernel(Kernel):
+    """Native kernel for a transient activation-fault layer.
+
+    Replays :meth:`repro.fault.activation.ActivationFaultLayer.forward`
+    exactly — encode to fixed-point words, draw fresh flip sites from
+    the layer's *live* random stream, flip, decode — reading the armed
+    state at run time, so one compiled plan serves both the clean and
+    the armed phases of a campaign.  Disarmed, the step is a pure
+    pass-through (zero cost), which is where protected-model campaigns
+    recover the compiled speedup the old ``FallbackKernel`` treatment
+    surrendered.
+
+    Warm-up forwards (``repro.nn.warmup_mode``) skip the step entirely:
+    they must not advance the layer's random stream or its counters,
+    or plan and module paths would desynchronise.
+    """
+
+    def __init__(self, layer: Module) -> None:
+        self.layer = layer
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        layer = self.layer
+        if not layer.enabled or layer.fault_model is None or is_warmup():
+            return x
+        # Same helper as the layer's own forward — one implementation
+        # of the fault arithmetic, one random-stream consumption order.
+        return layer.apply_faults(x)
+
+    def describe(self) -> str:
+        return f"fault-site({self.layer.fmt})"

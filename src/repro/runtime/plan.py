@@ -43,11 +43,32 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.errors import ConfigurationError
-from repro.nn.module import Module, register_runtime_plan
+from repro.fault.parallel import available_workers
+from repro.nn.module import Module, register_runtime_plan, warmup_mode
 from repro.runtime.compiler import compile_module
-from repro.runtime.kernels import Kernel
+from repro.runtime.kernels import Kernel, ResidualKernel
 
-__all__ = ["InferencePlan", "compile_model"]
+__all__ = ["InferencePlan", "compile_model", "resolve_gemm_workers"]
+
+
+def resolve_gemm_workers(workers: int | str | None) -> int:
+    """Resolve a threading knob value to a concrete worker count.
+
+    ``None``/``0``/``1`` → serial (the default: campaigns keep the
+    1-core determinism contract without relying on the kernels'
+    bit-exact threading).  ``"auto"`` → :func:`available_workers`, so
+    threading only engages where more than one core is actually usable.
+    An explicit ``N >= 2`` is honoured as given (tests force threading
+    on single-core machines to prove bit-exactness).
+    """
+    if workers is None:
+        return 1
+    if workers == "auto":
+        return available_workers()
+    count = int(workers)
+    if count < 0:
+        raise ConfigurationError(f"gemm_workers must be >= 0, got {count}")
+    return max(1, count)
 
 
 class InferencePlan:
@@ -71,6 +92,8 @@ class InferencePlan:
         self._lock = threading.RLock()
         self._dirty = True
         self._signature: tuple[int, ...] = ()
+        self._structure: tuple[int, ...] = self._structure_signature()
+        self._gemm_workers = 1
         register_runtime_plan(model, self)
 
     # ------------------------------------------------------------------
@@ -81,16 +104,41 @@ class InferencePlan:
         self._dirty = True
 
     def refresh(self) -> None:
-        """Recompute folded/fused constants from the live module state."""
+        """Recompute folded/fused constants from the live module state.
+
+        If the module *tree* changed since compilation — surgery such as
+        activation-fault instrumentation replacing submodules — the
+        kernel program is recompiled from the live structure first, so
+        plans track instrumentation and its removal automatically.
+        """
         with self._lock:
+            structure, state = self._signatures()
+            if structure != self._structure:
+                steps = compile_module(self.model)
+                if not steps:
+                    raise ConfigurationError(
+                        f"{type(self.model).__name__} recompiled to an "
+                        "empty plan after a structure change"
+                    )
+                self.steps = steps
+                self._structure = structure
+                self._apply_gemm_workers()
             for step in self.steps:
                 step.refresh()
-            self._signature = self._state_signature()
+            self._signature = state
             self._dirty = False
 
-    def _state_signature(self) -> tuple[int, ...]:
-        """Identity fingerprint of every parameter/buffer array object.
+    def _structure_signature(self) -> tuple[int, ...]:
+        """Identity fingerprint of the module tree (surgery detection)."""
+        return self._signatures()[0]
 
+    def _signatures(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """(module-tree, parameter/buffer) identity fingerprints.
+
+        One tree walk yields both probes the per-call staleness check
+        needs: the module identities detect surgery (e.g. fault-site
+        instrumentation replacing submodules — the plan recompiles its
+        kernels), the array identities detect replaced values.
         Mutation paths in this codebase *replace* ``param.data`` (the
         injector decodes into a fresh array, ``load_state_dict`` copies,
         ``quantize_module`` reassigns), so an identity change is a
@@ -98,10 +146,48 @@ class InferencePlan:
         explicit invalidation hooks: identity can theoretically recycle
         after garbage collection, which is why the hooks exist.
         """
-        model = self.model
-        signature = [id(param.data) for _, param in model.named_parameters()]
-        signature.extend(id(buffer) for _, buffer in model.named_buffers())
-        return tuple(signature)
+        structure = []
+        state = []
+        for _, module in self.model.named_modules():
+            structure.append(id(module))
+            for param in module._parameters.values():
+                if param is not None:  # bias=False registers a None slot
+                    state.append(id(param.data))
+            for buffer in module._buffers.values():
+                state.append(id(buffer))
+        return tuple(structure), tuple(state)
+
+    # ------------------------------------------------------------------
+    # Threading
+    # ------------------------------------------------------------------
+    def set_gemm_workers(self, workers: int | str | None) -> int:
+        """Set the GEMM-pipeline parallelism for this plan.
+
+        Workers partition the column-matrix assembly (the im2col
+        gather) feeding each convolution GEMM; the BLAS call itself
+        stays whole — splitting it is not float32-bit-exact — and is
+        threaded natively by BLAS where cores allow.  Threaded and
+        serial schedules produce byte-identical column matrices, so
+        this is purely a wall-clock knob.  See
+        :func:`resolve_gemm_workers` for accepted values; returns the
+        resolved worker count.
+        """
+        resolved = resolve_gemm_workers(workers)
+        with self._lock:
+            self._gemm_workers = resolved
+            self._apply_gemm_workers()
+        return resolved
+
+    def _apply_gemm_workers(self) -> None:
+        def walk(steps: list[Kernel]) -> None:
+            for step in steps:
+                if hasattr(step, "gemm_workers"):
+                    step.gemm_workers = self._gemm_workers
+                if isinstance(step, ResidualKernel):
+                    walk(step.main)
+                    walk(step.down or [])
+
+        walk(self.steps)
 
     # ------------------------------------------------------------------
     # Execution
@@ -115,7 +201,7 @@ class InferencePlan:
         x = inputs.data if isinstance(inputs, Tensor) else inputs
         x = np.ascontiguousarray(np.asarray(x, dtype=np.float32))
         with self._lock:
-            if self._dirty or self._signature != self._state_signature():
+            if self._dirty or (self._structure, self._signature) != self._signatures():
                 self.refresh()
             for step in self.steps:
                 x = step.run(x)
@@ -146,6 +232,7 @@ def compile_model(
     model: Module,
     input_shape: tuple[int, ...],
     warm: bool = True,
+    gemm_workers: int | str | None = None,
 ) -> InferencePlan:
     """Compile ``model`` into an :class:`InferencePlan`.
 
@@ -162,7 +249,14 @@ def compile_model(
         warm-up pass.  Plans accept any batch size at call time.
     warm:
         Run one zero-input forward at compile time to allocate buffers
-        and validate the kernel shapes end-to-end (default True).
+        and validate the kernel shapes end-to-end (default True).  The
+        pass runs under :func:`repro.nn.warmup_mode`, so per-forward
+        side effects (transient activation faults) are suppressed.
+    gemm_workers:
+        Row-partitioned GEMM threading: ``None``/``0``/``1`` serial
+        (default — fault campaigns keep the 1-core determinism
+        contract), ``"auto"`` to use every available core, ``N >= 2``
+        for an explicit width.  Bit-identical either way.
     """
     shape = tuple(int(dim) for dim in input_shape)
     if len(shape) == 3:
@@ -177,6 +271,8 @@ def compile_model(
             f"{type(model).__name__} compiled to an empty plan"
         )
     plan = InferencePlan(model, steps, shape)
+    plan.set_gemm_workers(gemm_workers)
     if warm:
-        plan(np.zeros(shape, dtype=np.float32))
+        with warmup_mode():
+            plan(np.zeros(shape, dtype=np.float32))
     return plan

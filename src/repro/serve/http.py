@@ -95,6 +95,7 @@ class ServeApp:
         self._lanes: dict[str, _Lane] = {}
         self._lanes_lock = threading.Lock()
         self._lane_builds: dict[str, threading.Lock] = {}
+        self._preloaded: list[str] = []
 
     # ------------------------------------------------------------------
     # Lanes
@@ -144,6 +145,33 @@ class ServeApp:
             with self._lanes_lock:
                 self._lanes[entry.name] = lane
             return lane
+
+    def preload(self) -> list[str]:
+        """Warm registered models before serving the first request.
+
+        Loads checkpoints, compiles their runtime plans (when the
+        registry runs with ``runtime=True``), and builds serving lanes
+        — the work that otherwise happens inside the first unlucky
+        request.  Models are warmed in registration order up to the
+        registry's capacity (warming more would only evict the
+        earliest again).  Returns the warmed names; they are also
+        reported by ``GET /healthz`` as ``preloaded``.
+        """
+        warmed: list[str] = []
+        for name in self.registry.names():
+            if len(warmed) >= self.registry.capacity:
+                _logger.warning(
+                    "preload stopped at registry capacity (%d); not warmed: %s",
+                    self.registry.capacity,
+                    ", ".join(n for n in self.registry.names() if n not in warmed),
+                )
+                break
+            entry = self.registry.get(name)
+            self._lane(entry)
+            warmed.append(name)
+            _logger.info("preloaded %s from %s", name, entry.path)
+        self._preloaded = warmed
+        return list(warmed)
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -230,6 +258,7 @@ class ServeApp:
             "uptime_seconds": round(time.monotonic() - self.started_at, 3),
             "models": self.registry.names(),
             "resident": self.registry.resident_names(),
+            "preloaded": list(self._preloaded),
             "chaos_ber": self.config.chaos.ber if self.config.chaos else None,
             "runtime": self.registry.runtime,
         }

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from repro.core.checkpoint import (
     checkpoint_format,
     load_protected_auto,
+    model_input_channels,
     read_checkpoint_meta,
 )
 from repro.errors import ConfigurationError
@@ -57,9 +58,19 @@ class ServedModel:
 
     @property
     def input_shape(self) -> tuple[int, int, int]:
-        """Expected per-sample (channels, height, width)."""
+        """Expected per-sample (channels, height, width).
+
+        The channel count comes from the checkpoint itself — the
+        manifest's ``in_channels`` when recorded, else the loaded
+        model's first convolution — so grayscale (or hyperspectral)
+        checkpoints serve with their true geometry instead of an
+        assumed RGB one.
+        """
         size = int(self.meta.get("image_size", 32))
-        return (3, size, size)
+        channels = self.meta.get("in_channels")
+        if channels is None and isinstance(self.model, Module):
+            channels = model_input_channels(self.model, default=None)
+        return (int(channels) if channels else 3, size, size)
 
     def forward(self, inputs):
         """One inference pass — compiled plan if present, module path else.
@@ -165,6 +176,9 @@ class ModelRegistry:
             with self._gate:
                 self._spec_meta[name] = meta
         size = meta.get("image_size")
+        # Older checkpoints did not record in_channels; without loading
+        # the model the best available answer for them is RGB.
+        channels = int(meta.get("in_channels", 3))
         return {
             "name": name,
             "path": path,
@@ -172,7 +186,7 @@ class ModelRegistry:
             "dataset": meta.get("dataset"),
             "method": meta.get("method"),
             "num_classes": meta.get("num_classes"),
-            "input_shape": [3, int(size), int(size)] if size else None,
+            "input_shape": [channels, int(size), int(size)] if size else None,
             "clean_accuracy": meta.get("clean_accuracy"),
         }
 

@@ -2,9 +2,17 @@
 
 Heavy artefacts (the trained LeNet) are session-scoped so the many tests
 that need "a real trained model" pay for training once.
+
+Also provides ``--shard i/n``: a dependency-free test sharder (CI splits
+the tier-1 suite across parallel jobs with it).  Tests are assigned to
+shards by a stable hash of their file path — whole files stay together,
+so session-scoped fixtures are not re-trained by every shard that
+touches a module.
 """
 
 from __future__ import annotations
+
+import zlib
 
 import numpy as np
 import pytest
@@ -17,6 +25,61 @@ from repro.models.registry import build_model
 
 IMAGE_SIZE = 16
 NUM_CLASSES = 10
+
+
+# ----------------------------------------------------------------------
+# Sharding (CI splits the suite across parallel jobs)
+# ----------------------------------------------------------------------
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--shard",
+        default=None,
+        metavar="i/n",
+        help=(
+            "run only the i-th of n stable test shards (1-based), e.g. "
+            "--shard 1/2; files hash to shards, so every test runs in "
+            "exactly one shard"
+        ),
+    )
+
+
+def _parse_shard(spec: str) -> tuple[int, int]:
+    try:
+        index_text, total_text = spec.split("/", 1)
+        index, total = int(index_text), int(total_text)
+    except ValueError:
+        raise pytest.UsageError(f"--shard expects i/n (e.g. 1/2), got {spec!r}")
+    if total < 1 or not 1 <= index <= total:
+        raise pytest.UsageError(f"--shard {spec!r} out of range")
+    return index, total
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    spec = config.getoption("--shard")
+    if spec is None:
+        return
+    index, total = _parse_shard(spec)
+    if total == 1:
+        return
+    rootpath = config.rootpath
+    selected, deselected = [], []
+    for item in items:
+        # Hash the rootdir-relative file path (posix form), not the
+        # nodeid: keeping a file's tests in one shard preserves its
+        # fixture reuse, and the bucket is identical across checkouts,
+        # platforms, and processes (unlike builtin hash() or absolute
+        # paths).
+        try:
+            key = item.path.relative_to(rootpath).as_posix()
+        except ValueError:
+            key = str(item.path)
+        bucket = zlib.crc32(key.encode("utf-8")) % total
+        (selected if bucket == index - 1 else deselected).append(item)
+    if deselected:
+        config.hook.pytest_deselected(items=deselected)
+        items[:] = selected
 
 
 @pytest.fixture

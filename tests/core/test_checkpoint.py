@@ -250,6 +250,41 @@ class TestAutoLoad:
         with pytest.raises(ConfigurationError, match="missing model, num_classes"):
             load_protected_auto(path)
 
+    def test_rgb_in_channels_meta_tolerates_legacy_builders(
+        self, protected, tmp_path
+    ):
+        """RGB checkpoints must load through builders that (validly)
+        don't accept ``in_channels`` — custom architectures registered
+        before the field existed.  Only non-RGB geometry forwards it."""
+        from unittest import mock
+
+        from repro.models import registry as registry_module
+
+        model = protected("clipact")
+        meta = {**self.FULL_META, "in_channels": 3}
+        path = save_protected(tmp_path / "legacy-rgb.npz", model, meta=meta)
+
+        def legacy_builder(num_classes, scale, seed, image_size):
+            # Pre-in_channels signature: a TypeError here means the
+            # loader forwarded a kwarg the builder never declared.
+            from repro.models.lenet import build_lenet
+
+            return build_lenet(
+                num_classes=num_classes,
+                scale=scale,
+                image_size=image_size,
+                seed=seed,
+            )
+
+        with mock.patch.dict(
+            registry_module._REGISTRY, {"lenet": legacy_builder}
+        ):
+            reloaded, _ = load_protected_auto(path)
+        np.testing.assert_array_equal(
+            dict(model.state_dict())["features.0.weight"],
+            dict(reloaded.state_dict())["features.0.weight"],
+        )
+
     def test_read_checkpoint_meta_peeks_manifest(self, protected, tmp_path):
         from repro.core import read_checkpoint_meta
 

@@ -1,0 +1,253 @@
+"""Tiered conv kernels: dispatch, per-tier bit-exactness, threaded GEMM.
+
+The compiler picks one execution tier per conv layer from its static
+geometry (direct 1x1, blocked K-major im2col, grouped einsum); every
+tier — and the optional row-partitioned threaded GEMM on top — must
+produce float32 logits bit-identical to the eval-mode module forward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd.grad_mode import no_grad
+from repro.autograd.tensor import Tensor
+from repro.data.loader import DataLoader
+from repro.data.synthetic import SYNTH_MEAN, SYNTH_STD, SyntheticImageDataset
+from repro.data.transforms import Normalize
+from repro.errors import ConfigurationError
+from repro.eval.evaluator import Evaluator
+from repro.fault.campaign import FaultCampaign
+from repro.fault.fault_model import BitFlipFaultModel
+from repro.fault.injector import FaultInjector
+from repro.models.registry import build_model
+from repro.quant import quantize_module
+from repro.runtime import compile_model, resolve_gemm_workers
+from repro.runtime import kernels as kernels_module
+from repro.runtime.kernels import ConvKernel
+
+
+def _module_logits(model, x):
+    model.eval()
+    with no_grad():
+        return model(Tensor(x)).data
+
+
+def _conv_kernels(plan):
+    found = []
+
+    def walk(steps):
+        for step in steps:
+            if isinstance(step, ConvKernel):
+                found.append(step)
+            main = getattr(step, "main", None)
+            if main is not None:
+                walk(main)
+                walk(step.down or [])
+
+    walk(plan.steps)
+    return found
+
+
+# ----------------------------------------------------------------------
+# Tier dispatch (decided per layer at plan build time)
+# ----------------------------------------------------------------------
+def test_resnet_downsamples_use_direct_1x1_tier():
+    model = build_model("resnet18", num_classes=10, scale=0.125, image_size=32, seed=0)
+    plan = compile_model(model, (2, 3, 32, 32))
+    tiers = {kernel.tier for kernel in _conv_kernels(plan)}
+    assert tiers == {"direct1x1", "im2col"}
+    assert "direct1x1" in plan.describe()
+
+
+def test_mobilenet_depthwise_uses_grouped_tier_and_pointwise_direct():
+    model = build_model(
+        "mobilenet", num_classes=10, scale=0.125, image_size=32, seed=0
+    )
+    plan = compile_model(model, (2, 3, 32, 32))
+    tiers = {kernel.tier for kernel in _conv_kernels(plan)}
+    assert "grouped" in tiers  # depthwise stages
+    assert "direct1x1" in tiers  # pointwise stages skip im2col entirely
+
+
+def test_padded_1x1_conv_stays_on_im2col_tier():
+    """Padding makes a 1x1 conv read positions the direct tier skips."""
+    model = nn.Sequential(nn.Conv2d(3, 4, 1, padding=1, rng=0))
+    plan = compile_model(model, (2, 3, 8, 8))
+    (kernel,) = _conv_kernels(plan)
+    assert kernel.tier == "im2col"
+    x = np.random.default_rng(0).standard_normal((2, 3, 8, 8)).astype(np.float32)
+    np.testing.assert_array_equal(plan(x), _module_logits(model, x))
+
+
+# ----------------------------------------------------------------------
+# Per-tier bit-exactness over awkward geometries
+# ----------------------------------------------------------------------
+_GEOMETRIES = {
+    "conv3x3-pad": dict(kernel_size=3, padding=1),
+    "conv3x3-stride2": dict(kernel_size=3, stride=2, padding=1),
+    "conv5x5-pad2": dict(kernel_size=5, padding=2),
+    "conv1x1": dict(kernel_size=1),
+    "conv1x1-stride2": dict(kernel_size=1, stride=2),
+    "conv4x2-asym": dict(kernel_size=(4, 2), padding=(1, 0)),
+    "conv3x3-nopad": dict(kernel_size=3),
+}
+
+
+@pytest.mark.parametrize("case", sorted(_GEOMETRIES))
+@pytest.mark.parametrize("batch", [1, 5])
+def test_conv_geometry_bit_exact(case, batch):
+    rng = np.random.default_rng(17)
+    model = nn.Sequential(
+        nn.Conv2d(6, 8, rng=0, **_GEOMETRIES[case]),
+        nn.ReLU(),
+        nn.Flatten(),
+    )
+    x = rng.standard_normal((batch, 6, 17, 17)).astype(np.float32)
+    reference = _module_logits(model, x)
+    plan = compile_model(model, x.shape)
+    np.testing.assert_array_equal(plan(x), reference)
+
+
+def test_grouped_conv_bit_exact():
+    rng = np.random.default_rng(18)
+    model = nn.Sequential(
+        nn.Conv2d(8, 8, 3, padding=1, groups=8, rng=0),  # depthwise
+        nn.Conv2d(8, 16, 3, padding=1, groups=4, rng=1),  # grouped
+        nn.Flatten(),
+    )
+    x = rng.standard_normal((3, 8, 12, 12)).astype(np.float32)
+    plan = compile_model(model, x.shape)
+    np.testing.assert_array_equal(plan(x), _module_logits(model, x))
+
+
+def test_large_batch_blocked_gather_bit_exact():
+    """Batches large enough to split into several K-major blocks."""
+    rng = np.random.default_rng(19)
+    model = build_model("resnet18", num_classes=10, scale=0.125, image_size=32, seed=0)
+    x = rng.standard_normal((64, 3, 32, 32)).astype(np.float32)
+    reference = _module_logits(model, x)
+    plan = compile_model(model, x.shape)
+    np.testing.assert_array_equal(plan(x), reference)
+    # Ragged re-use: a different batch size on the same plan (fresh
+    # block partitioning, including a ragged tail block).
+    y = rng.standard_normal((37, 3, 32, 32)).astype(np.float32)
+    np.testing.assert_array_equal(plan(y), _module_logits(model, y))
+
+
+# ----------------------------------------------------------------------
+# Threaded GEMM
+# ----------------------------------------------------------------------
+def test_resolve_gemm_workers_semantics():
+    from repro.fault.parallel import available_workers
+
+    assert resolve_gemm_workers(None) == 1
+    assert resolve_gemm_workers(0) == 1
+    assert resolve_gemm_workers(1) == 1
+    assert resolve_gemm_workers(4) == 4
+    assert resolve_gemm_workers("auto") == available_workers()
+    with pytest.raises(ConfigurationError):
+        resolve_gemm_workers(-2)
+
+
+def test_threaded_gemm_bit_exact_vs_serial(monkeypatch):
+    """Every threaded kernel path must match the serial schedule bitwise.
+
+    The work threshold is forced to zero so even small layers take the
+    partitioned path, and several widths are exercised (uneven row
+    splits included).
+    """
+    monkeypatch.setattr(kernels_module, "GEMM_THREAD_MIN_WORK", 0)
+    rng = np.random.default_rng(20)
+    model = build_model("resnet18", num_classes=10, scale=0.125, image_size=32, seed=0)
+    x = rng.standard_normal((7, 3, 32, 32)).astype(np.float32)
+    reference = _module_logits(model, x)
+    plan = compile_model(model, x.shape)
+    np.testing.assert_array_equal(plan(x), reference)
+    for workers in (2, 3, 5):
+        plan.set_gemm_workers(workers)
+        assert f"@{workers}" in plan.describe()
+        np.testing.assert_array_equal(plan(x), reference)
+    plan.set_gemm_workers(None)  # back to serial
+    np.testing.assert_array_equal(plan(x), reference)
+
+
+def test_threaded_direct1x1_and_grouped_bit_exact(monkeypatch):
+    monkeypatch.setattr(kernels_module, "GEMM_THREAD_MIN_WORK", 0)
+    rng = np.random.default_rng(21)
+    model = nn.Sequential(
+        nn.Conv2d(8, 16, 1, stride=2, rng=0),      # direct1x1, strided
+        nn.Conv2d(16, 16, 3, padding=1, groups=4, rng=1),  # grouped
+        nn.ReLU(),
+        nn.Flatten(),
+        nn.Linear(16 * 6 * 6, 10, rng=2),
+    )
+    x = rng.standard_normal((9, 8, 12, 12)).astype(np.float32)
+    reference = _module_logits(model, x)
+    plan = compile_model(model, x.shape, gemm_workers=4)
+    np.testing.assert_array_equal(plan(x), reference)
+
+
+def test_compile_model_accepts_gemm_workers():
+    rng = np.random.default_rng(22)
+    model = build_model("lenet", num_classes=10, scale=0.5, image_size=16, seed=0)
+    x = rng.standard_normal((32, 3, 16, 16)).astype(np.float32)
+    reference = _module_logits(model, x)
+    serial = compile_model(model, x.shape)
+    threaded = compile_model(model, x.shape, gemm_workers=4)
+    auto = compile_model(model, x.shape, gemm_workers="auto")
+    np.testing.assert_array_equal(serial(x), reference)
+    np.testing.assert_array_equal(threaded(x), reference)
+    np.testing.assert_array_equal(auto(x), reference)
+
+
+# ----------------------------------------------------------------------
+# Campaign SDC streams: threading is invisible to results
+# ----------------------------------------------------------------------
+def _campaign_result(runtime: bool, gemm_workers=None):
+    model = quantize_module(
+        build_model("lenet", num_classes=10, scale=0.5, image_size=16, seed=0)
+    )
+    dataset = SyntheticImageDataset(
+        num_classes=10, num_samples=192, image_size=16, seed=0, split="test"
+    )
+    evaluator = Evaluator(
+        DataLoader(
+            dataset, batch_size=64, transform=Normalize(SYNTH_MEAN, SYNTH_STD)
+        ),
+        runtime=runtime,
+        gemm_workers=gemm_workers,
+    )
+    campaign = FaultCampaign(
+        FaultInjector(model), evaluator.bind(model), trials=3, seed=0
+    )
+    return campaign.run(BitFlipFaultModel.at_rate(1e-4))
+
+
+def test_campaign_sdc_stream_identical_with_threading_forced(monkeypatch):
+    """Accuracy/flip streams are bit-identical: module path, serial
+    runtime, and force-threaded runtime (the 1-core determinism
+    contract holds with the knob both off and on)."""
+    monkeypatch.setattr(kernels_module, "GEMM_THREAD_MIN_WORK", 0)
+    module_result = _campaign_result(runtime=False)
+    serial_result = _campaign_result(runtime=True)
+    threaded_result = _campaign_result(runtime=True, gemm_workers=4)
+    for other in (serial_result, threaded_result):
+        np.testing.assert_array_equal(module_result.accuracies, other.accuracies)
+        np.testing.assert_array_equal(module_result.flip_counts, other.flip_counts)
+
+
+def test_evaluator_gemm_workers_survives_pickle():
+    import pickle
+
+    dataset = SyntheticImageDataset(
+        num_classes=10, num_samples=64, image_size=16, seed=0, split="test"
+    )
+    evaluator = Evaluator(
+        DataLoader(dataset, batch_size=32), runtime=True, gemm_workers=3
+    )
+    clone = pickle.loads(pickle.dumps(evaluator))
+    assert clone.gemm_workers == 3
+    assert clone._plans == {}
