@@ -1,0 +1,96 @@
+"""Journaling overhead of store-backed campaigns vs in-memory ones.
+
+The store's design target: journaling every trial (JSON line + flush)
+must cost < 5% wall-clock next to real per-trial evaluation, so durable
+campaigns are the default choice, not a trade-off.  The bench runs the
+same sweep (2 rates x 10 trials, LeNet on a real evaluator) in memory
+and through a store, asserts the results are bit-identical, and records
+the measured overhead in ``benchmarks/outputs/campaign_store.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.loader import DataLoader
+from repro.data.synthetic import SYNTH_MEAN, SYNTH_STD, SyntheticImageDataset
+from repro.data.transforms import Normalize
+from repro.eval.evaluator import Evaluator
+from repro.eval.reporting import format_table
+from repro.fault import FaultCampaign, FaultInjector
+from repro.models.registry import build_model
+from repro.quant import quantize_module
+from repro.store import CampaignStore
+
+RATES = (1e-5, 1e-4)
+TRIALS = 10
+MAX_OVERHEAD = 0.05
+
+
+def _campaign() -> FaultCampaign:
+    model = quantize_module(
+        build_model("lenet", num_classes=10, scale=1.0, image_size=16, seed=0)
+    )
+    dataset = SyntheticImageDataset(
+        num_classes=10, num_samples=1024, image_size=16, seed=0, split="test"
+    )
+    evaluator = Evaluator(
+        DataLoader(dataset, batch_size=256, transform=Normalize(SYNTH_MEAN, SYNTH_STD))
+    )
+    return FaultCampaign(
+        FaultInjector(model), evaluator.bind(model), trials=TRIALS, seed=0
+    )
+
+
+@pytest.mark.benchmark(group="store")
+def test_store_journaling_overhead(benchmark, save_output, tmp_path):
+    """STORE: journaling every trial costs < 5% next to real evaluation."""
+    memory_start = time.perf_counter()
+    in_memory = _campaign().run_sweep(RATES, tag="bench")
+    memory_seconds = time.perf_counter() - memory_start
+
+    def stored_sweep():
+        campaign = _campaign()
+        store = CampaignStore.for_campaign(
+            tmp_path / "bench-store", campaign, meta={"clean_accuracy": 1.0}
+        )
+        with store:
+            return campaign.run_sweep(RATES, tag="bench", store=store)
+
+    stored_start = time.perf_counter()
+    stored = benchmark.pedantic(stored_sweep, rounds=1, iterations=1)
+    stored_seconds = time.perf_counter() - stored_start
+
+    # Durability must not change results: same floats, same flips.
+    for rate in RATES:
+        np.testing.assert_array_equal(
+            in_memory[rate].accuracies, stored[rate].accuracies
+        )
+        np.testing.assert_array_equal(
+            in_memory[rate].flip_counts, stored[rate].flip_counts
+        )
+
+    overhead = stored_seconds / max(memory_seconds, 1e-9) - 1.0
+    journaled = len(RATES) * TRIALS
+    rows = [
+        ["in-memory", f"{memory_seconds:.2f}", "-"],
+        ["store-backed", f"{stored_seconds:.2f}", str(journaled)],
+    ]
+    text = "\n".join(
+        [
+            f"STORE  Campaign store journaling — {len(RATES)} rates x "
+            f"{TRIALS} trials, LeNet/synth10",
+            format_table(["backend", "seconds", "trials journaled"], rows),
+            f"journaling overhead: {overhead:+.1%} of wall-clock "
+            f"(target < {MAX_OVERHEAD:.0%}; results bit-identical)",
+        ]
+    )
+    save_output("campaign_store", text)
+
+    assert overhead < MAX_OVERHEAD, (
+        f"store journaling cost {overhead:.1%} wall-clock overhead "
+        f"(target < {MAX_OVERHEAD:.0%})"
+    )

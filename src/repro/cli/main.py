@@ -315,7 +315,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     preload_note = ""
     if args.preload:
         warmed = app.preload()
+        rotated = len(app.health()["preload_rotated"])
         preload_note = f", preloaded {len(warmed)} model{'s' if len(warmed) != 1 else ''}"
+        if rotated:
+            preload_note += f" ({rotated} rotated beyond capacity)"
     server = ReproServer(app, host=args.host, port=args.port)
     server.start()
     chaos_note = f", chaos ber {chaos.ber:g}" if chaos else ""
@@ -334,6 +337,375 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print("shutting down...", flush=True)
     server.stop()
     print("shutdown complete", flush=True)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Campaign commands (durable stores: run / resume / status / merge / report)
+# ----------------------------------------------------------------------
+def _parse_shard_spec(text: str | None) -> "tuple[int, int] | None":
+    """CLI ``i/n`` (1-based, like pytest --shard) → internal (i-1, n)."""
+    from repro.errors import ConfigurationError
+
+    if text is None:
+        return None
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ConfigurationError(f"--shard expects i/n (e.g. 1/4), got {text!r}")
+    if count < 1 or not 1 <= index <= count:
+        raise ConfigurationError(f"--shard {text!r} out of range")
+    return (index - 1, count)
+
+
+def _campaign_for_meta(
+    run_meta: dict[str, object],
+    shard: "tuple[int, int] | None",
+    workers: int | None = None,
+):
+    """Rebuild the (campaign, evaluator) pair a store's meta describes.
+
+    The deterministic reconstruction both ``campaign run`` and
+    ``campaign resume`` share: checkpoint → model (``load_protected_auto``),
+    preset sizes → evaluator test set, manifest format → injector.
+    ``workers`` only changes scheduling, never results, so resume may
+    override it.
+    """
+    from repro.core.checkpoint import load_protected_auto
+    from repro.eval.experiments import get_preset
+    from repro.fault.campaign import FaultCampaign
+    from repro.fault.injector import FaultInjector
+
+    model, meta = load_protected_auto(str(run_meta["checkpoint"]))
+    preset = get_preset(str(run_meta["preset"])).with_overrides(
+        trials=int(run_meta["trials"]),
+        test_samples=int(run_meta["test_samples"]),
+        image_size=int(meta["image_size"]),
+    )
+    evaluator = _evaluator_for(
+        str(meta["dataset"]), preset, runtime=bool(run_meta.get("runtime", False))
+    )
+    injector = FaultInjector(model, fmt=_checkpoint_format(meta))
+    campaign = FaultCampaign(
+        injector,
+        evaluator.bind(model),
+        trials=preset.trials,
+        seed=int(run_meta["seed"]),
+        workers=workers if workers is not None else int(run_meta.get("workers", 0)),
+        shard=shard,
+    )
+    return campaign, evaluator, model, meta
+
+
+def _drive_campaign_store(campaign, store, rates, limit: int | None) -> int:
+    """Run the sweep against its store, handling budget interruption."""
+    from repro.store import CampaignInterrupted
+
+    if limit is not None:
+        if limit < 1:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(f"--limit must be >= 1, got {limit}")
+        store.max_new_records = limit
+    shard_note = (
+        f" [shard {campaign.shard[0] + 1}/{campaign.shard[1]}]"
+        if campaign.shard is not None
+        else ""
+    )
+    try:
+        sweep = campaign.run_sweep(rates, store=store)
+    except CampaignInterrupted:
+        status = store.status()
+        print(
+            f"interrupted after {store.appended} new trials "
+            f"({status['journaled']}/{status['expected']} journaled)"
+            f"{shard_note}"
+        )
+        print(f"resume with: repro campaign resume --store {store.path}")
+        return 0
+    for rate in rates:
+        result = sweep[rate]
+        print(
+            f"rate {rate:.1e}: mean {result.mean:.2%}  median "
+            f"{result.median:.2%}  min {result.min:.2%}  "
+            f"({result.trials} trials, mean {result.flip_counts.mean():.1f} flips)"
+            f"{shard_note}"
+        )
+    print(f"store complete: {store.path} ({store.appended} new trials journaled)")
+    return 0
+
+
+def _require_run_recipe(store_path: str, run_meta: dict[str, object]) -> None:
+    """Fail with a pointer when a store lacks the CLI's run recipe."""
+    from repro.errors import ConfigurationError
+
+    required = ("checkpoint", "rates", "preset", "trials", "seed", "test_samples")
+    missing = [field for field in required if field not in run_meta]
+    if missing:
+        raise ConfigurationError(
+            f"store {store_path!r} records no run recipe (meta is missing "
+            f"{', '.join(missing)}); it was not created by 'repro campaign "
+            "run' — drive it through the library instead"
+        )
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.store import CampaignStore
+
+    if not args.rates:
+        raise ConfigurationError("--rates needs at least one fault rate")
+    preset = _preset_from_args(args)
+    shard = _parse_shard_spec(args.shard)
+    run_meta: dict[str, object] = {
+        "checkpoint": args.checkpoint,
+        "rates": [float(rate) for rate in args.rates],
+        "preset": args.preset,
+        "trials": preset.trials,
+        "seed": preset.seed,
+        "test_samples": preset.test_samples,
+        "workers": preset.workers,
+        "runtime": bool(args.runtime),
+    }
+    if CampaignStore.exists(args.store):
+        # Re-running against an existing store is a resume: the store's
+        # recorded recipe (evaluator sizes included — they shape the
+        # accuracy stream) must match the request, or the journal would
+        # silently mix trials from two different campaigns.
+        store = CampaignStore.open(args.store)
+        stored = store.meta
+        _require_run_recipe(args.store, stored)
+        mismatched = [
+            field
+            for field in (
+                "checkpoint",
+                "rates",
+                "preset",
+                "trials",
+                "seed",
+                "test_samples",
+                "runtime",
+            )
+            if run_meta[field] != stored.get(field)
+        ]
+        if shard != store.shard:
+            mismatched.append("shard")
+        if mismatched:
+            store.close()
+            raise ConfigurationError(
+                f"store {args.store!r} was created with different settings "
+                f"(mismatched: {', '.join(mismatched)}); resume it with "
+                "'repro campaign resume', or pass matching arguments, or "
+                "pick a fresh --store"
+            )
+        run_meta = dict(stored)  # keeps the recorded clean_accuracy baseline
+        if args.workers is not None:
+            run_meta["workers"] = args.workers  # scheduling only
+        campaign, _, _, _ = _campaign_for_meta(run_meta, shard)
+    else:
+        store = None
+        campaign, evaluator, model, checkpoint_meta = _campaign_for_meta(
+            run_meta, shard
+        )
+        for field in ("model", "dataset", "method"):
+            if field in checkpoint_meta:
+                run_meta[field] = checkpoint_meta[field]
+        # The fault-free baseline every report measures SDC against;
+        # resumed runs read it back from the store instead of
+        # re-measuring.
+        run_meta["clean_accuracy"] = evaluator.accuracy(model)
+    with campaign:
+        if store is None:
+            store = CampaignStore.for_campaign(args.store, campaign, meta=run_meta)
+        else:
+            store.attach(campaign)  # identity check, no second journal parse
+        with store:
+            meta = store.meta
+            print(
+                f"campaign store {store.path}: "
+                f"{meta.get('checkpoint')} ({store.trials} trials/config, "
+                f"seed {store.seed}, clean {float(meta['clean_accuracy']):.2%})"
+            )
+            return _drive_campaign_store(
+                campaign, store, [float(r) for r in meta["rates"]], args.limit
+            )
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from repro.store import CampaignStore
+
+    store = CampaignStore.open(args.store)
+    run_meta = store.meta
+    _require_run_recipe(args.store, run_meta)
+    campaign, _, _, _ = _campaign_for_meta(
+        run_meta, store.shard, workers=args.workers
+    )
+    with campaign:
+        with store.attach(campaign):
+            status = store.status()
+            print(
+                f"resuming {store.path}: {status['journaled']}/"
+                f"{status['expected']} trials journaled"
+            )
+            return _drive_campaign_store(
+                campaign, store, [float(r) for r in run_meta["rates"]], args.limit
+            )
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.eval.reporting import format_table
+    from repro.store import CampaignStore
+
+    with CampaignStore.open(args.store) as store:
+        status = store.status()
+    rows = []
+    for config in status["configs"]:
+        mean = config["mean_accuracy"]
+        converged = config["converged_at"]
+        rows.append(
+            [
+                config["spec"] if not config["tag"] else
+                f"{config['tag']}: {config['spec']}",
+                f"{config['journaled']}/{config['expected']}",
+                f"yes (at {converged})" if converged is not None else "no",
+                f"{mean:.2%}" if mean is not None else "-",
+            ]
+        )
+    shard = status["shard"]
+    shard_note = f", shard {shard[0] + 1}/{shard[1]}" if shard else ""
+    print(
+        format_table(
+            ["config", "trials", "converged", "mean accuracy"],
+            rows,
+            title=(
+                f"{status['path']} (seed {status['seed']}, "
+                f"{status['trials']} trials/config{shard_note})"
+            ),
+        )
+    )
+    mean_seconds = status["mean_trial_seconds"]
+    remaining = status["expected"] - status["journaled"]
+    if status["complete"]:
+        print(f"complete: {status['journaled']}/{status['expected']} trials")
+    elif mean_seconds:
+        print(
+            f"{status['journaled']}/{status['expected']} trials "
+            f"({mean_seconds:.2f}s/trial, ~{remaining * mean_seconds:.0f}s "
+            "remaining)"
+        )
+    else:
+        print(f"{status['journaled']}/{status['expected']} trials")
+    return 0
+
+
+def _cmd_campaign_merge(args: argparse.Namespace) -> int:
+    from repro.store import CampaignStore
+
+    merged = CampaignStore.merge(args.out, args.stores)
+    try:
+        status = merged.status()
+    finally:
+        merged.close()
+    print(
+        f"merged {len(args.stores)} stores into {args.out}: "
+        f"{status['journaled']}/{status['expected']} trials across "
+        f"{len(status['configs'])} configs"
+        + ("" if status["complete"] else " (still incomplete)")
+    )
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.errors import ConfigurationError
+    from repro.eval.reporting import format_atlas, format_markdown_table
+    from repro.fault.statistics import sdc_probability
+    from repro.store import CampaignStore, build_atlas
+
+    with CampaignStore.open(args.store) as store:
+        meta = store.meta
+        baseline = args.baseline
+        if baseline is None:
+            baseline = meta.get("clean_accuracy")
+        if baseline is None:
+            raise ConfigurationError(
+                "store meta records no clean_accuracy; pass --baseline"
+            )
+        baseline = float(baseline)
+        title_bits = [
+            str(meta.get(field))
+            for field in ("model", "method")
+            if meta.get(field) is not None
+        ]
+        lines = [
+            "# Campaign report"
+            + (f": {' / '.join(title_bits)}" if title_bits else ""),
+            "",
+            f"- checkpoint: `{meta.get('checkpoint', 'n/a')}`",
+            f"- trials per config: {store.trials} (seed {store.seed})",
+            f"- baseline accuracy: {baseline:.2%}"
+            f" (SDC tolerance {float(args.tolerance):.2%})",
+        ]
+        if store.shard is not None:
+            lines.append(
+                f"- shard: {store.shard[0] + 1}/{store.shard[1]} "
+                "(merge the other shards for the full campaign)"
+            )
+        lines.extend(["", "## Results", ""])
+        rows = []
+        incomplete = []
+        for key in store.config_keys():
+            entry = store.config_entry(key)
+            label = (
+                f"{entry['tag']}: {entry['spec']}"
+                if entry["tag"]
+                else str(entry["spec"])
+            )
+            if not store.complete(key):
+                incomplete.append(
+                    f"{label} ({len(store.missing_indices(key))} trials missing)"
+                )
+                continue
+            result = store.result(key)
+            rows.append(
+                [
+                    label,
+                    result.trials,
+                    f"{result.mean:.2%}",
+                    f"{result.median:.2%}",
+                    f"{result.min:.2%}",
+                    f"{sdc_probability(result, baseline, args.tolerance):.1%}",
+                ]
+            )
+        if rows:
+            lines.append(
+                format_markdown_table(
+                    ["config", "trials", "mean", "median", "min", "SDC rate"],
+                    rows,
+                )
+            )
+        else:
+            lines.append("(no complete configurations yet)")
+        if incomplete:
+            lines.append("")
+            lines.append("Incomplete: " + "; ".join(incomplete))
+        atlas = build_atlas(store, baseline=baseline, tolerance=args.tolerance)
+        text = "\n".join(lines) + "\n\n" + format_atlas(atlas) + "\n"
+        out_dir = args.out or store.path
+
+    os.makedirs(out_dir, exist_ok=True)
+    report_path = os.path.join(out_dir, "report.md")
+    atlas_path = os.path.join(out_dir, "atlas.json")
+    with open(report_path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    with open(atlas_path, "w", encoding="utf-8") as handle:
+        json.dump(atlas, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(text)
+    print(f"wrote {report_path} and {atlas_path}")
     return 0
 
 
@@ -525,6 +897,114 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "campaign",
+        help="durable fault-injection campaigns backed by an on-disk store",
+    )
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+
+    c = campaign_sub.add_parser(
+        "run",
+        help=(
+            "run a fault-rate sweep, journaling every trial to a store "
+            "(pointing at an existing store resumes it)"
+        ),
+    )
+    c.add_argument("--checkpoint", required=True, help="protected checkpoint (.npz)")
+    c.add_argument(
+        "--store",
+        required=True,
+        help="campaign store directory (created if absent)",
+    )
+    c.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        required=True,
+        help="fault rates of the sweep (e.g. 1e-6 3e-6 1e-5)",
+    )
+    c.add_argument(
+        "--shard",
+        metavar="i/n",
+        default=None,
+        help=(
+            "run only the i-th of n disjoint trial slices (1-based) — "
+            "each shard journals its own store; fold them with "
+            "'campaign merge'"
+        ),
+    )
+    c.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "journal at most N new trials this invocation, then stop "
+            "cleanly (time-boxed incremental runs; resume to continue)"
+        ),
+    )
+    c.add_argument(
+        "--runtime",
+        action="store_true",
+        help="evaluate trials through the compiled inference runtime",
+    )
+    _add_preset_arguments(c)
+    c.set_defaults(func=_cmd_campaign_run)
+
+    c = campaign_sub.add_parser(
+        "resume",
+        help="continue an interrupted campaign from its store's journal",
+    )
+    c.add_argument("--store", required=True)
+    c.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=None,
+        help="override the stored worker count (results are identical)",
+    )
+    c.add_argument("--limit", type=int, default=None, metavar="N")
+    c.set_defaults(func=_cmd_campaign_resume)
+
+    c = campaign_sub.add_parser(
+        "status", help="journal progress of a campaign store"
+    )
+    c.add_argument("--store", required=True)
+    c.set_defaults(func=_cmd_campaign_status)
+
+    c = campaign_sub.add_parser(
+        "merge", help="fold shard stores into one campaign store"
+    )
+    c.add_argument("--out", required=True, help="merged store directory (created)")
+    c.add_argument("stores", nargs="+", help="shard store directories")
+    c.set_defaults(func=_cmd_campaign_merge)
+
+    c = campaign_sub.add_parser(
+        "report",
+        help=(
+            "render results + the layer/bit vulnerability atlas "
+            "(report.md + atlas.json)"
+        ),
+    )
+    c.add_argument("--store", required=True)
+    c.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.01,
+        help="SDC accuracy-drop tolerance (default: 0.01)",
+    )
+    c.add_argument(
+        "--baseline",
+        type=float,
+        default=None,
+        help="fault-free baseline accuracy (default: the store's recorded one)",
+    )
+    c.add_argument(
+        "--out",
+        default=None,
+        help="artifact directory (default: the store itself)",
+    )
+    c.set_defaults(func=_cmd_campaign_report)
 
     p = sub.add_parser("experiment", help="regenerate a paper artefact by id")
     p.add_argument("--id", required=True, help="see 'repro list-experiments'")

@@ -11,7 +11,14 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["format_curves", "format_table", "percent", "text_histogram"]
+__all__ = [
+    "format_atlas",
+    "format_curves",
+    "format_markdown_table",
+    "format_table",
+    "percent",
+    "text_histogram",
+]
 
 _BLOCKS = " ▁▂▃▄▅▆▇█"
 
@@ -62,6 +69,87 @@ def format_curves(
             row.append(value_format.format(values[index]))
         rows.append(row)
     return format_table(headers, rows, title=title)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """GitHub-flavoured markdown table (column-aligned for raw reading)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = ["| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |"]
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for row in cells:
+        lines.append(
+            "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+        )
+    return "\n".join(lines)
+
+
+def _atlas_rows(
+    entries: Sequence[Mapping[str, object]], label_key: str
+) -> list[list[object]]:
+    rows = []
+    for entry in entries:
+        low, high = entry["sdc_ci"]
+        rows.append(
+            [
+                entry[label_key],
+                entry["trials"],
+                entry["flips"],
+                percent(float(entry["mean_accuracy"])),
+                percent(float(entry["min_accuracy"])),
+                percent(float(entry["sdc_rate"]), digits=1),
+                f"[{percent(float(low), digits=1)}, "
+                f"{percent(float(high), digits=1)}]",
+            ]
+        )
+    return rows
+
+
+def format_atlas(atlas: Mapping[str, object]) -> str:
+    """Markdown rendering of a vulnerability atlas.
+
+    Takes the JSON-ready dict of :func:`repro.store.build_atlas`: a
+    per-layer table (most vulnerable first) and a per-bit-position table
+    (ascending bit index, so the fraction→integer→sign damage ramp reads
+    top to bottom).
+    """
+    headers = ["trials hit", "flips", "mean acc", "min acc", "SDC rate", "95% CI"]
+    layers = sorted(
+        atlas["layers"],
+        key=lambda row: (-float(row["sdc_rate"]), -float(row["flips"])),
+    )
+    bits = sorted(atlas["bits"], key=lambda row: int(row["bit"]))
+    lines = [
+        "## Vulnerability atlas",
+        "",
+        f"{atlas['trials']} journaled trials ({atlas['trials_with_faults']} "
+        f"with faults, {atlas['flips']} bit flips total); SDC = accuracy "
+        f"more than {percent(float(atlas['tolerance']))} below the "
+        f"{percent(float(atlas['baseline']))} fault-free baseline.",
+        "",
+        "### By layer",
+        "",
+    ]
+    if layers:
+        lines.append(format_markdown_table(["layer", *headers], _atlas_rows(layers, "layer")))
+        unhit = int(atlas.get("layers_unhit", 0))
+        if unhit:
+            lines.append("")
+            lines.append(f"({unhit} of {atlas['layers_total']} layers saw no faults.)")
+    else:
+        lines.append("(no fault sites journaled yet)")
+    lines.extend(["", "### By bit position", ""])
+    if bits:
+        lines.append(format_markdown_table(["bit", *headers], _atlas_rows(bits, "bit")))
+    else:
+        lines.append("(no fault sites journaled yet)")
+    return "\n".join(lines)
 
 
 def text_histogram(

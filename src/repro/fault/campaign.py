@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import math
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -31,6 +32,9 @@ from repro.fault.parallel import (
 )
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_seed
+
+if TYPE_CHECKING:
+    from repro.store import CampaignStore
 
 __all__ = [
     "CampaignAggregator",
@@ -243,6 +247,14 @@ class FaultCampaign:
         :class:`~repro.fault.parallel.TrialExecutor` is also accepted.
     start_method:
         Multiprocessing start method override (``fork``/``spawn``/…).
+    shard:
+        ``(i, n)`` restricts this campaign instance to trial indices
+        ``t % n == i`` — the deterministic partition that lets N hosts
+        run disjoint slices of one campaign (each into its own
+        :class:`~repro.store.CampaignStore`) and merge the stores into a
+        result bit-identical to the unsharded run.  Trial seeds depend
+        only on the trial index, never on the shard, so slices compose
+        exactly.
     """
 
     def __init__(
@@ -253,6 +265,7 @@ class FaultCampaign:
         seed: int = 0,
         workers: int | TrialExecutor | None = 0,
         start_method: str | None = None,
+        shard: tuple[int, int] | None = None,
     ) -> None:
         if trials < 1:
             raise ValueError(f"trials must be >= 1, got {trials}")
@@ -260,10 +273,31 @@ class FaultCampaign:
         self.evaluate = evaluate
         self.trials = int(trials)
         self.seed = int(seed)
+        self.shard = self._validated_shard(shard)
         self.executor = make_executor(workers, start_method=start_method)
         # One runner for the campaign's lifetime: process pools key their
         # worker state on it, so a sweep reuses one pool across rates.
         self._runner = TrialRunner(injector, evaluate)
+
+    @staticmethod
+    def _validated_shard(
+        shard: tuple[int, int] | None,
+    ) -> tuple[int, int] | None:
+        if shard is None:
+            return None
+        try:
+            index, count = shard
+            index, count = int(index), int(count)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"shard must be an (index, count) pair, got {shard!r}"
+            )
+        if count < 1 or not 0 <= index < count:
+            raise ConfigurationError(
+                f"shard index must satisfy 0 <= index < count, "
+                f"got ({index}, {count})"
+            )
+        return (index, count)
 
     @property
     def workers(self) -> int:
@@ -280,6 +314,17 @@ class FaultCampaign:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    def trial_plan(self) -> list[int]:
+        """Trial indices this campaign instance runs, in consumption order.
+
+        The full range without ``shard``; the shard's deterministic
+        slice (``t % n == i``) with it.
+        """
+        if self.shard is None:
+            return list(range(self.trials))
+        index, count = self.shard
+        return list(range(index, self.trials, count))
+
     def trial_seeds(self, fault_model: FaultModel, tag: str = "") -> list[int]:
         """Derive every trial's seed up front (the determinism contract).
 
@@ -292,24 +337,24 @@ class FaultCampaign:
             for trial in range(self.trials)
         ]
 
-    def _sample_works(self, fault_model: FaultModel, tag: str) -> list[TrialWork]:
-        """Sample every trial's fault sites in the parent process.
+    def _site_metadata(self, sites) -> list[tuple[int, int]]:
+        """Applied-site ``(layer, bit)`` pairs for the store journal.
 
-        Sampling is negligible next to evaluation, and doing it here
-        means workers only ever see concrete site arrays — fault models
-        (and their possibly unpicklable ``param_filter``s) never cross a
-        process boundary.
+        Injectors without the hook (custom fault spaces) journal trials
+        without site attribution — resume still works, the atlas just
+        has nothing to aggregate for them.
         """
-        return [
-            TrialWork(index=trial, sites=self.injector.sample(fault_model, rng=seed))
-            for trial, seed in enumerate(self.trial_seeds(fault_model, tag))
-        ]
+        metadata = getattr(self.injector, "site_metadata", None)
+        if metadata is None:
+            return []
+        return metadata(sites)
 
     def run(
         self,
         fault_model: FaultModel,
         tag: str = "",
         early_stop: EarlyStop | None = None,
+        store: "CampaignStore | None" = None,
     ) -> CampaignResult:
         """Run all trials for one fault configuration.
 
@@ -317,15 +362,103 @@ class FaultCampaign:
         campaign stops as soon as the accuracy CI converges; because the
         decision stream is order-deterministic, serial and parallel runs
         stop after the same trial with identical results.
+
+        With ``store``, every fresh outcome is journaled to disk as it
+        completes (both executors stream through this loop), and trials
+        the store already holds are *replayed* from the journal instead
+        of re-evaluated — an interrupted campaign resumed against its
+        store is bit-identical to an uninterrupted run, because trial
+        seeds are schedule-independent and journaled floats round-trip
+        exactly.  A configuration the store marks as EarlyStop-converged
+        is never re-opened: its journaled trials are replayed and the
+        same converged result returned without any evaluation.
         """
+        if early_stop is not None and self.shard is not None:
+            raise ConfigurationError(
+                "early_stop cannot be combined with shard: CI convergence "
+                "consumes the full in-order trial stream, which no single "
+                "shard sees"
+            )
+        plan = self.trial_plan()
+        key: str | None = None
+        journal: dict[int, TrialOutcome] = {}
+        if store is not None:
+            key = store.open_config(fault_model, tag=tag)
+            journal = store.journaled(key)
+            converged_at = store.converged_at(key)
+            if converged_at is not None:
+                plan = [trial for trial in plan if trial < converged_at]
+                absent = [trial for trial in plan if trial not in journal]
+                if absent:
+                    raise ConfigurationError(
+                        f"store marks config {key!r} converged after "
+                        f"{converged_at} trials but its journal is missing "
+                        f"{len(absent)} of them"
+                    )
+        missing = [trial for trial in plan if trial not in journal]
+        budget: int | None = None
+        if store is not None:
+            # Don't evaluate what the budget forbids journaling: cap the
+            # dispatched works so a pooled executor never burns cores on
+            # over-budget speculative trials, and raise *before* the
+            # first un-journalable evaluation instead of after it.
+            budget = store.remaining_budget()
+            if budget is not None:
+                missing = missing[:budget]
+        # Sample sites in the parent, and only for the trials that will
+        # actually execute: each trial's seed is independent, so a
+        # replayed-heavy resume (or a tight ``--limit`` budget) skips
+        # the fault-space-sized sampling of every other trial, and
+        # workers only ever see concrete site arrays — fault models
+        # (with their possibly unpicklable ``param_filter``s) never
+        # cross a process boundary.
+        seeds = self.trial_seeds(fault_model, tag)
+        works = {
+            trial: TrialWork(
+                index=trial,
+                sites=self.injector.sample(fault_model, rng=seeds[trial]),
+            )
+            for trial in missing
+        }
+        pending = [works[trial] for trial in missing]
         aggregator = CampaignAggregator()
-        outcomes = self.executor.run_trials(
-            self._runner, self._sample_works(fault_model, tag)
+        outcomes = (
+            self.executor.run_trials(self._runner, pending)
+            if pending
+            else iter(())
         )
+        stopped_early = False
         try:
-            for outcome in outcomes:
+            fresh = 0
+            for position, trial in enumerate(plan):
+                outcome = journal.get(trial)
+                if outcome is None:
+                    if budget is not None and fresh >= budget:
+                        from repro.store import CampaignInterrupted
+
+                        raise CampaignInterrupted(
+                            f"store reached its new-trial budget before "
+                            f"trial {trial}; resume to continue"
+                        )
+                    outcome = next(outcomes)
+                    fresh += 1
+                    if outcome.index != trial:
+                        raise ConfigurationError(
+                            f"executor yielded trial {outcome.index} where "
+                            f"{trial} was scheduled"
+                        )
+                    if store is not None and key is not None:
+                        store.record(
+                            key, outcome, self._site_metadata(works[trial].sites)
+                        )
+                if outcome.index != position:
+                    # Sharded plans skip indices; the aggregator consumes
+                    # a dense stream, so renumber to the slice position.
+                    outcome = replace(outcome, index=position)
                 aggregator.add(outcome)
                 if early_stop is not None and aggregator.converged(early_stop):
+                    if store is not None and key is not None:
+                        store.mark_converged(key, aggregator.trials)
                     _logger.info(
                         "campaign %s converged after %d/%d trials "
                         "(CI half-width <= %g)",
@@ -334,7 +467,17 @@ class FaultCampaign:
                         self.trials,
                         early_stop.ci_halfwidth,
                     )
+                    stopped_early = True
                     break
+            if not stopped_early and pending:
+                # Step the stream past its last yield so the executor
+                # observes normal completion (a pooled executor would
+                # otherwise terminate its still-warm worker pool).
+                sentinel = object()
+                if next(outcomes, sentinel) is not sentinel:
+                    raise ConfigurationError(
+                        "executor yielded more outcomes than scheduled works"
+                    )
         finally:
             close = getattr(outcomes, "close", None)
             if close is not None:
@@ -350,12 +493,24 @@ class FaultCampaign:
         allowed_bits: tuple[int, ...] | None = None,
         param_filter: Callable[[str], bool] | None = None,
         early_stop: EarlyStop | None = None,
+        store: "CampaignStore | None" = None,
     ) -> SweepResult:
         """Run a campaign at each fault rate (a full Fig. 5/6 panel)."""
         sweep = SweepResult(rates=tuple(rates))
-        for rate in rates:
-            fault_model = BitFlipFaultModel.at_rate(
+        fault_models = [
+            BitFlipFaultModel.at_rate(
                 rate, allowed_bits=allowed_bits, param_filter=param_filter
             )
-            sweep.results[rate] = self.run(fault_model, tag=tag, early_stop=early_stop)
+            for rate in rates
+        ]
+        if store is not None:
+            # Register the whole sweep in the manifest before any trial
+            # runs: a campaign killed between rates then shows the later
+            # configurations as missing work, not as a complete store.
+            for fault_model in fault_models:
+                store.open_config(fault_model, tag=tag)
+        for rate, fault_model in zip(rates, fault_models):
+            sweep.results[rate] = self.run(
+                fault_model, tag=tag, early_stop=early_stop, store=store
+            )
         return sweep

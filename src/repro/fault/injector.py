@@ -16,6 +16,7 @@ Typical use::
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Callable
 from contextlib import contextmanager
 from typing import Iterator
@@ -122,6 +123,37 @@ class FaultInjector:
     @property
     def parameter_names(self) -> list[str]:
         return list(self._names)
+
+    def fingerprint(self) -> str:
+        """Stable digest of the clean fault space (campaign-store identity).
+
+        Hashes the parameter names, word format, and every clean encoded
+        word, so two injectors fingerprint equal iff faults would land in
+        bit-identical memory — the guard that keeps a resumed campaign
+        store from mixing trials of different models or checkpoints.
+        """
+        digest = hashlib.sha256()
+        digest.update(str(self.fmt).encode("utf-8"))
+        for name, words in zip(self._names, self._words):
+            digest.update(name.encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(np.ascontiguousarray(words).tobytes())
+            digest.update(b"\0")
+        return f"sha256:{digest.hexdigest()}"
+
+    def site_metadata(self, sites: FaultSites) -> list[tuple[int, int]]:
+        """``(parameter_index, bit_position)`` per site, in site order.
+
+        The per-trial applied-site record campaign stores journal for
+        the vulnerability atlas: parameter indices refer to
+        :attr:`parameter_names`, bit positions to the word format's bit
+        numbering (0 = fraction LSB).
+        """
+        positions, bits = self._validated_sites(sites)
+        if positions.size == 0:
+            return []
+        owner = np.searchsorted(self._offsets, positions, side="right") - 1
+        return [(int(o), int(b)) for o, b in zip(owner, bits)]
 
     def count_words(self, param_filter: "Callable[[str], bool] | None" = None) -> int:
         """Number of fault-space words, optionally under a name filter."""

@@ -34,8 +34,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from collections.abc import Iterable, Iterator
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ConfigurationError
@@ -78,11 +79,19 @@ class TrialWork:
 
 @dataclass(frozen=True)
 class TrialOutcome:
-    """Result of one trial: accuracy under fault and the realised flips."""
+    """Result of one trial: accuracy under fault and the realised flips.
+
+    ``seconds`` is the trial's wall-clock (inject + evaluate + restore),
+    excluded from equality — campaign results are identified by their
+    accuracy/flip streams, never by timing, so replayed and re-executed
+    outcomes compare equal.  Stores journal it for throughput/ETA
+    reporting (``repro campaign status``).
+    """
 
     index: int
     accuracy: float
     flips: int
+    seconds: float = field(default=0.0, compare=False)
 
 
 class TrialRunner:
@@ -105,9 +114,15 @@ class TrialRunner:
         self.evaluate = evaluate
 
     def __call__(self, work: TrialWork) -> TrialOutcome:
+        started = time.perf_counter()
         with self.injector.inject(work.sites) as count:
             accuracy = float(self.evaluate())
-        return TrialOutcome(index=work.index, accuracy=accuracy, flips=int(count))
+        return TrialOutcome(
+            index=work.index,
+            accuracy=accuracy,
+            flips=int(count),
+            seconds=time.perf_counter() - started,
+        )
 
 
 class TrialExecutor:

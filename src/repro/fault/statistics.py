@@ -25,6 +25,7 @@ __all__ = [
     "bit_position_vulnerability",
     "classify_outcomes",
     "critical_bit_threshold",
+    "is_sdc",
     "mean_confidence_interval",
     "parameter_group_vulnerability",
     "sdc_probability",
@@ -37,13 +38,25 @@ def accuracy_drop(baseline: float, result: CampaignResult) -> float:
     return float(baseline - result.mean)
 
 
-def sdc_probability(result: CampaignResult, baseline: float, tolerance: float = 0.01) -> float:
-    """Fraction of trials counting as silent data corruption.
+def is_sdc(
+    accuracies: float | Sequence[float] | np.ndarray,
+    baseline: float,
+    tolerance: float = 0.01,
+) -> np.ndarray:
+    """Elementwise silent-data-corruption predicate.
 
     A trial is an SDC when accuracy falls more than ``tolerance`` below
-    the fault-free baseline (the usual resilience-literature definition).
+    the fault-free baseline (the usual resilience-literature
+    definition).  The single definition shared by campaign summaries and
+    the store's vulnerability atlas, so "SDC rate" means the same thing
+    in every report.
     """
-    return float(np.mean(result.accuracies < baseline - tolerance))
+    return np.asarray(accuracies, dtype=np.float64) < baseline - tolerance
+
+
+def sdc_probability(result: CampaignResult, baseline: float, tolerance: float = 0.01) -> float:
+    """Fraction of trials counting as silent data corruption."""
+    return float(np.mean(is_sdc(result.accuracies, baseline, tolerance)))
 
 
 def bit_position_vulnerability(

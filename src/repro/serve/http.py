@@ -147,29 +147,38 @@ class ServeApp:
             return lane
 
     def preload(self) -> list[str]:
-        """Warm registered models before serving the first request.
+        """Warm every registered model before serving the first request.
 
         Loads checkpoints, compiles their runtime plans (when the
         registry runs with ``runtime=True``), and builds serving lanes
         — the work that otherwise happens inside the first unlucky
-        request.  Models are warmed in registration order up to the
-        registry's capacity (warming more would only evict the
-        earliest again).  Returns the warmed names; they are also
-        reported by ``GET /healthz`` as ``preloaded``.
+        request.  Fleets larger than the registry capacity are warmed in
+        a capacity-aware rotation rather than silently skipped: every
+        checkpoint is loaded, compiled and laned once (so a missing or
+        corrupt file fails at startup, not mid-traffic, and its manifest
+        metadata is cached for ``GET /models``), with LRU eviction
+        retiring the earliest entries as the rotation proceeds — the
+        last ``capacity`` models stay resident.  Returns all warmed
+        names; ``GET /healthz`` reports them as ``preloaded`` and the
+        since-evicted subset as ``preload_rotated``.
         """
         warmed: list[str] = []
         for name in self.registry.names():
-            if len(warmed) >= self.registry.capacity:
-                _logger.warning(
-                    "preload stopped at registry capacity (%d); not warmed: %s",
-                    self.registry.capacity,
-                    ", ".join(n for n in self.registry.names() if n not in warmed),
-                )
-                break
             entry = self.registry.get(name)
             self._lane(entry)
             warmed.append(name)
             _logger.info("preloaded %s from %s", name, entry.path)
+        rotated = [
+            name for name in warmed if name not in self.registry.resident_names()
+        ]
+        if rotated:
+            _logger.info(
+                "preload rotated %d model(s) beyond registry capacity "
+                "(%d): %s — warmed and validated, no longer resident",
+                len(rotated),
+                self.registry.capacity,
+                ", ".join(rotated),
+            )
         self._preloaded = warmed
         return list(warmed)
 
@@ -253,12 +262,19 @@ class ServeApp:
         }
 
     def health(self) -> dict[str, object]:
+        resident = set(self.registry.resident_names())
         return {
             "status": "ok",
             "uptime_seconds": round(time.monotonic() - self.started_at, 3),
             "models": self.registry.names(),
             "resident": self.registry.resident_names(),
             "preloaded": list(self._preloaded),
+            # Warmed at startup but since rotated out by LRU pressure
+            # (fleet larger than capacity): validated, reloadable on
+            # first request, just not resident right now.
+            "preload_rotated": [
+                name for name in self._preloaded if name not in resident
+            ],
             "chaos_ber": self.config.chaos.ber if self.config.chaos else None,
             "runtime": self.registry.runtime,
         }

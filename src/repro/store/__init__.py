@@ -1,0 +1,26 @@
+"""Durable, resumable, shardable campaign storage (+ vulnerability atlas).
+
+``CampaignStore`` journals every fault-injection trial to disk as it
+completes, so campaigns survive crashes, resume bit-identically, split
+across hosts with ``shard=(i, n)``, and merge back into one result.
+``build_atlas`` aggregates the journaled fault sites into per-layer and
+per-bit sensitivity maps.  See :mod:`repro.store.store` for the format.
+"""
+
+from repro.store.atlas import build_atlas
+from repro.store.store import (
+    CampaignInterrupted,
+    CampaignStore,
+    StoredFaultModel,
+    StoreError,
+    TrialRecord,
+)
+
+__all__ = [
+    "CampaignInterrupted",
+    "CampaignStore",
+    "StoreError",
+    "StoredFaultModel",
+    "TrialRecord",
+    "build_atlas",
+]

@@ -1,0 +1,157 @@
+"""The vulnerability atlas: per-layer and per-bit sensitivity maps.
+
+Every journaled trial records the concrete fault sites it applied as
+``(layer, bit)`` pairs (see :class:`repro.store.TrialRecord`).  The
+atlas aggregates those across a whole store: for each parameter tensor
+and for each bit position, how many trials hit it, how the accuracy of
+those trials distributed, and how often they turned into silent data
+corruption — the FT-ClipAct-style resilience breakdown that motivates
+where protection effort should go (high bit positions and wide early
+layers dominate the damage).
+
+Attribution is at trial granularity: a trial that flipped bits in two
+layers contributes its outcome to both rows (single-trial outcomes
+cannot be decomposed further).  Trials whose Binomial draw produced no
+flips hit nothing and appear only in the overall totals.
+
+The output is a JSON-ready dict; :func:`repro.eval.reporting.format_atlas`
+renders it as markdown.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fault.statistics import is_sdc, wilson_interval
+from repro.store.store import CampaignStore
+
+__all__ = ["build_atlas"]
+
+
+def _rows(
+    outcomes: dict[object, list[float]],
+    flips: dict[object, int],
+    baseline: float,
+    tolerance: float,
+    confidence: float,
+) -> list[dict[str, object]]:
+    rows = []
+    for group in outcomes:
+        accuracies = np.asarray(outcomes[group], dtype=np.float64)
+        sdc = int(np.count_nonzero(is_sdc(accuracies, baseline, tolerance)))
+        low, high = wilson_interval(sdc, accuracies.size, confidence)
+        rows.append(
+            {
+                "trials": int(accuracies.size),
+                "flips": int(flips[group]),
+                "mean_accuracy": float(accuracies.mean()),
+                "min_accuracy": float(accuracies.min()),
+                "sdc": sdc,
+                "sdc_rate": sdc / accuracies.size,
+                "sdc_ci": [low, high],
+            }
+        )
+    return rows
+
+
+def build_atlas(
+    store: CampaignStore,
+    baseline: float | None = None,
+    tolerance: float = 0.01,
+    confidence: float = 0.95,
+) -> dict[str, object]:
+    """Aggregate a store's journal into the layer/bit vulnerability atlas.
+
+    Parameters
+    ----------
+    store:
+        The campaign store to aggregate (all configs, all journaled
+        trials — completeness is not required, the atlas reflects
+        whatever has been journaled so far).
+    baseline:
+        Fault-free accuracy that defines silent data corruption;
+        defaults to the ``clean_accuracy`` recorded in the store's meta
+        (``repro campaign run`` writes it).
+    tolerance:
+        A trial is an SDC when its accuracy drops more than this below
+        ``baseline`` (:func:`repro.fault.statistics.is_sdc`).
+    confidence:
+        Confidence level of the per-row Wilson SDC-rate intervals.
+    """
+    if baseline is None:
+        recorded = store.meta.get("clean_accuracy")
+        if recorded is None:
+            raise ConfigurationError(
+                "no baseline: pass baseline= or record clean_accuracy "
+                "in the store meta"
+            )
+        baseline = float(recorded)
+    if not 0.0 <= baseline <= 1.0:
+        raise ConfigurationError(f"baseline must be in [0, 1], got {baseline}")
+
+    layers = store.layers
+    layer_outcomes: dict[int, list[float]] = defaultdict(list)
+    layer_flips: dict[int, int] = defaultdict(int)
+    bit_outcomes: dict[int, list[float]] = defaultdict(list)
+    bit_flips: dict[int, int] = defaultdict(int)
+    trials = 0
+    trials_with_faults = 0
+    total_flips = 0
+    for key in store.config_keys():
+        for record in store.records(key).values():
+            trials += 1
+            total_flips += len(record.sites)
+            if not record.sites:
+                continue
+            trials_with_faults += 1
+            hit_layers = set()
+            hit_bits = set()
+            for layer, bit in record.sites:
+                layer_flips[layer] += 1
+                bit_flips[bit] += 1
+                hit_layers.add(layer)
+                hit_bits.add(bit)
+            for layer in hit_layers:
+                layer_outcomes[layer].append(record.accuracy)
+            for bit in hit_bits:
+                bit_outcomes[bit].append(record.accuracy)
+
+    layer_order = sorted(layer_outcomes)
+    bit_order = sorted(bit_outcomes)
+    layer_rows = _rows(
+        {layer: layer_outcomes[layer] for layer in layer_order},
+        layer_flips,
+        baseline,
+        tolerance,
+        confidence,
+    )
+    bit_rows = _rows(
+        {bit: bit_outcomes[bit] for bit in bit_order},
+        bit_flips,
+        baseline,
+        tolerance,
+        confidence,
+    )
+    for layer, row in zip(layer_order, layer_rows):
+        row["layer"] = (
+            layers[layer] if 0 <= layer < len(layers) else f"layer[{layer}]"
+        )
+    for bit, row in zip(bit_order, bit_rows):
+        row["bit"] = int(bit)
+    return {
+        "baseline": float(baseline),
+        "tolerance": float(tolerance),
+        "confidence": float(confidence),
+        "trials": trials,
+        "trials_with_faults": trials_with_faults,
+        "flips": total_flips,
+        "layers_total": len(layers),
+        "layers_unhit": len(layers) - len(layer_order),
+        "layers": [
+            {"layer": row.pop("layer"), **row} for row in layer_rows
+        ],
+        "bits": [{"bit": row.pop("bit"), **row} for row in bit_rows],
+    }

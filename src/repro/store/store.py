@@ -1,0 +1,701 @@
+"""Durable, resumable, shardable campaign storage.
+
+A :class:`CampaignStore` is a directory holding one campaign's entire
+fault-injection record:
+
+- ``manifest.json`` — the campaign's *identity* (seed, trial count,
+  shard slice, a fingerprint of the injector's fault space, the
+  parameter-name table) plus one entry per fault configuration and
+  free-form run metadata.  Rewritten atomically (temp file + rename) on
+  every update.
+- ``trials.jsonl`` — the append-only trial journal: one JSON line per
+  completed trial with its exact accuracy, realised flip count, and the
+  applied fault sites as ``(layer, bit)`` pairs.  Each line is flushed
+  as it is written, so a crash at trial 4,900/5,000 loses at most the
+  in-flight trial; a torn trailing line (the crash landed mid-write) is
+  detected, ignored on load, and truncated before the next append.
+
+Because campaign trial seeds are schedule-independent (see
+:mod:`repro.fault.parallel`), a store makes campaigns:
+
+- **durable** — every completed trial survives the process;
+- **resumable** — :meth:`repro.fault.FaultCampaign.run` with ``store=``
+  replays journaled trials and evaluates only the missing ones, so an
+  interrupted-then-resumed campaign is bit-identical to an
+  uninterrupted run;
+- **shardable** — campaigns created with ``shard=(i, n)`` journal
+  disjoint trial slices into separate stores that :meth:`merge` folds
+  back into one, equal to the unsharded run.
+
+Floats round-trip exactly through JSON (``repr`` shortest-round-trip),
+so replayed accuracies are the bit-identical float64s the evaluator
+produced.  One store has one writer; shard hosts write their own stores.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReproError
+from repro.fault.parallel import TrialOutcome
+from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:
+    from repro.fault.campaign import CampaignResult, FaultCampaign
+
+__all__ = [
+    "CampaignInterrupted",
+    "CampaignStore",
+    "StoreError",
+    "StoredFaultModel",
+    "TrialRecord",
+]
+
+_logger = get_logger("store")
+
+_MANIFEST = "manifest.json"
+_JOURNAL = "trials.jsonl"
+_VERSION = 1
+
+
+class StoreError(ReproError):
+    """A campaign store is missing, corrupt, or incompatible."""
+
+
+class CampaignInterrupted(ReproError):
+    """The store's new-trial budget ran out (``max_new_records``).
+
+    Raised *before* the over-budget trial is journaled, so the store is
+    left in a clean resumable state: re-running the same campaign with
+    the same store picks up exactly where this run stopped.
+    """
+
+
+@dataclass(frozen=True)
+class StoredFaultModel:
+    """Stand-in fault model rebuilt from a journal (``describe`` only).
+
+    Stores persist a fault model's deterministic ``describe()`` string,
+    not the object (``param_filter`` callables don't serialise); results
+    rebuilt from a store carry this shim in the ``fault_model`` slot.
+    """
+
+    spec: str
+
+    def describe(self) -> str:
+        return self.spec
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One journaled trial: the outcome plus its applied fault sites.
+
+    ``sites`` holds ``(layer_index, bit_position)`` pairs — layer
+    indices point into the manifest's parameter-name table — recorded
+    from the concrete sites each trial actually flipped; they are the
+    raw material of the vulnerability atlas (:mod:`repro.store.atlas`).
+
+    ``seconds`` is wall-clock, not identity (mirrors
+    :class:`~repro.fault.parallel.TrialOutcome`): two hosts that
+    deterministically re-ran the same trial journal equal records, so
+    ``merge`` deduplicates them instead of reporting a bogus conflict.
+    """
+
+    index: int
+    accuracy: float
+    flips: int
+    sites: tuple[tuple[int, int], ...]
+    seconds: float = field(default=0.0, compare=False)
+
+    def outcome(self) -> TrialOutcome:
+        return TrialOutcome(
+            index=self.index,
+            accuracy=self.accuracy,
+            flips=self.flips,
+            seconds=self.seconds,
+        )
+
+
+def _config_key(tag: str, spec: str) -> str:
+    return f"{tag}::{spec}"
+
+
+def _identity_hash(identity: Mapping[str, object]) -> str:
+    """Order-independent digest of a campaign identity (the config hash)."""
+    text = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _mismatched_fields(
+    ours: Mapping[str, object], theirs: Mapping[str, object]
+) -> list[str]:
+    """Identity fields whose values differ (for diagnostics)."""
+    return [
+        key
+        for key in sorted(set(ours) | set(theirs))
+        if ours.get(key) != theirs.get(key)
+    ]
+
+
+class CampaignStore:
+    """One campaign's on-disk journal; see the module docstring.
+
+    Construct through :meth:`create`, :meth:`open`, or (the usual entry
+    point) :meth:`for_campaign`, which creates a fresh store or reopens
+    an existing one and verifies it belongs to the given campaign.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        manifest: dict[str, object],
+        records: dict[str, dict[int, TrialRecord]],
+        journal_end: int,
+    ) -> None:
+        self.path = path
+        self._manifest = manifest
+        self._records = records
+        self._journal_end = journal_end
+        self._writer = None
+        self.appended = 0
+        #: Journal at most this many new trials, then raise
+        #: :class:`CampaignInterrupted` (None = unlimited).  Powers
+        #: time-boxed incremental runs (``repro campaign run --limit``).
+        self.max_new_records: int | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def campaign_identity(campaign: "FaultCampaign") -> dict[str, object]:
+        """The identity block a campaign's store must match to resume."""
+        injector = campaign.injector
+        fingerprint = getattr(injector, "fingerprint", None)
+        return {
+            "seed": int(campaign.seed),
+            "trials": int(campaign.trials),
+            "shard": list(campaign.shard) if campaign.shard is not None else None,
+            "fingerprint": fingerprint() if callable(fingerprint) else "unknown",
+            "layers": list(getattr(injector, "parameter_names", [])),
+        }
+
+    @classmethod
+    def exists(cls, path: str | os.PathLike) -> bool:
+        """Whether ``path`` already holds a campaign store.
+
+        The single place that knows the on-disk layout — callers decide
+        create-vs-resume through this instead of probing file names.
+        """
+        return os.path.exists(os.path.join(os.fspath(path), _MANIFEST))
+
+    @classmethod
+    def create(
+        cls,
+        path: str | os.PathLike,
+        identity: Mapping[str, object],
+        meta: Mapping[str, object] | None = None,
+    ) -> "CampaignStore":
+        """Initialise a fresh store directory (fails if one exists)."""
+        path = os.fspath(path)
+        if cls.exists(path):
+            raise StoreError(f"{path!r} already holds a campaign store")
+        os.makedirs(path, exist_ok=True)
+        identity = dict(identity)
+        manifest: dict[str, object] = {
+            "version": _VERSION,
+            "identity": identity,
+            "config_hash": _identity_hash(identity),
+            "configs": [],
+            "meta": dict(meta or {}),
+        }
+        store = cls(path, manifest, {}, journal_end=0)
+        # Touch the journal so a crash before the first trial still
+        # leaves a well-formed (empty) store behind.
+        with open(store._journal_path, "ab"):
+            pass
+        store._write_manifest()
+        return store
+
+    @classmethod
+    def open(cls, path: str | os.PathLike) -> "CampaignStore":
+        """Load an existing store, tolerating a torn trailing record."""
+        path = os.fspath(path)
+        manifest_path = os.path.join(path, _MANIFEST)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            raise StoreError(f"{path!r} is not a campaign store (no {_MANIFEST})")
+        except json.JSONDecodeError as error:
+            raise StoreError(f"{manifest_path!r} is corrupt: {error}")
+        version = manifest.get("version")
+        if version != _VERSION:
+            raise StoreError(
+                f"{path!r}: unsupported store version {version!r} "
+                f"(this build reads version {_VERSION})"
+            )
+        expected = _identity_hash(manifest.get("identity", {}))
+        if manifest.get("config_hash") != expected:
+            raise StoreError(
+                f"{path!r}: manifest config hash does not match its "
+                "identity block (the manifest was edited or corrupted)"
+            )
+        store = cls(path, manifest, {}, journal_end=0)
+        store._load_journal()
+        return store
+
+    @classmethod
+    def for_campaign(
+        cls,
+        path: str | os.PathLike,
+        campaign: "FaultCampaign",
+        meta: Mapping[str, object] | None = None,
+    ) -> "CampaignStore":
+        """Create the campaign's store, or reopen and verify an existing one.
+
+        An existing store must have been written by a campaign with the
+        same seed, trial count, shard slice, and fault-space fingerprint
+        — resuming against the wrong model or settings is an error, not
+        a silently wrong merge of incompatible trials.  ``meta`` is only
+        applied on creation; an existing store keeps its own.
+        """
+        if cls.exists(path):
+            return cls.open(path).attach(campaign)
+        return cls.create(path, cls.campaign_identity(campaign), meta=meta)
+
+    def attach(self, campaign: "FaultCampaign") -> "CampaignStore":
+        """Verify this (already-open) store belongs to ``campaign``.
+
+        Returns ``self``, so callers that peeked at the store's meta can
+        keep using the same instance instead of re-parsing the journal
+        through a second :meth:`open`.
+        """
+        identity = self.campaign_identity(campaign)
+        theirs = self.identity
+        if theirs != identity:
+            raise StoreError(
+                f"store {self.path!r} belongs to a different campaign "
+                f"(mismatched: {', '.join(_mismatched_fields(identity, theirs))})"
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def _manifest_path(self) -> str:
+        return os.path.join(self.path, _MANIFEST)
+
+    @property
+    def _journal_path(self) -> str:
+        return os.path.join(self.path, _JOURNAL)
+
+    @property
+    def identity(self) -> dict[str, object]:
+        return dict(self._manifest["identity"])
+
+    @property
+    def meta(self) -> dict[str, object]:
+        return dict(self._manifest["meta"])
+
+    @property
+    def config_hash(self) -> str:
+        return str(self._manifest["config_hash"])
+
+    @property
+    def seed(self) -> int:
+        return int(self._manifest["identity"]["seed"])
+
+    @property
+    def trials(self) -> int:
+        return int(self._manifest["identity"]["trials"])
+
+    @property
+    def shard(self) -> tuple[int, int] | None:
+        shard = self._manifest["identity"].get("shard")
+        return None if shard is None else (int(shard[0]), int(shard[1]))
+
+    @property
+    def layers(self) -> list[str]:
+        return list(self._manifest["identity"].get("layers", []))
+
+    def config_keys(self) -> list[str]:
+        """Config keys in first-run order (the sweep's rate order)."""
+        return [str(entry["key"]) for entry in self._manifest["configs"]]
+
+    def config_entry(self, key: str) -> dict[str, object]:
+        for entry in self._manifest["configs"]:
+            if entry["key"] == key:
+                return entry
+        raise StoreError(f"store has no config {key!r}")
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _write_manifest(self) -> None:
+        """Atomic rewrite: temp file in the same directory, then rename."""
+        tmp = self._manifest_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self._manifest, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._manifest_path)
+
+    def _load_journal(self) -> None:
+        try:
+            with open(self._journal_path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            self._journal_end = 0
+            return
+        known = set(self.config_keys())
+        offset = 0
+        lines = data.split(b"\n")
+        body, tail = lines[:-1], lines[-1]
+        for number, line in enumerate(body, start=1):
+            if not line:
+                offset += 1
+                continue
+            try:
+                raw = json.loads(line)
+                record = TrialRecord(
+                    index=int(raw["t"]),
+                    accuracy=float(raw["a"]),
+                    flips=int(raw["f"]),
+                    sites=tuple(
+                        (int(layer), int(bit)) for layer, bit in raw["s"]
+                    ),
+                    seconds=float(raw.get("sec", 0.0)),
+                )
+                key = str(raw["c"])
+            except (ValueError, KeyError, TypeError) as error:
+                raise StoreError(
+                    f"{self._journal_path!r}: corrupt record on line "
+                    f"{number}: {error}"
+                )
+            if key not in known:
+                raise StoreError(
+                    f"{self._journal_path!r}: line {number} references "
+                    f"config {key!r} absent from the manifest"
+                )
+            per_config = self._records.setdefault(key, {})
+            if record.index in per_config:
+                raise StoreError(
+                    f"{self._journal_path!r}: duplicate record for "
+                    f"config {key!r} trial {record.index}"
+                )
+            per_config[record.index] = record
+            offset += len(line) + 1
+        if tail:
+            _logger.warning(
+                "%s: ignoring torn trailing record (%d bytes) — the "
+                "previous run crashed mid-write; it will be truncated "
+                "on the next append",
+                self._journal_path,
+                len(tail),
+            )
+        self._journal_end = offset
+
+    def _append(self, key: str, record: TrialRecord) -> None:
+        if self._writer is None:
+            # Reclaim any torn tail before the first append of this
+            # session, so the journal stays a clean sequence of lines.
+            self._writer = open(self._journal_path, "r+b")
+            self._writer.seek(self._journal_end)
+            self._writer.truncate()
+        line = json.dumps(
+            {
+                "c": key,
+                "t": record.index,
+                "a": record.accuracy,
+                "f": record.flips,
+                "s": [[layer, bit] for layer, bit in record.sites],
+                "sec": record.seconds,
+            },
+            separators=(",", ":"),
+        )
+        payload = line.encode("utf-8") + b"\n"
+        self._writer.write(payload)
+        self._writer.flush()
+        self._journal_end += len(payload)
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The campaign-facing journal surface
+    # ------------------------------------------------------------------
+    def open_config(self, fault_model, tag: str = "") -> str:
+        """Register one fault configuration (idempotent); returns its key."""
+        spec = fault_model.describe()
+        key = _config_key(tag, spec)
+        for entry in self._manifest["configs"]:
+            if entry["key"] == key:
+                return key
+        self._manifest["configs"].append(
+            {"key": key, "tag": tag, "spec": spec, "converged_at": None}
+        )
+        self._write_manifest()
+        return key
+
+    def journaled(self, key: str) -> dict[int, TrialOutcome]:
+        """Already-recorded outcomes of one config, by trial index."""
+        return {
+            index: record.outcome()
+            for index, record in self._records.get(key, {}).items()
+        }
+
+    def records(self, key: str) -> dict[int, TrialRecord]:
+        """Full journal records (with sites) of one config.
+
+        Always in trial-index order, regardless of journal append order
+        — a merged shard store and a straight run therefore feed
+        downstream aggregation (the atlas's order-sensitive float
+        reductions included) identical streams.
+        """
+        return dict(sorted(self._records.get(key, {}).items()))
+
+    def converged_at(self, key: str) -> int | None:
+        value = self.config_entry(key).get("converged_at")
+        return None if value is None else int(value)
+
+    def mark_converged(self, key: str, trials: int) -> None:
+        """Record an ``EarlyStop`` decision: the config is done after
+        ``trials`` trials, and resumes must not re-open it."""
+        entry = self.config_entry(key)
+        if entry.get("converged_at") is not None:
+            return
+        entry["converged_at"] = int(trials)
+        self._write_manifest()
+
+    def remaining_budget(self) -> int | None:
+        """New records this session may still journal (None = no limit).
+
+        Campaigns consult this before dispatching work, so a pooled
+        executor never evaluates trials the budget forbids journaling.
+        """
+        if self.max_new_records is None:
+            return None
+        return max(0, self.max_new_records - self.appended)
+
+    def record(
+        self,
+        key: str,
+        outcome: TrialOutcome,
+        sites: Iterable[tuple[int, int]],
+    ) -> None:
+        """Journal one fresh trial outcome (budget-checked, flushed)."""
+        if self.max_new_records is not None and self.appended >= self.max_new_records:
+            raise CampaignInterrupted(
+                f"store {self.path!r} reached its new-trial budget "
+                f"({self.max_new_records}); resume to continue"
+            )
+        self.config_entry(key)  # raises on unknown config
+        per_config = self._records.setdefault(key, {})
+        if outcome.index in per_config:
+            raise ConfigurationError(
+                f"trial {outcome.index} of config {key!r} is already journaled"
+            )
+        record = TrialRecord(
+            index=int(outcome.index),
+            accuracy=float(outcome.accuracy),
+            flips=int(outcome.flips),
+            sites=tuple((int(layer), int(bit)) for layer, bit in sites),
+            seconds=float(outcome.seconds),
+        )
+        self._append(key, record)
+        per_config[record.index] = record
+        self.appended += 1
+
+    # ------------------------------------------------------------------
+    # Completeness and results
+    # ------------------------------------------------------------------
+    def expected_indices(self, key: str) -> list[int]:
+        """The trial indices this store is responsible for journaling."""
+        converged = self.converged_at(key)
+        if converged is not None:
+            return list(range(converged))
+        if self.shard is not None:
+            index, count = self.shard
+            return list(range(index, self.trials, count))
+        return list(range(self.trials))
+
+    def missing_indices(self, key: str) -> list[int]:
+        have = self._records.get(key, {})
+        return [t for t in self.expected_indices(key) if t not in have]
+
+    def complete(self, key: str) -> bool:
+        return not self.missing_indices(key)
+
+    def result(self, key: str) -> "CampaignResult":
+        """Rebuild one config's :class:`CampaignResult` from the journal.
+
+        Exact by construction: accuracies/flips are the journaled
+        float64/int64 values in trial-index order.
+        """
+        from repro.fault.campaign import CampaignResult
+
+        missing = self.missing_indices(key)
+        if missing:
+            raise StoreError(
+                f"config {key!r} is incomplete: {len(missing)} of "
+                f"{len(self.expected_indices(key))} trials missing "
+                "(resume the campaign, or merge the other shards, first)"
+            )
+        records = self._records.get(key, {})
+        order = self.expected_indices(key)
+        return CampaignResult(
+            StoredFaultModel(str(self.config_entry(key)["spec"])),
+            np.asarray([records[t].accuracy for t in order], dtype=np.float64),
+            np.asarray([records[t].flips for t in order], dtype=np.int64),
+        )
+
+    def status(self) -> dict[str, object]:
+        """JSON-ready progress summary (``repro campaign status``)."""
+        configs = []
+        total_done = 0
+        total_expected = 0
+        seconds = 0.0
+        for entry in self._manifest["configs"]:
+            key = str(entry["key"])
+            records = self._records.get(key, {})
+            expected = self.expected_indices(key)
+            done = sum(1 for t in expected if t in records)
+            total_done += done
+            total_expected += len(expected)
+            seconds += sum(r.seconds for r in records.values())
+            configs.append(
+                {
+                    "key": key,
+                    "tag": str(entry["tag"]),
+                    "spec": str(entry["spec"]),
+                    "journaled": done,
+                    "expected": len(expected),
+                    "converged_at": entry.get("converged_at"),
+                    "mean_accuracy": (
+                        float(
+                            np.mean(
+                                [records[t].accuracy for t in expected if t in records]
+                            )
+                        )
+                        if done
+                        else None
+                    ),
+                }
+            )
+        journaled_total = sum(len(r) for r in self._records.values())
+        return {
+            "path": self.path,
+            "seed": self.seed,
+            "trials": self.trials,
+            "shard": list(self.shard) if self.shard else None,
+            "configs": configs,
+            "journaled": total_done,
+            "expected": total_expected,
+            "complete": total_done >= total_expected,
+            "trial_seconds": seconds,
+            "mean_trial_seconds": (
+                seconds / journaled_total if journaled_total else None
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Merging shard stores
+    # ------------------------------------------------------------------
+    @classmethod
+    def merge(
+        cls,
+        path: str | os.PathLike,
+        sources: Sequence["CampaignStore | str | os.PathLike"],
+    ) -> "CampaignStore":
+        """Fold shard stores into one unsharded store at ``path``.
+
+        Sources must share seed, trial count, fingerprint, and layer
+        table (their shard slices may — should — differ).  Records are
+        unioned; a (config, trial) pair journaled by two sources must
+        agree exactly, so double-running a slice is caught rather than
+        silently double-counted.
+        """
+        if not sources:
+            raise ConfigurationError("merge needs at least one source store")
+        stores = [
+            source if isinstance(source, cls) else cls.open(source)
+            for source in sources
+        ]
+        base = stores[0].identity
+        base.pop("shard")
+        for store in stores[1:]:
+            theirs = store.identity
+            theirs.pop("shard")
+            if theirs != base:
+                raise StoreError(
+                    f"cannot merge {store.path!r}: campaign identity "
+                    f"differs from {stores[0].path!r} "
+                    f"(mismatched: {', '.join(_mismatched_fields(base, theirs))})"
+                )
+        identity = {**base, "shard": None}
+        merged = cls.create(path, identity, meta=stores[0].meta)
+        for store in stores:
+            for entry in store._manifest["configs"]:
+                key = str(entry["key"])
+                try:
+                    existing = merged.config_entry(key)
+                except StoreError:
+                    merged._manifest["configs"].append(
+                        {
+                            "key": key,
+                            "tag": entry["tag"],
+                            "spec": entry["spec"],
+                            "converged_at": entry.get("converged_at"),
+                        }
+                    )
+                    continue
+                theirs = entry.get("converged_at")
+                if theirs is not None:
+                    if (
+                        existing["converged_at"] is not None
+                        and existing["converged_at"] != theirs
+                    ):
+                        raise StoreError(
+                            f"config {key!r}: sources disagree on the "
+                            f"EarlyStop convergence point "
+                            f"({existing['converged_at']} vs {theirs})"
+                        )
+                    existing["converged_at"] = theirs
+        # Persist the unioned config table before journaling any record:
+        # a crash mid-merge then leaves a valid (incomplete) store, never
+        # a journal referencing configs the manifest doesn't know — the
+        # same write ordering the run path's open_config guarantees.
+        merged._write_manifest()
+        for store in stores:
+            for key, records in store._records.items():
+                merged_records = merged._records.setdefault(key, {})
+                for index, record in sorted(records.items()):
+                    existing = merged_records.get(index)
+                    if existing is not None:
+                        if existing != record:
+                            raise StoreError(
+                                f"config {key!r} trial {index}: sources "
+                                "journaled conflicting outcomes "
+                                f"({existing.accuracy!r} vs {record.accuracy!r})"
+                            )
+                        continue
+                    merged._append(key, record)
+                    merged_records[index] = record
+        return merged

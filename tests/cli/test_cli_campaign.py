@@ -1,0 +1,214 @@
+"""The ``repro campaign`` command group: run / resume / status / merge / report."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+TINY = [
+    "--preset",
+    "smoke",
+    "--train-samples",
+    "250",
+    "--test-samples",
+    "100",
+    "--epochs",
+    "6",
+    "--post-epochs",
+    "1",
+]
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    """One smoke-trained protected checkpoint shared by the module."""
+    root = tmp_path_factory.mktemp("campaign-cli")
+    cache_before = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root / "cache")
+    try:
+        path = root / "model.npz"
+        code = main(
+            [
+                "protect",
+                "--model",
+                "lenet",
+                "--method",
+                "clipact",
+                "--out",
+                str(path),
+                *TINY,
+            ]
+        )
+        assert code == 0
+        yield str(path)
+    finally:
+        if cache_before is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = cache_before
+
+
+def _run(checkpoint, store, *extra):
+    return main(
+        [
+            "campaign",
+            "run",
+            "--checkpoint",
+            checkpoint,
+            "--store",
+            str(store),
+            "--rates",
+            "1e-5",
+            "3e-5",
+            *TINY,
+            "--trials",
+            "3",
+            *extra,
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_run_status_report(self, checkpoint, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert _run(checkpoint, store) == 0
+        out = capsys.readouterr().out
+        assert "campaign store" in out
+        assert "rate 1.0e-05" in out
+        assert "store complete" in out
+
+        assert main(["campaign", "status", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "3/3" in out
+        assert "complete: 6/6 trials" in out
+
+        assert main(["campaign", "report", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "## Vulnerability atlas" in out
+        assert "### By bit position" in out
+        report = (store / "report.md").read_text()
+        assert "rate=1e-05" in report
+        atlas = json.loads((store / "atlas.json").read_text())
+        assert atlas["trials"] == 6
+        manifest = json.loads((store / "manifest.json").read_text())
+        assert atlas["baseline"] == manifest["meta"]["clean_accuracy"]
+
+    def test_limit_interrupts_then_resume_completes(
+        self, checkpoint, tmp_path, capsys
+    ):
+        straight = tmp_path / "straight"
+        assert _run(checkpoint, straight) == 0
+        assert main(["campaign", "report", "--store", str(straight)]) == 0
+        capsys.readouterr()
+
+        resumed = tmp_path / "resumed"
+        assert _run(checkpoint, resumed, "--limit", "2") == 0
+        out = capsys.readouterr().out
+        assert "interrupted after 2 new trials" in out
+        assert "campaign resume" in out
+
+        assert main(["campaign", "resume", "--store", str(resumed)]) == 0
+        out = capsys.readouterr().out
+        assert "resuming" in out
+        assert "store complete" in out
+
+        assert main(["campaign", "report", "--store", str(resumed)]) == 0
+        capsys.readouterr()
+        # The acceptance check: byte-identical artifacts either way.
+        assert (resumed / "report.md").read_text() == (
+            straight / "report.md"
+        ).read_text()
+        assert (resumed / "atlas.json").read_text() == (
+            straight / "atlas.json"
+        ).read_text()
+
+    def test_rerunning_a_complete_store_is_a_cheap_no_op(
+        self, checkpoint, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        assert _run(checkpoint, store) == 0
+        capsys.readouterr()
+        assert _run(checkpoint, store) == 0
+        out = capsys.readouterr().out
+        assert "0 new trials journaled" in out
+
+
+class TestShardMerge:
+    def test_sharded_stores_merge_to_the_straight_report(
+        self, checkpoint, tmp_path, capsys
+    ):
+        straight = tmp_path / "straight"
+        assert _run(checkpoint, straight) == 0
+        assert main(["campaign", "report", "--store", str(straight)]) == 0
+
+        shards = []
+        for index in (1, 2):
+            shard_store = tmp_path / f"shard{index}"
+            assert _run(checkpoint, shard_store, "--shard", f"{index}/2") == 0
+            shards.append(str(shard_store))
+        out = capsys.readouterr().out
+        assert "[shard 1/2]" in out
+
+        merged = tmp_path / "merged"
+        assert main(["campaign", "merge", "--out", str(merged), *shards]) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 stores" in out
+
+        assert main(["campaign", "report", "--store", str(merged)]) == 0
+        capsys.readouterr()
+        assert (merged / "report.md").read_text() == (
+            straight / "report.md"
+        ).read_text()
+        assert (merged / "atlas.json").read_text() == (
+            straight / "atlas.json"
+        ).read_text()
+
+
+class TestErrors:
+    def test_status_on_missing_store(self, tmp_path, capsys):
+        assert main(["campaign", "status", "--store", str(tmp_path / "no")]) == 1
+        assert "not a campaign store" in capsys.readouterr().err
+
+    def test_resume_on_missing_store(self, tmp_path, capsys):
+        assert main(["campaign", "resume", "--store", str(tmp_path / "no")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_run_rejects_mismatched_store(self, checkpoint, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert _run(checkpoint, store) == 0
+        capsys.readouterr()
+        # Same store, different trial count + rates: recipe mismatch,
+        # not a silent mix of incompatible journals (or a silently
+        # ignored --rates request).
+        assert (
+            main(
+                [
+                    "campaign",
+                    "run",
+                    "--checkpoint",
+                    checkpoint,
+                    "--store",
+                    str(store),
+                    "--rates",
+                    "1e-4",
+                    *TINY,
+                    "--trials",
+                    "5",
+                ]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert "different settings" in err
+        assert "rates" in err
+        assert "trials" in err
+
+    def test_bad_shard_spec(self, checkpoint, tmp_path, capsys):
+        assert _run(checkpoint, tmp_path / "s", "--shard", "3/2") == 1
+        assert "out of range" in capsys.readouterr().err
+
+    def test_bad_limit(self, checkpoint, tmp_path, capsys):
+        assert _run(checkpoint, tmp_path / "s", "--limit", "0") == 1
+        assert "--limit" in capsys.readouterr().err

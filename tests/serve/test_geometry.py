@@ -136,7 +136,12 @@ class TestPreload:
         finally:
             app.close()
 
-    def test_preload_respects_capacity(self, grayscale_checkpoint, tmp_path):
+    def test_preload_rotates_fleets_beyond_capacity(
+        self, grayscale_checkpoint, tmp_path
+    ):
+        """Every checkpoint is warmed once even when the fleet exceeds
+        capacity; LRU keeps the tail resident and /healthz reports the
+        rotated-out rest."""
         path, _ = grayscale_checkpoint
         other = save_protected(
             tmp_path / "other.npz",
@@ -155,8 +160,42 @@ class TestPreload:
         app = ServeApp(registry, ServeConfig(max_batch=4, max_latency_ms=1.0))
         try:
             warmed = app.preload()
-            assert warmed == ["a"]  # capacity 1: warming "b" would evict "a"
-            assert app.health()["preloaded"] == ["a"]
+            assert warmed == ["a", "b"]  # the whole fleet, in order
+            assert registry.resident_names() == ["b"]  # LRU kept the tail
+            health = app.health()
+            assert health["preloaded"] == ["a", "b"]
+            assert health["preload_rotated"] == ["a"]
+            # The rotated model still serves (reloaded on first request),
+            # and the resident one serves without a load.
+            loads_before = registry.loads
+            batch = np.zeros((1, 1, IMAGE_SIZE, IMAGE_SIZE), dtype=np.float32)
+            app.predict(batch, model="b")
+            assert registry.loads == loads_before
+            app.predict(batch, model="a")
+            assert registry.loads == loads_before + 1
+        finally:
+            app.close()
+
+    def test_preload_rotation_validates_broken_checkpoints_at_startup(
+        self, grayscale_checkpoint, tmp_path
+    ):
+        """A checkpoint beyond capacity that cannot load fails preload
+        (fail fast at startup) instead of failing its first request."""
+        path, _ = grayscale_checkpoint
+        broken = tmp_path / "broken.npz"
+        broken.write_bytes(b"not a checkpoint")
+        registry = ModelRegistry(capacity=1)
+        registry.register("a", path)
+        registry.register("z-broken", str(broken))
+        app = ServeApp(registry, ServeConfig(max_batch=4, max_latency_ms=1.0))
+        try:
+            # np.load rejects the garbage archive; a ReproError would be
+            # a (valid) friendlier wrapper — either way preload surfaces
+            # the broken file instead of swallowing it.
+            from repro.errors import ReproError
+
+            with pytest.raises((ValueError, OSError, ReproError)):
+                app.preload()
         finally:
             app.close()
 
@@ -166,6 +205,8 @@ class TestPreload:
         registry.register("gray", path)
         app = ServeApp(registry)
         try:
-            assert app.health()["preloaded"] == []
+            health = app.health()
+            assert health["preloaded"] == []
+            assert health["preload_rotated"] == []
         finally:
             app.close()

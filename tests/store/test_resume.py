@@ -1,0 +1,255 @@
+"""The acceptance contract: interrupted + resumed == uninterrupted.
+
+Trial seeds are schedule-independent and journaled floats round-trip
+exactly, so a campaign resumed from its store must reproduce the
+uninterrupted run bit for bit — per-trial accuracies, flip counts, and
+the EarlyStop decision stream — on the serial and the pooled executor
+alike; likewise a merge of shard stores must equal the unsharded run.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError
+from repro.fault import (
+    BitFlipFaultModel,
+    EarlyStop,
+    FaultCampaign,
+    FaultInjector,
+)
+from repro.quant import quantize_module
+from repro.store import CampaignInterrupted, CampaignStore
+
+RATES = (1e-3, 5e-3)
+SPEC = BitFlipFaultModel.at_rate(5e-3)
+
+
+def _model():
+    return quantize_module(
+        nn.Sequential(nn.Linear(4, 8, rng=0), nn.ReLU(), nn.Linear(8, 2, rng=1))
+    )
+
+
+class _ParamHealth:
+    def __init__(self, model):
+        self.model = model
+
+    def __call__(self) -> float:
+        total, bad = 0, 0
+        for param in self.model.parameters():
+            total += param.size
+            bad += int((np.abs(param.data) > 100).sum())
+        return 1.0 - bad / total
+
+
+class _CountingHealth(_ParamHealth):
+    """Counts evaluations — proves replay never re-runs trials."""
+
+    def __init__(self, model):
+        super().__init__(model)
+        self.calls = 0
+
+    def __call__(self) -> float:
+        self.calls += 1
+        return super().__call__()
+
+
+def make_campaign(workers=0, trials=8, seed=11, shard=None, counting=False):
+    model = _model()
+    evaluate = _CountingHealth(model) if counting else _ParamHealth(model)
+    return FaultCampaign(
+        FaultInjector(model),
+        evaluate,
+        trials=trials,
+        seed=seed,
+        workers=workers,
+        shard=shard,
+    )
+
+
+def _journal_lines(store_dir):
+    return (store_dir / "trials.jsonl").read_text().splitlines()
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+class TestResumeDeterminism:
+    def test_interrupted_then_resumed_is_bit_identical(self, tmp_path, workers):
+        """The tentpole acceptance: same accuracies, same SDC stream."""
+        straight = make_campaign(workers=0)
+        with straight:
+            reference = straight.run_sweep(RATES, tag="r")
+
+        store_dir = tmp_path / "store"
+        with make_campaign(workers=workers) as campaign:
+            with CampaignStore.for_campaign(store_dir, campaign) as store:
+                store.max_new_records = 5  # dies mid-way through rate 1
+                with pytest.raises(CampaignInterrupted):
+                    campaign.run_sweep(RATES, tag="r", store=store)
+
+        with make_campaign(workers=workers) as campaign:
+            with CampaignStore.for_campaign(store_dir, campaign) as store:
+                resumed = campaign.run_sweep(RATES, tag="r", store=store)
+                # Only the missing trials were executed and journaled.
+                assert store.appended == len(RATES) * 8 - 5
+
+        for rate in RATES:
+            np.testing.assert_array_equal(
+                reference[rate].accuracies, resumed[rate].accuracies
+            )
+            np.testing.assert_array_equal(
+                reference[rate].flip_counts, resumed[rate].flip_counts
+            )
+
+    def test_resumed_store_equals_straight_store_byte_for_byte(
+        self, tmp_path, workers
+    ):
+        """Journals (outcomes *and* site records) are identical too."""
+        straight_dir = tmp_path / "straight"
+        with make_campaign(workers=0) as campaign:
+            with CampaignStore.for_campaign(straight_dir, campaign) as store:
+                campaign.run_sweep(RATES, tag="r", store=store)
+
+        resumed_dir = tmp_path / "resumed"
+        with make_campaign(workers=workers) as campaign:
+            with CampaignStore.for_campaign(resumed_dir, campaign) as store:
+                store.max_new_records = 7
+                with pytest.raises(CampaignInterrupted):
+                    campaign.run_sweep(RATES, tag="r", store=store)
+        with make_campaign(workers=workers) as campaign:
+            with CampaignStore.for_campaign(resumed_dir, campaign) as store:
+                campaign.run_sweep(RATES, tag="r", store=store)
+
+        strip = lambda line: {  # noqa: E731 — timing is wall-clock, not identity
+            k: v
+            for k, v in __import__("json").loads(line).items()
+            if k != "sec"
+        }
+        assert [strip(l) for l in _journal_lines(straight_dir)] == [
+            strip(l) for l in _journal_lines(resumed_dir)
+        ]
+
+    def test_replay_runs_no_evaluations(self, tmp_path, workers):
+        store_dir = tmp_path / "store"
+        with make_campaign(workers=0) as campaign:
+            with CampaignStore.for_campaign(store_dir, campaign) as store:
+                reference = campaign.run(SPEC, tag="t", store=store)
+
+        replayer = make_campaign(workers=workers, counting=True)
+        with replayer:
+            with CampaignStore.for_campaign(store_dir, replayer) as store:
+                replayed = replayer.run(SPEC, tag="t", store=store)
+        assert replayer.evaluate.calls == 0
+        np.testing.assert_array_equal(reference.accuracies, replayed.accuracies)
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_two_way_shard_merge_equals_unsharded(tmp_path, workers):
+    with make_campaign(workers=0) as campaign:
+        reference = campaign.run_sweep(RATES, tag="s")
+
+    shard_dirs = []
+    for index in range(2):
+        shard_dir = tmp_path / f"shard{index}"
+        with make_campaign(workers=workers, shard=(index, 2)) as campaign:
+            with CampaignStore.for_campaign(shard_dir, campaign) as store:
+                campaign.run_sweep(RATES, tag="s", store=store)
+        shard_dirs.append(shard_dir)
+
+    merged = CampaignStore.merge(tmp_path / "merged", shard_dirs)
+    try:
+        for rate, key in zip(RATES, merged.config_keys()):
+            result = merged.result(key)
+            np.testing.assert_array_equal(
+                reference[rate].accuracies, result.accuracies
+            )
+            np.testing.assert_array_equal(
+                reference[rate].flip_counts, result.flip_counts
+            )
+    finally:
+        merged.close()
+
+
+class TestBudget:
+    def test_budget_never_evaluates_over_limit_trials(self, tmp_path):
+        """--limit N means exactly N evaluations, not N+1: the campaign
+        truncates dispatched work to the remaining budget and raises
+        before the first un-journalable evaluation."""
+        campaign = make_campaign(counting=True)
+        with campaign:
+            with CampaignStore.for_campaign(tmp_path / "s", campaign) as store:
+                store.max_new_records = 2
+                with pytest.raises(CampaignInterrupted):
+                    campaign.run(SPEC, tag="b", store=store)
+        assert campaign.evaluate.calls == 2
+        assert store.appended == 2
+
+    def test_sweep_killed_between_rates_is_not_reported_complete(
+        self, tmp_path
+    ):
+        """run_sweep registers every rate's config up front, so a store
+        interrupted after rate 1 still shows rate 2 as missing work."""
+        campaign = make_campaign()
+        with campaign:
+            with CampaignStore.for_campaign(tmp_path / "s", campaign) as store:
+                store.max_new_records = 8  # exactly rate 1's trials
+                with pytest.raises(CampaignInterrupted):
+                    campaign.run_sweep(RATES, tag="k", store=store)
+                status = store.status()
+                assert len(status["configs"]) == len(RATES)
+                assert status["journaled"] == 8
+                assert status["expected"] == 8 * len(RATES)
+                assert not status["complete"]
+
+
+class TestEarlyStopConvergence:
+    STOP = EarlyStop(ci_halfwidth=1.0, min_trials=2)
+
+    def test_convergence_is_recorded_in_the_manifest(self, tmp_path):
+        with make_campaign() as campaign:
+            with CampaignStore.for_campaign(tmp_path / "s", campaign) as store:
+                result = campaign.run(SPEC, tag="es", store=store, early_stop=self.STOP)
+                (key,) = store.config_keys()
+                assert store.converged_at(key) == result.trials == 2
+
+    def test_resume_does_not_reopen_a_converged_config(self, tmp_path):
+        with make_campaign() as campaign:
+            with CampaignStore.for_campaign(tmp_path / "s", campaign) as store:
+                reference = campaign.run(
+                    SPEC, tag="es", store=store, early_stop=self.STOP
+                )
+        # Resume-by-rerun *without* early_stop: the manifest's converged
+        # marker still short-circuits — no evaluation happens at all.
+        resumer = make_campaign(counting=True)
+        with resumer:
+            with CampaignStore.for_campaign(tmp_path / "s", resumer) as store:
+                replayed = resumer.run(SPEC, tag="es", store=store)
+        assert resumer.evaluate.calls == 0
+        assert replayed.trials == reference.trials
+        np.testing.assert_array_equal(reference.accuracies, replayed.accuracies)
+
+    def test_convergence_reached_during_replay_is_marked(self, tmp_path):
+        """Crash after journaling but before convergence: the resumed run
+        makes the same EarlyStop decision at the same trial."""
+        with make_campaign() as campaign:
+            reference = campaign.run(SPEC, tag="es", early_stop=self.STOP)
+
+        store_dir = tmp_path / "s"
+        with make_campaign() as campaign:
+            with CampaignStore.for_campaign(store_dir, campaign) as store:
+                store.max_new_records = 1  # crash before min_trials
+                with pytest.raises(CampaignInterrupted):
+                    campaign.run(SPEC, tag="es", store=store, early_stop=self.STOP)
+                assert store.converged_at(store.config_keys()[0]) is None
+        with make_campaign() as campaign:
+            with CampaignStore.for_campaign(store_dir, campaign) as store:
+                resumed = campaign.run(
+                    SPEC, tag="es", store=store, early_stop=self.STOP
+                )
+                assert store.converged_at(store.config_keys()[0]) == reference.trials
+        np.testing.assert_array_equal(reference.accuracies, resumed.accuracies)
+
+    def test_early_stop_refuses_sharded_campaigns(self, tmp_path):
+        with make_campaign(shard=(0, 2)) as campaign:
+            with pytest.raises(ConfigurationError, match="shard"):
+                campaign.run(SPEC, early_stop=self.STOP)

@@ -1,0 +1,309 @@
+"""The campaign store: format, durability, identity, budget, merge."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError
+from repro.fault import BitFlipFaultModel, FaultCampaign, FaultInjector, TrialOutcome
+from repro.quant import quantize_module
+from repro.store import (
+    CampaignInterrupted,
+    CampaignStore,
+    StoredFaultModel,
+    StoreError,
+)
+
+
+def _model():
+    return quantize_module(
+        nn.Sequential(nn.Linear(4, 8, rng=0), nn.ReLU(), nn.Linear(8, 2, rng=1))
+    )
+
+
+class _ParamHealth:
+    """Picklable accuracy proxy (deterministic in the fault pattern)."""
+
+    def __init__(self, model):
+        self.model = model
+
+    def __call__(self) -> float:
+        total, bad = 0, 0
+        for param in self.model.parameters():
+            total += param.size
+            bad += int((np.abs(param.data) > 100).sum())
+        return 1.0 - bad / total
+
+
+def make_campaign(workers=0, trials=6, seed=0, shard=None):
+    model = _model()
+    injector = FaultInjector(model)
+    return FaultCampaign(
+        injector,
+        _ParamHealth(model),
+        trials=trials,
+        seed=seed,
+        workers=workers,
+        shard=shard,
+    )
+
+
+SPEC = BitFlipFaultModel.at_rate(5e-3)
+
+
+class TestCreateOpen:
+    def test_create_writes_manifest_and_empty_journal(self, tmp_path):
+        store = CampaignStore.for_campaign(
+            tmp_path / "s", make_campaign(), meta={"note": "hi"}
+        )
+        assert (tmp_path / "s" / "manifest.json").exists()
+        assert (tmp_path / "s" / "trials.jsonl").exists()
+        assert store.trials == 6
+        assert store.seed == 0
+        assert store.shard is None
+        assert store.meta == {"note": "hi"}
+        assert store.layers  # the injector's parameter names
+        assert store.identity["fingerprint"].startswith("sha256:")
+
+    def test_open_missing_store_is_error(self, tmp_path):
+        with pytest.raises(StoreError):
+            CampaignStore.open(tmp_path / "nope")
+
+    def test_reopen_preserves_exact_floats(self, tmp_path):
+        campaign = make_campaign()
+        store = CampaignStore.for_campaign(tmp_path / "s", campaign)
+        key = store.open_config(SPEC, tag="t")
+        accuracy = 1.0 / 3.0  # not exactly representable in decimal
+        store.record(key, TrialOutcome(0, accuracy, 2, seconds=0.5), [(0, 3)])
+        store.close()
+        reopened = CampaignStore.open(tmp_path / "s")
+        outcome = reopened.journaled(key)[0]
+        assert outcome.accuracy == accuracy  # bit-identical float64
+        assert outcome.flips == 2
+        record = reopened.records(key)[0]
+        assert record.sites == ((0, 3),)
+        assert record.seconds == 0.5
+
+    def test_for_campaign_rejects_mismatched_identity(self, tmp_path):
+        CampaignStore.for_campaign(tmp_path / "s", make_campaign(seed=0)).close()
+        with pytest.raises(StoreError, match="seed"):
+            CampaignStore.for_campaign(tmp_path / "s", make_campaign(seed=1))
+        with pytest.raises(StoreError, match="trials"):
+            CampaignStore.for_campaign(tmp_path / "s", make_campaign(trials=9))
+        with pytest.raises(StoreError, match="shard"):
+            CampaignStore.for_campaign(
+                tmp_path / "s", make_campaign(shard=(0, 2))
+            )
+
+    def test_edited_manifest_fails_config_hash(self, tmp_path):
+        CampaignStore.for_campaign(tmp_path / "s", make_campaign()).close()
+        manifest_path = tmp_path / "s" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["identity"]["seed"] = 99  # tamper without re-hashing
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(StoreError, match="config hash"):
+            CampaignStore.open(tmp_path / "s")
+
+
+class TestJournalDurability:
+    def _store_with_records(self, tmp_path, count=3):
+        store = CampaignStore.for_campaign(tmp_path / "s", make_campaign())
+        key = store.open_config(SPEC, tag="t")
+        for index in range(count):
+            store.record(
+                key, TrialOutcome(index, 0.5 + index / 10, index), [(0, index)]
+            )
+        store.close()
+        return key
+
+    def test_torn_trailing_record_is_ignored_and_truncated(self, tmp_path):
+        key = self._store_with_records(tmp_path)
+        journal = tmp_path / "s" / "trials.jsonl"
+        intact = journal.read_bytes()
+        journal.write_bytes(intact + b'{"c":"t::rate=0.005","t":3,"a":0.9')
+        reopened = CampaignStore.open(tmp_path / "s")
+        assert sorted(reopened.journaled(key)) == [0, 1, 2]
+        # The next append reclaims the torn tail first.
+        reopened.record(key, TrialOutcome(3, 0.9, 1), [])
+        reopened.close()
+        final = CampaignStore.open(tmp_path / "s")
+        assert sorted(final.journaled(key)) == [0, 1, 2, 3]
+
+    def test_corrupt_mid_journal_is_an_error(self, tmp_path):
+        self._store_with_records(tmp_path)
+        journal = tmp_path / "s" / "trials.jsonl"
+        lines = journal.read_bytes().splitlines(keepends=True)
+        lines[1] = b'{"garbage": true}\n'
+        journal.write_bytes(b"".join(lines))
+        with pytest.raises(StoreError, match="line 2"):
+            CampaignStore.open(tmp_path / "s")
+
+    def test_duplicate_record_rejected(self, tmp_path):
+        store = CampaignStore.for_campaign(tmp_path / "s", make_campaign())
+        key = store.open_config(SPEC)
+        store.record(key, TrialOutcome(0, 0.5, 1), [])
+        with pytest.raises(ConfigurationError, match="already journaled"):
+            store.record(key, TrialOutcome(0, 0.5, 1), [])
+
+    def test_unknown_config_rejected(self, tmp_path):
+        store = CampaignStore.for_campaign(tmp_path / "s", make_campaign())
+        with pytest.raises(StoreError, match="no config"):
+            store.record("nope", TrialOutcome(0, 0.5, 1), [])
+
+
+class TestBudget:
+    def test_budget_interrupts_before_the_over_limit_trial(self, tmp_path):
+        store = CampaignStore.for_campaign(tmp_path / "s", make_campaign())
+        key = store.open_config(SPEC)
+        store.max_new_records = 2
+        store.record(key, TrialOutcome(0, 0.5, 1), [])
+        store.record(key, TrialOutcome(1, 0.5, 1), [])
+        with pytest.raises(CampaignInterrupted):
+            store.record(key, TrialOutcome(2, 0.5, 1), [])
+        assert sorted(store.journaled(key)) == [0, 1]
+
+
+class TestCompleteness:
+    def test_result_requires_a_complete_config(self, tmp_path):
+        store = CampaignStore.for_campaign(tmp_path / "s", make_campaign(trials=3))
+        key = store.open_config(SPEC)
+        store.record(key, TrialOutcome(0, 0.25, 1), [])
+        assert store.missing_indices(key) == [1, 2]
+        with pytest.raises(StoreError, match="incomplete"):
+            store.result(key)
+        store.record(key, TrialOutcome(1, 0.5, 2), [])
+        store.record(key, TrialOutcome(2, 0.75, 3), [])
+        result = store.result(key)
+        np.testing.assert_array_equal(result.accuracies, [0.25, 0.5, 0.75])
+        np.testing.assert_array_equal(result.flip_counts, [1, 2, 3])
+        assert isinstance(result.fault_model, StoredFaultModel)
+        assert result.fault_model.describe() == SPEC.describe()
+
+    def test_shard_store_expects_only_its_slice(self, tmp_path):
+        store = CampaignStore.for_campaign(
+            tmp_path / "s", make_campaign(trials=5, shard=(1, 2))
+        )
+        key = store.open_config(SPEC)
+        assert store.expected_indices(key) == [1, 3]
+
+    def test_status_counts(self, tmp_path):
+        store = CampaignStore.for_campaign(tmp_path / "s", make_campaign(trials=2))
+        key = store.open_config(SPEC, tag="x")
+        store.record(key, TrialOutcome(0, 0.5, 1, seconds=2.0), [])
+        status = store.status()
+        assert status["journaled"] == 1
+        assert status["expected"] == 2
+        assert not status["complete"]
+        assert status["mean_trial_seconds"] == 2.0
+        (config,) = status["configs"]
+        assert config["tag"] == "x"
+        assert config["journaled"] == 1
+
+
+class TestMerge:
+    def test_merge_rejects_foreign_stores(self, tmp_path):
+        CampaignStore.for_campaign(tmp_path / "a", make_campaign(seed=0)).close()
+        CampaignStore.for_campaign(tmp_path / "b", make_campaign(seed=1)).close()
+        with pytest.raises(StoreError, match="identity"):
+            CampaignStore.merge(tmp_path / "m", [tmp_path / "a", tmp_path / "b"])
+
+    def test_merge_detects_conflicting_duplicates(self, tmp_path):
+        for name, accuracy in (("a", 0.5), ("b", 0.75)):
+            store = CampaignStore.for_campaign(tmp_path / name, make_campaign())
+            key = store.open_config(SPEC)
+            store.record(key, TrialOutcome(0, accuracy, 1), [])
+            store.close()
+        with pytest.raises(StoreError, match="conflicting"):
+            CampaignStore.merge(tmp_path / "m", [tmp_path / "a", tmp_path / "b"])
+
+    def test_merge_deduplicates_identical_records(self, tmp_path):
+        # seconds differ (wall-clock always does between hosts); the
+        # record identity is accuracy/flips/sites, so this deduplicates
+        # rather than reporting a bogus conflict.
+        for name, seconds in (("a", 1.0), ("b", 2.5)):
+            store = CampaignStore.for_campaign(tmp_path / name, make_campaign())
+            key = store.open_config(SPEC)
+            store.record(key, TrialOutcome(0, 0.5, 1, seconds=seconds), [(0, 2)])
+            store.close()
+        merged = CampaignStore.merge(tmp_path / "m", [tmp_path / "a", tmp_path / "b"])
+        assert sorted(merged.journaled(key)) == [0]
+        merged.close()
+
+    def test_merged_store_is_unsharded(self, tmp_path):
+        stores = []
+        for index in range(2):
+            campaign = make_campaign(trials=4, shard=(index, 2))
+            store = CampaignStore.for_campaign(tmp_path / f"s{index}", campaign)
+            key = store.open_config(SPEC)
+            for trial in campaign.trial_plan():
+                store.record(key, TrialOutcome(trial, trial / 10, trial), [])
+            store.close()
+            stores.append(tmp_path / f"s{index}")
+        merged = CampaignStore.merge(tmp_path / "m", stores)
+        assert merged.shard is None
+        assert merged.complete(key)
+        np.testing.assert_array_equal(
+            merged.result(key).accuracies, [0.0, 0.1, 0.2, 0.3]
+        )
+        merged.close()
+
+    def test_merge_needs_sources(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            CampaignStore.merge(tmp_path / "m", [])
+
+    def test_merge_killed_mid_records_leaves_an_openable_store(
+        self, tmp_path, monkeypatch
+    ):
+        """The config table is persisted before any record is journaled,
+        so a crash mid-merge leaves a valid (incomplete) store — never a
+        journal referencing configs the manifest doesn't know."""
+        sources = []
+        for index in range(2):
+            campaign = make_campaign(trials=4, shard=(index, 2))
+            store = CampaignStore.for_campaign(tmp_path / f"s{index}", campaign)
+            key = store.open_config(SPEC)
+            for trial in campaign.trial_plan():
+                store.record(key, TrialOutcome(trial, trial / 10, 1), [])
+            store.close()
+            sources.append(tmp_path / f"s{index}")
+
+        original = CampaignStore._append
+        appended = []
+
+        def exploding(self, append_key, record):
+            if appended:
+                raise RuntimeError("simulated crash mid-merge")
+            appended.append(record)
+            original(self, append_key, record)
+
+        with monkeypatch.context() as patch:
+            patch.setattr(CampaignStore, "_append", exploding)
+            with pytest.raises(RuntimeError, match="mid-merge"):
+                CampaignStore.merge(tmp_path / "m", sources)
+
+        survivor = CampaignStore.open(tmp_path / "m")
+        assert survivor.config_keys() == [key]
+        assert not survivor.complete(key)
+        assert len(survivor.missing_indices(key)) == 3
+        survivor.close()
+
+
+class TestShardValidation:
+    def test_bad_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_campaign(shard=(2, 2))
+        with pytest.raises(ConfigurationError):
+            make_campaign(shard=(-1, 2))
+        with pytest.raises(ConfigurationError):
+            make_campaign(shard=(0, 0))
+        with pytest.raises(ConfigurationError):
+            make_campaign(shard="1/2")
+
+    def test_trial_plan_partitions_exactly(self):
+        plans = [make_campaign(trials=7, shard=(i, 3)).trial_plan() for i in range(3)]
+        combined = sorted(t for plan in plans for t in plan)
+        assert combined == list(range(7))
+        assert make_campaign(trials=7).trial_plan() == list(range(7))
