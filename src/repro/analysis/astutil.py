@@ -1,0 +1,53 @@
+"""Small AST helpers shared by the rule pack."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["dotted_name", "call_name", "is_type_checking_test", "walk_skipping"]
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``"np.random.default_rng"`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def call_name(call: ast.Call) -> str | None:
+    """Dotted name of a call's callee, else None for computed callees."""
+    return dotted_name(call.func)
+
+
+def is_type_checking_test(test: ast.expr) -> bool:
+    """Whether an ``if`` test is the ``typing.TYPE_CHECKING`` guard."""
+    name = dotted_name(test)
+    return name is not None and (
+        name == "TYPE_CHECKING" or name.endswith(".TYPE_CHECKING")
+    )
+
+
+def walk_skipping(
+    node: ast.AST, skip: tuple[type[ast.AST], ...]
+) -> list[ast.AST]:
+    """Like :func:`ast.walk`, but does not descend into ``skip`` nodes.
+
+    The root itself is never skipped (so a rule can walk *inside* a
+    ClassDef while excluding nested classes).
+    """
+    found: list[ast.AST] = []
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, skip):
+                continue
+            found.append(child)
+            stack.append(child)
+    return found

@@ -1,0 +1,131 @@
+"""Committed baseline for grandfathered lint findings.
+
+The baseline file (``lint-baseline.json`` at the repo root) holds
+findings that predate a rule — audited, justified, and accepted rather
+than fixed.  Entries match on ``(rule, path, hash-of-source-line)``, so
+they survive unrelated edits that shift line numbers but go stale the
+moment the offending line itself changes — a changed line must be
+re-audited, not silently re-grandfathered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+from repro.errors import ReproError
+
+__all__ = ["Baseline", "BaselineEntry", "line_hash"]
+
+_VERSION = 1
+
+
+def line_hash(text: str) -> str:
+    """Short content digest of one (whitespace-stripped) source line."""
+    return hashlib.sha256(text.strip().encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding; ``note`` records the justification."""
+
+    rule: str
+    path: str
+    line: int
+    hash: str
+    note: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.hash)
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "hash": self.hash,
+            "note": self.note,
+        }
+
+
+class Baseline:
+    """In-memory view of a baseline file; matching is hash-based."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None) -> None:
+        self.entries = list(entries or [])
+        self._matched: set[tuple[str, str, str]] = set()
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str]) -> "Baseline":
+        path = os.fspath(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return cls()
+        except json.JSONDecodeError as error:
+            raise ReproError(f"baseline {path!r} is not valid JSON: {error}")
+        if payload.get("version") != _VERSION:
+            raise ReproError(
+                f"baseline {path!r}: unsupported version "
+                f"{payload.get('version')!r} (expected {_VERSION})"
+            )
+        entries = [
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                line=int(raw.get("line", 0)),
+                hash=str(raw["hash"]),
+                note=str(raw.get("note", "")),
+            )
+            for raw in payload.get("entries", [])
+        ]
+        return cls(entries)
+
+    def matches(self, finding: Finding, source_line: str) -> bool:
+        """Whether ``finding`` is grandfathered (records the hit)."""
+        key = (finding.rule, finding.path, line_hash(source_line))
+        for entry in self.entries:
+            if entry.key() == key:
+                self._matched.add(key)
+                return True
+        return False
+
+    def unused(self) -> list[BaselineEntry]:
+        """Entries that matched nothing — fixed or drifted; prune them."""
+        return [e for e in self.entries if e.key() not in self._matched]
+
+    @staticmethod
+    def write(
+        path: str | os.PathLike[str],
+        findings: list[tuple[Finding, str]],
+        notes: dict[tuple[str, str], str] | None = None,
+    ) -> int:
+        """Write a baseline covering ``(finding, source_line)`` pairs.
+
+        ``notes`` maps ``(rule, path)`` to a justification carried into
+        the entries; existing notes survive ``--update-baseline`` runs
+        because callers pass the previous baseline's notes through.
+        """
+        notes = notes or {}
+        entries = []
+        for finding, source_line in sorted(
+            findings, key=lambda pair: pair[0].sort_key()
+        ):
+            entries.append(
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    line=finding.line,
+                    hash=line_hash(source_line),
+                    note=notes.get((finding.rule, finding.path), ""),
+                ).to_json()
+            )
+        payload = {"version": _VERSION, "entries": entries}
+        with open(os.fspath(path), "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        return len(entries)

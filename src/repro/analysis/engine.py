@@ -1,0 +1,186 @@
+"""Lint engine: file discovery, parsing, rule dispatch, filtering.
+
+The pipeline per file: parse -> run every applicable rule -> drop
+findings suppressed by ``# repro-lint: disable=`` comments -> drop
+findings matched by the committed baseline.  Files that fail to parse
+become :class:`LintError` records (the CLI maps them to exit code 2)
+rather than tracebacks — a syntax error in one file must not hide
+findings in the rest of the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import FileContext, Finding
+from repro.analysis.registry import Rule, all_rules
+from repro.analysis.suppress import suppressed_rules
+
+__all__ = ["LintError", "LintResult", "lint_paths", "lint_text"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+@dataclass(frozen=True)
+class LintError:
+    """A file the engine could not read or parse (CLI exit code 2)."""
+
+    path: str
+    line: int
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}" if self.line else self.path
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, pre-rendered for reporters."""
+
+    findings: list[Finding] = field(default_factory=list)
+    errors: list[LintError] = field(default_factory=list)
+    files: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    baseline: Baseline = field(default_factory=Baseline)
+    #: (finding, source line) pairs before baseline filtering — what
+    #: ``--update-baseline`` writes.
+    unfiltered: list[tuple[Finding, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        if self.findings:
+            return 1
+        return 0
+
+
+def _display_path(path: str) -> str:
+    """Posix-normalised path, relative to cwd when possible.
+
+    Keeps finding paths stable across invocation styles so baseline
+    entries (committed with repo-relative paths) match.
+    """
+    cwd = os.getcwd()
+    absolute = os.path.abspath(path)
+    if absolute.startswith(cwd + os.sep):
+        path = os.path.relpath(absolute, cwd)
+    return path.replace(os.sep, "/")
+
+
+def discover_files(paths: list[str]) -> tuple[list[str], list[LintError]]:
+    """Expand files/directories into a sorted, deduplicated .py file list."""
+    files: list[str] = []
+    errors: list[LintError] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(_display_path(path))
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in _SKIP_DIRS
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        files.append(_display_path(os.path.join(dirpath, name)))
+        else:
+            errors.append(
+                LintError(path=_display_path(path), line=0, message="no such file or directory")
+            )
+    return sorted(set(files)), errors
+
+
+def lint_text(
+    source: str,
+    path: str,
+    rules: list[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source blob (suppression comments honoured).
+
+    ``path`` drives rule scoping exactly as an on-disk path would
+    (``"src/repro/store/x.py"`` gets the store rules); the baseline is
+    not consulted.  Raises :class:`SyntaxError` on unparsable source —
+    callers that need error records use :func:`lint_paths`.
+    """
+    findings, _ = _lint_source(source, _display_path(path), rules or all_rules())
+    return findings
+
+
+def _lint_source(
+    source: str, path: str, rules: list[Rule]
+) -> tuple[list[Finding], int]:
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(
+        path=path,
+        module=FileContext.module_of(path),
+        tree=tree,
+        lines=tuple(source.splitlines()),
+    )
+    raw: list[Finding] = []
+    for rule in rules:
+        if rule.applies(ctx):
+            raw.extend(rule.check(ctx))
+    suppressions = suppressed_rules(source)
+    findings: list[Finding] = []
+    suppressed = 0
+    for finding in sorted(raw, key=Finding.sort_key):
+        if finding.rule in suppressions.get(finding.line, frozenset()):
+            suppressed += 1
+            continue
+        findings.append(finding)
+    return findings, suppressed
+
+
+def lint_paths(
+    paths: list[str],
+    baseline: str | os.PathLike[str] | None = None,
+    rules: list[Rule] | None = None,
+) -> LintResult:
+    """Lint files/directories; returns findings, errors, and counters."""
+    active_rules = rules or all_rules()
+    files, errors = discover_files(paths)
+    result = LintResult(errors=list(errors))
+    result.baseline = Baseline.load(baseline) if baseline is not None else Baseline()
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            result.errors.append(
+                LintError(path=path, line=0, message=f"cannot read: {error.strerror}")
+            )
+            continue
+        result.files += 1
+        try:
+            findings, suppressed = _lint_source(source, path, active_rules)
+        except SyntaxError as error:
+            result.errors.append(
+                LintError(
+                    path=path,
+                    line=int(error.lineno or 0),
+                    message=f"syntax error: {error.msg}",
+                )
+            )
+            continue
+        result.suppressed += suppressed
+        lines = source.splitlines()
+        for finding in findings:
+            source_line = (
+                lines[finding.line - 1] if 1 <= finding.line <= len(lines) else ""
+            )
+            result.unfiltered.append((finding, source_line))
+            if result.baseline.matches(finding, source_line):
+                result.baselined += 1
+            else:
+                result.findings.append(finding)
+    result.findings.sort(key=Finding.sort_key)
+    result.errors.sort(key=lambda e: (e.path, e.line))
+    return result

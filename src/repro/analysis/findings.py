@@ -1,0 +1,70 @@
+"""Finding and file-context types shared by the engine and every rule."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+__all__ = ["FileContext", "Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``line``/``col`` are 1-based; :attr:`location` renders the
+    ``path:line:col`` form terminals and editors treat as clickable.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """One parsed file, as rules see it.
+
+    ``module`` is the path relative to the ``repro`` package root
+    (``"optim/sgd.py"``) when the file lives under a ``repro/``
+    directory, else ``None`` — rules scope themselves with it, so the
+    same rule pack runs over ``src/repro/**``, ``tests/**``, and fixture
+    trees alike.
+    """
+
+    path: str
+    module: str | None
+    tree: ast.Module
+    lines: tuple[str, ...]
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    @staticmethod
+    def module_of(path: str) -> str | None:
+        parts = path.replace("\\", "/").split("/")
+        if "repro" not in parts:
+            return None
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        rest = parts[anchor + 1 :]
+        return "/".join(rest) if rest else None
+
+    @property
+    def package(self) -> str | None:
+        """First path segment under ``repro/`` (``"optim"``), or the
+        module stem for top-level files (``"errors"``)."""
+        if self.module is None:
+            return None
+        head = self.module.split("/", 1)[0]
+        return head[: -len(".py")] if head.endswith(".py") else head

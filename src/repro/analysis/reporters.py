@@ -1,0 +1,63 @@
+"""Render a :class:`~repro.analysis.engine.LintResult` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintResult
+from repro.analysis.registry import all_rules
+
+__all__ = ["render_json", "render_text"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-facing report: one clickable ``path:line:col`` per finding."""
+    lines: list[str] = []
+    for error in result.errors:
+        lines.append(f"{error.location}: error: {error.message}")
+    for finding in result.findings:
+        lines.append(f"{finding.location}: {finding.rule} {finding.message}")
+    for entry in result.baseline.unused():
+        lines.append(
+            f"warning: stale baseline entry {entry.rule} {entry.path}:{entry.line} "
+            "matches nothing (fixed or edited?) — refresh with --update-baseline"
+        )
+    plural = "" if len(result.findings) == 1 else "s"
+    lines.append(
+        f"{len(result.findings)} finding{plural} in {result.files} files "
+        f"({result.suppressed} suppressed, {result.baselined} baselined"
+        + (f", {len(result.errors)} unparsable" if result.errors else "")
+        + ")"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-facing report (the CI artifact); schema is versioned."""
+    payload: dict[str, object] = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "rules": {rule.rule_id: rule.summary for rule in all_rules()},
+        "files": result.files,
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+            }
+            for finding in result.findings
+        ],
+        "errors": [
+            {"path": error.path, "line": error.line, "message": error.message}
+            for error in result.errors
+        ],
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "stale_baseline": [entry.to_json() for entry in result.baseline.unused()],
+        "exit_code": result.exit_code(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

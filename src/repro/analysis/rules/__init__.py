@@ -1,0 +1,12 @@
+"""The RPL rule pack; importing this package registers every rule."""
+
+from repro.analysis.rules import (  # noqa: F401
+    rpl001_param_data,
+    rpl002_training_flag,
+    rpl003_raw_gemm,
+    rpl004_nondeterminism,
+    rpl005_json_exact,
+    rpl006_layering,
+    rpl007_pickle_safety,
+    rpl008_restore_leak,
+)

@@ -1,0 +1,72 @@
+"""RPL001 — raw ``param.data`` writes that bypass plan invalidation.
+
+Compiled inference plans (PR 3) read parameter arrays live but cache
+BatchNorm-folded constants; the staleness probe only notices *replaced*
+arrays when the identity check runs, and the explicit
+``invalidate_runtime_plans`` signal is the contract every mutation path
+must honour.  A stray ``something.data = ...`` (or in-place
+``something.data += ...``) elsewhere silently desynchronises plans from
+the module tree — exactly the corruption the bit-exactness tests exist
+to prevent.
+
+Whitelisted modules own the contract: ``nn/module.py``
+(``load_state_dict`` invalidates) and ``fault/injector.py``
+(``apply``/``restore`` invalidate).  Audited writes elsewhere carry an
+inline disable with justification or a baseline entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.findings import FileContext, Finding
+from repro.analysis.registry import Rule, register
+
+_WHITELIST = {"nn/module.py", "fault/injector.py"}
+
+
+def _data_attribute(target: ast.expr) -> ast.Attribute | None:
+    """The ``X.data`` attribute node of a write target, if that's what
+    it is and ``X`` is not ``self`` (``self.data = ...`` is a plain
+    instance attribute, e.g. datasets)."""
+    if not isinstance(target, ast.Attribute) or target.attr != "data":
+        return None
+    if isinstance(target.value, ast.Name) and target.value.id == "self":
+        return None
+    return target
+
+
+@register
+class ParamDataWriteRule(Rule):
+    rule_id = "RPL001"
+    summary = (
+        "raw `X.data` write outside the plan-invalidation whitelist "
+        "(nn/module.py, fault/injector.py)"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.module is not None and ctx.module not in _WHITELIST
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                if isinstance(node, ast.AnnAssign) and node.value is None:
+                    continue
+                targets = [node.target]
+            for target in targets:
+                attribute = _data_attribute(target)
+                if attribute is None:
+                    continue
+                owner = dotted_name(attribute.value) or "<expr>"
+                yield self.finding(
+                    ctx,
+                    target,
+                    f"raw write to `{owner}.data` bypasses compiled-plan "
+                    "invalidation; route through load_state_dict, or call "
+                    "repro.nn.invalidate_runtime_plans(model) after the write",
+                )

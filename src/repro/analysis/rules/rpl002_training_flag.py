@@ -1,0 +1,53 @@
+"""RPL002 — direct ``Module.training`` assignment outside ``nn/module.py``.
+
+The PR 3 race fix: inference paths must never flip the *shared*
+``training`` flag (a set-eval/restore dance in one serve thread leaves
+another thread's forward running BatchNorm in training mode).  The
+thread-local ``eval_mode()`` context is the only sanctioned way to get
+eval semantics for a forward; ``Module.train()``/``.eval()`` remain for
+genuine global mode changes and funnel through the one whitelisted
+setter in ``nn/module.py``.
+
+This rule applies to tests too — serve tests run real threads and are
+just as capable of reintroducing the race.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.findings import FileContext, Finding
+from repro.analysis.registry import Rule, register
+
+
+@register
+class TrainingFlagRule(Rule):
+    rule_id = "RPL002"
+    summary = (
+        "direct `.training` assignment (thread-unsafe); use eval_mode() "
+        "or Module.train()/.eval()"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.module != "nn/module.py"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute) and target.attr == "training":
+                    owner = dotted_name(target.value) or "<expr>"
+                    yield self.finding(
+                        ctx,
+                        target,
+                        f"direct assignment to `{owner}.training` races "
+                        "concurrent forwards; use the thread-local "
+                        "eval_mode() context for inference, or "
+                        "Module.train()/.eval() for a real mode change",
+                    )

@@ -1,0 +1,68 @@
+"""RPL003 — raw GEMM calls in ``runtime/`` outside the approved kernels.
+
+Bit-exactness with the module forward holds because every compiled-path
+GEMM hands BLAS the *exact* matrix product the module performs — never
+row-split, never reassociated (PR 4 measured OpenBLAS accumulating K
+differently per shape; splitting a BLAS call is NOT float32-bit-exact).
+The approved call sites live in ``runtime/kernels.py``, next to the
+documentation of that contract.  Any other ``np.dot``/``np.matmul``/
+``np.einsum``/``@`` in the runtime package is a new GEMM that has not
+signed it.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import call_name
+from repro.analysis.findings import FileContext, Finding
+from repro.analysis.registry import Rule, register
+
+_APPROVED_MODULE = "runtime/kernels.py"
+_GEMM_FUNCTIONS = {"dot", "matmul", "einsum", "tensordot", "inner", "vdot"}
+
+
+@register
+class RawGemmRule(Rule):
+    rule_id = "RPL003"
+    summary = (
+        "raw GEMM in runtime/ outside kernels.py (the never-row-split "
+        "bit-exactness contract)"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return (
+            ctx.module is not None
+            and ctx.module.startswith("runtime/")
+            and ctx.module != _APPROVED_MODULE
+        )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                if (
+                    len(parts) == 2
+                    and parts[0] in {"np", "numpy"}
+                    and parts[1] in _GEMM_FUNCTIONS
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"raw `{name}` in the runtime package; GEMMs must go "
+                        "through the approved helpers in runtime/kernels.py, "
+                        "which guarantee the BLAS call is never row-split "
+                        "(bit-exactness contract)",
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "raw `@` matmul in the runtime package; GEMMs must go "
+                    "through the approved helpers in runtime/kernels.py "
+                    "(never-row-split bit-exactness contract)",
+                )

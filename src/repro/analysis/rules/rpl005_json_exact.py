@@ -1,0 +1,53 @@
+"""RPL005 — raw ``json.dump(s)`` in ``store/`` bypassing the exact encoder.
+
+The store's float contract: every float written to disk round-trips to
+the bit-identical float64 on load (``repr`` shortest round-trip), and
+values that *cannot* round-trip through JSON (NaN, +/-Infinity — which
+``json`` happily emits as non-standard tokens) are rejected at write
+time, not discovered at resume time.  ``repro.store.encoding`` is the
+one chokepoint enforcing that; raw ``json.dump``/``json.dumps`` calls
+in the store package sidestep it.  (``json.load(s)`` is fine — reading
+is exact by construction.)
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import call_name
+from repro.analysis.findings import FileContext, Finding
+from repro.analysis.registry import Rule, register
+
+_ENCODER_MODULE = "store/encoding.py"
+
+
+@register
+class ExactJsonRule(Rule):
+    rule_id = "RPL005"
+    summary = (
+        "raw json.dump(s) in store/ bypasses the exact-float encoder "
+        "(repro.store.encoding)"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return (
+            ctx.module is not None
+            and ctx.module.startswith("store/")
+            and ctx.module != _ENCODER_MODULE
+        )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in {"json.dump", "json.dumps"}:
+                function = name.split(".")[1]
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"raw `{name}` bypasses the exact-float encoder; use "
+                    f"repro.store.encoding.exact_json_{function} (rejects "
+                    "non-round-trippable NaN/Infinity at write time)",
+                )

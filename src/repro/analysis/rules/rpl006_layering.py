@@ -1,0 +1,171 @@
+"""RPL006 — import layering, driven by the declared layer DAG below.
+
+The dependency architecture, bottom to top: numerics (``autograd``) →
+modelling (``nn``, ``quant``, ``optim``, ``models``, ``data``) →
+training (``core``) → fault machinery (``fault``) → compiled inference
+(``runtime``) → persistence (``store``) → evaluation (``eval``) →
+serving (``serve``) → entry points (``cli``).  Lower layers must never
+import higher ones — in particular ``nn``/``runtime``/``fault`` must
+not reach into ``serve``/``cli``/``store`` — or the ROADMAP's
+multi-host control plane inherits an import cycle instead of a layer
+boundary.
+
+``if TYPE_CHECKING:`` imports are exempt (annotation-only references,
+erased at runtime, are how a lower layer *names* a higher-layer type —
+``fault.campaign`` referring to ``store.CampaignStore`` in a signature
+is fine; constructing one is not).  Function-local imports are checked:
+they are real runtime dependencies, merely deferred.
+
+New packages must be added to :data:`LAYER_DAG` explicitly — an
+undeclared package is itself a finding, so the DAG cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import is_type_checking_test
+from repro.analysis.findings import FileContext, Finding
+from repro.analysis.registry import Rule, register
+
+_ANY = frozenset({"*"})
+
+#: package -> repro sub-packages it may import (``*`` = unrestricted).
+LAYER_DAG: dict[str, frozenset[str]] = {
+    "errors": frozenset(),
+    "utils": frozenset({"errors"}),
+    "autograd": frozenset({"errors", "utils"}),
+    "nn": frozenset({"autograd", "errors", "utils"}),
+    "quant": frozenset({"autograd", "errors", "nn", "utils"}),
+    "optim": frozenset({"autograd", "errors", "nn", "utils"}),
+    "data": frozenset({"autograd", "errors", "utils"}),
+    "models": frozenset({"autograd", "errors", "nn", "utils"}),
+    "core": frozenset(
+        {"autograd", "data", "errors", "models", "nn", "optim", "quant", "utils"}
+    ),
+    "fault": frozenset({"autograd", "core", "errors", "nn", "quant", "utils"}),
+    "runtime": frozenset(
+        {"autograd", "core", "errors", "fault", "models", "nn", "utils"}
+    ),
+    "store": frozenset({"errors", "fault", "utils"}),
+    "eval": frozenset(
+        {
+            "autograd",
+            "core",
+            "data",
+            "errors",
+            "fault",
+            "models",
+            "nn",
+            "quant",
+            "runtime",
+            "utils",
+        }
+    ),
+    "analysis": frozenset({"errors", "utils"}),
+    "serve": frozenset(
+        {
+            "core",
+            "errors",
+            "eval",
+            "fault",
+            "models",
+            "nn",
+            "quant",
+            "runtime",
+            "utils",
+        }
+    ),
+    "cli": _ANY,
+    # The repro facade (src/repro/__init__.py) re-exports the public
+    # surface; __main__ just dispatches into the CLI.
+    "__init__": _ANY,
+    "__main__": frozenset({"cli"}),
+}
+
+
+def _imported_packages(node: ast.Import | ast.ImportFrom) -> list[str]:
+    """Top-level repro sub-packages an import statement pulls in."""
+    targets: list[str] = []
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            parts = alias.name.split(".")
+            if parts[0] == "repro" and len(parts) > 1:
+                targets.append(parts[1])
+    else:
+        if node.level or node.module is None:
+            return []  # relative: stays inside the importer's package
+        parts = node.module.split(".")
+        if parts[0] != "repro":
+            return []
+        if len(parts) > 1:
+            targets.append(parts[1])
+        else:
+            # ``from repro import nn, fault`` names packages directly.
+            targets.extend(alias.name for alias in node.names)
+    return targets
+
+
+class _ImportVisitor(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.imports: list[tuple[ast.stmt, str]] = []
+
+    def visit_If(self, node: ast.If) -> None:
+        if is_type_checking_test(node.test):
+            for stmt in node.orelse:
+                self.visit(stmt)
+            return
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for target in _imported_packages(node):
+            self.imports.append((node, target))
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for target in _imported_packages(node):
+            self.imports.append((node, target))
+
+
+@register
+class LayeringRule(Rule):
+    rule_id = "RPL006"
+    summary = "import crosses the declared layer DAG (see LAYER_DAG)"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.module is not None
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        package = ctx.package
+        if package is None:
+            return
+        allowed = LAYER_DAG.get(package)
+        if allowed is None:
+            yield Finding(
+                path=ctx.path,
+                line=1,
+                col=1,
+                rule=self.rule_id,
+                message=(
+                    f"package `{package}` is not in the declared layer DAG; "
+                    "add it to LAYER_DAG in rules/rpl006_layering.py with "
+                    "its allowed imports"
+                ),
+            )
+            return
+        if allowed is _ANY or "*" in allowed:
+            return
+        visitor = _ImportVisitor()
+        visitor.visit(ctx.tree)
+        for node, target in visitor.imports:
+            if target == package or target in allowed:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"layering violation: `{package}` may not import "
+                f"`repro.{target}` (allowed: "
+                f"{', '.join(sorted(allowed)) or 'nothing'}); if the "
+                "dependency is intentional, amend LAYER_DAG in the same "
+                "change that justifies it",
+            )

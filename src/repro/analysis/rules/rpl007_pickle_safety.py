@@ -1,0 +1,108 @@
+"""RPL007 — live-resource holders without a ``__getstate__``.
+
+Spawn-based campaign pools pickle whatever the trial closure reaches:
+models, injectors, evaluators.  Locks, threads, executors, and compiled
+plans either fail to pickle with an opaque error deep inside
+``multiprocessing``, or — worse — pickle a snapshot that silently
+duplicates live state in the worker.  Every class that acquires such a
+resource must decide its pickling story explicitly in ``__getstate__``:
+drop the resource and rebuild lazily (``Module``, ``Evaluator``,
+``FaultInjector`` all do), or refuse loudly with a clear message
+(plans, the serving stack).
+
+Detection is per class body: creating a ``threading`` primitive, a
+``concurrent.futures`` executor, or a compiled plan (``compile_model``)
+anywhere inside the class — including via a dataclass
+``field(default_factory=threading.Lock)`` — without a ``__getstate__``
+defined in the same body.  A class inheriting its ``__getstate__``
+suppresses the line with a comment naming the base class.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import dotted_name, walk_skipping
+from repro.analysis.findings import FileContext, Finding
+from repro.analysis.registry import Rule, register
+
+_THREADING_FACTORIES = {
+    "Lock",
+    "RLock",
+    "Thread",
+    "Event",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Barrier",
+}
+_EXECUTOR_FACTORIES = {"ThreadPoolExecutor", "ProcessPoolExecutor"}
+_PLAN_FACTORIES = {"compile_model"}
+
+
+def _resource_kind(name: str | None) -> str | None:
+    """What live resource a callee/reference creates, if any."""
+    if name is None:
+        return None
+    parts = name.split(".")
+    if len(parts) == 2 and parts[0] == "threading" and parts[1] in _THREADING_FACTORIES:
+        return f"a threading.{parts[1]}"
+    if parts[-1] in _EXECUTOR_FACTORIES:
+        return f"a {parts[-1]}"
+    if parts[-1] in _PLAN_FACTORIES:
+        return "a compiled plan"
+    return None
+
+
+@register
+class PickleSafetyRule(Rule):
+    rule_id = "RPL007"
+    summary = (
+        "class holds locks/threads/executors/compiled plans without a "
+        "__getstate__ (spawn-pool pickle safety)"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.module is not None
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            resource = self._held_resource(node)
+            if resource is None:
+                continue
+            if self._defines_getstate(node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"class `{node.name}` holds {resource} but defines no "
+                "__getstate__; decide its pickling story — drop the "
+                "resource and rebuild lazily, or refuse with a clear "
+                "TypeError — before a spawn pool decides for you",
+            )
+
+    @staticmethod
+    def _held_resource(node: ast.ClassDef) -> str | None:
+        # Walk the class body without descending into nested classes
+        # (they are checked as their own ClassDef).
+        for child in walk_skipping(node, skip=(ast.ClassDef,)):
+            if isinstance(child, ast.Call):
+                kind = _resource_kind(dotted_name(child.func))
+                if kind is not None:
+                    return kind
+            elif isinstance(child, ast.keyword) and child.arg == "default_factory":
+                kind = _resource_kind(dotted_name(child.value))
+                if kind is not None:
+                    return kind
+        return None
+
+    @staticmethod
+    def _defines_getstate(node: ast.ClassDef) -> bool:
+        return any(
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name == "__getstate__"
+            for stmt in node.body
+        )

@@ -1,0 +1,107 @@
+"""RPL008 — injector-style ``try`` whose ``except`` can leak faults.
+
+``FaultInjector.apply`` promises all-or-nothing: a failure mid-apply
+restores the clean state before propagating.  The same shape recurs
+wherever code flips parameter state and evaluates under it (chaos
+engine, campaign trials): if an ``except`` handler swallows the error
+and falls through without restoring, the model silently keeps its
+injected faults — every subsequent "clean" measurement is corrupt, the
+exact silent-wrongness FT-ClipAct warns resilience numbers against.
+
+A ``try`` is injector-style when its body writes ``X.data``, calls
+``flip_bits``, or calls ``.apply()``/``.inject()`` on something named
+like an injector.  Compliant handlers re-raise or call a
+``restore``-like method; a ``finally`` that restores also satisfies the
+rule.  (Prefer the ``injector.inject()`` context manager, which makes
+the question moot.)
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.findings import FileContext, Finding
+from repro.analysis.registry import Rule, register
+
+_MUTATOR_METHODS = {"apply", "inject"}
+_RESTORE_NAMES = {"rollback", "reset"}
+
+
+def _is_injectorish(name: str | None) -> bool:
+    return name is not None and "injector" in name.lower()
+
+
+def _mutates_fault_state(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and target.attr == "data":
+                        if not (
+                            isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            return True
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                if parts[-1] == "flip_bits":
+                    return True
+                if len(parts) > 1 and parts[-1] in _MUTATOR_METHODS:
+                    receiver = ".".join(parts[:-1])
+                    if _is_injectorish(receiver) or receiver == "self":
+                        return True
+    return False
+
+
+def _handler_restores(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            terminal = name.split(".")[-1]
+            if "restore" in terminal or terminal in _RESTORE_NAMES:
+                return True
+    return False
+
+
+@register
+class RestoreLeakRule(Rule):
+    rule_id = "RPL008"
+    summary = (
+        "except block in injector-style try can exit without restoring "
+        "flipped state"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.module is not None
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            if node.finalbody:
+                continue  # restoration in finally covers every exit path
+            if not _mutates_fault_state(node.body):
+                continue
+            for handler in node.handlers:
+                if _handler_restores(handler):
+                    continue
+                yield self.finding(
+                    ctx,
+                    handler,
+                    "this except block can exit with injected faults still "
+                    "applied: call restore() (or re-raise) in the handler, "
+                    "move restoration to a finally, or use the "
+                    "injector.inject() context manager",
+                )

@@ -1,0 +1,42 @@
+"""Per-line suppression comments: ``# repro-lint: disable=RPL001``.
+
+A trailing comment suppresses matching findings on its own line; a
+standalone comment line suppresses them on the next line (so long
+statements can carry their justification above, not beside).  Multiple
+rule ids are comma-separated: ``disable=RPL001,RPL004``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["suppressed_rules"]
+
+_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def suppressed_rules(source: str) -> dict[int, frozenset[str]]:
+    """Map of line number -> rule ids suppressed on that line.
+
+    Parsed from the token stream (not regex over raw lines), so
+    directives inside string literals do not suppress anything.
+    """
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if match is None:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        row = token.start[0]
+        line = token.line.strip()
+        target = row + 1 if line.startswith("#") else row
+        suppressions.setdefault(target, set()).update(ids)
+    return {line: frozenset(ids) for line, ids in suppressions.items()}

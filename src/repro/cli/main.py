@@ -617,13 +617,13 @@ def _cmd_campaign_merge(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
-    import json
     import os
 
     from repro.errors import ConfigurationError
     from repro.eval.reporting import format_atlas, format_markdown_table
     from repro.fault.statistics import sdc_probability
     from repro.store import CampaignStore, build_atlas
+    from repro.store.encoding import exact_json_dump
 
     with CampaignStore.open(args.store) as store:
         meta = store.meta
@@ -702,11 +702,47 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     with open(report_path, "w", encoding="utf-8") as handle:
         handle.write(text)
     with open(atlas_path, "w", encoding="utf-8") as handle:
-        json.dump(atlas, handle, indent=2, sort_keys=True)
+        exact_json_dump(atlas, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(text)
     print(f"wrote {report_path} and {atlas_path}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import all_rules, lint_paths, render_json, render_text
+    from repro.analysis.baseline import Baseline
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+
+    baseline_path = None if args.no_baseline else args.baseline
+    result = lint_paths(args.paths, baseline=baseline_path)
+
+    if args.update_baseline:
+        if result.errors:
+            for error in result.errors:
+                print(f"{error.location}: error: {error.message}", file=sys.stderr)
+            print("refusing to update the baseline with unparsable files", file=sys.stderr)
+            return 2
+        # Carry existing justification notes forward by (rule, path).
+        previous = Baseline.load(args.baseline)
+        notes = {
+            (entry.rule, entry.path): entry.note
+            for entry in previous.entries
+            if entry.note
+        }
+        count = Baseline.write(args.baseline, result.unfiltered, notes=notes)
+        print(f"wrote {count} baseline entries to {args.baseline}")
+        return 0
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code()
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -1010,6 +1046,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--id", required=True, help="see 'repro list-experiments'")
     _add_preset_arguments(p)
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "lint",
+        help="check the repo's correctness invariants (rules RPL001-RPL008)",
+        description=(
+            "AST-based invariant linter: plan-invalidation, thread-safe "
+            "eval mode, bit-exact GEMM routing, journal determinism, "
+            "exact-float JSON, import layering, pickle safety, fault "
+            "restoration.  Exit codes: 0 clean, 1 findings, 2 unparsable "
+            "files or bad usage.  See docs/INVARIANTS.md."
+        ),
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (text: clickable path:line:col; json: CI artifact)",
+    )
+    p.add_argument(
+        "--baseline",
+        default="lint-baseline.json",
+        help="grandfathered-findings file (default: lint-baseline.json)",
+    )
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report baselined findings too",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to cover every current finding",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule ids and summaries, then exit",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -28,7 +28,7 @@ from repro.core.training import evaluate_accuracy
 from repro.data.loader import DataLoader
 from repro.errors import ConfigurationError
 from repro.nn.loss import CrossEntropyLoss
-from repro.nn.module import Module
+from repro.nn.module import Module, invalidate_runtime_plans
 from repro.nn.parameter import Parameter
 from repro.optim.adam import Adam
 from repro.utils.logging import get_logger
@@ -151,7 +151,10 @@ class BoundPostTrainer:
 
     def _restore(self, snapshot: list[np.ndarray]) -> None:
         for bound, saved in zip(self._bounds, snapshot):
-            bound.data = saved.copy()
+            # Rebinding .data is safe here only because the compiled-plan
+            # cache is flushed right after the loop (RPL001).
+            bound.data = saved.copy()  # repro-lint: disable=RPL001
+        invalidate_runtime_plans(self.model)
 
     def _freeze_weights(self) -> list[Parameter]:
         """Turn off gradients for every non-bound parameter; returns them."""

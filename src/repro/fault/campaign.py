@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import CampaignInterrupted, ConfigurationError
 from repro.fault.fault_model import BitFlipFaultModel, FaultModel
 from repro.fault.injector import FaultInjector
 from repro.fault.parallel import (
@@ -434,8 +434,6 @@ class FaultCampaign:
                 outcome = journal.get(trial)
                 if outcome is None:
                     if budget is not None and fresh >= budget:
-                        from repro.store import CampaignInterrupted
-
                         raise CampaignInterrupted(
                             f"store reached its new-trial budget before "
                             f"trial {trial}; resume to continue"

@@ -19,7 +19,10 @@ def quantize_module(module: Module, fmt: FixedPointFormat = Q15_16) -> Module:
     Returns the same module for chaining.
     """
     for _, param in module.named_parameters():
-        param.data = quantize(param.data, fmt).astype(param.dtype, copy=False)
+        # Safe rebind: the plan cache is flushed right after the loop (RPL001).
+        param.data = quantize(param.data, fmt).astype(  # repro-lint: disable=RPL001
+            param.dtype, copy=False
+        )
     invalidate_runtime_plans(module)
     return module
 

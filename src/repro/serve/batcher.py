@@ -93,6 +93,13 @@ class MicroBatcher:
         for thread in self._threads:
             thread.start()
 
+    def __getstate__(self) -> dict[str, object]:
+        """Batchers own live worker threads and refuse to pickle (RPL007)."""
+        raise TypeError(
+            "MicroBatcher owns worker threads and cannot be pickled; "
+            "construct a fresh batcher in the target process"
+        )
+
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------

@@ -97,6 +97,13 @@ class ServeApp:
         self._lane_builds: dict[str, threading.Lock] = {}
         self._preloaded: list[str] = []
 
+    def __getstate__(self) -> dict[str, object]:
+        """Apps hold locks and live batcher lanes; refuse to pickle (RPL007)."""
+        raise TypeError(
+            "ServeApp holds locks and live batcher lanes and cannot be "
+            "pickled; build a fresh app per process"
+        )
+
     # ------------------------------------------------------------------
     # Lanes
     # ------------------------------------------------------------------
@@ -384,6 +391,13 @@ class ReproServer:
         self._httpd = _HTTPServer((host, port), _Handler)
         self._httpd.app = app
         self._thread: threading.Thread | None = None
+
+    def __getstate__(self) -> dict[str, object]:
+        """Servers own a socket and accept thread; refuse to pickle (RPL007)."""
+        raise TypeError(
+            "ReproServer owns a listening socket and accept thread and "
+            "cannot be pickled; start a fresh server per process"
+        )
 
     @property
     def host(self) -> str:

@@ -144,6 +144,13 @@ class ServerMetrics:
         self._samples_served = 0
         self._chaos: dict[str, _ChaosCounters] = {}
 
+    def __getstate__(self) -> dict[str, object]:
+        """Metrics hold a lock; refuse to pickle (RPL007)."""
+        raise TypeError(
+            "ServerMetrics holds a lock and cannot be pickled; export "
+            "snapshot() instead"
+        )
+
     def observe_request(self, endpoint: str, status: int, seconds: float) -> None:
         with self._lock:
             counters = self._endpoints.setdefault(endpoint, _EndpointCounters())

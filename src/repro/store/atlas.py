@@ -32,13 +32,13 @@ __all__ = ["build_atlas"]
 
 
 def _rows(
-    outcomes: dict[object, list[float]],
-    flips: dict[object, int],
+    outcomes: dict[int, list[float]],
+    flips: dict[int, int],
     baseline: float,
     tolerance: float,
     confidence: float,
 ) -> list[dict[str, object]]:
-    rows = []
+    rows: list[dict[str, object]] = []
     for group in outcomes:
         accuracies = np.asarray(outcomes[group], dtype=np.float64)
         sdc = int(np.count_nonzero(is_sdc(accuracies, baseline, tolerance)))
@@ -107,8 +107,8 @@ def build_atlas(
             if not record.sites:
                 continue
             trials_with_faults += 1
-            hit_layers = set()
-            hit_bits = set()
+            hit_layers: set[int] = set()
+            hit_bits: set[int] = set()
             for layer, bit in record.sites:
                 layer_flips[layer] += 1
                 bit_flips[bit] += 1

@@ -39,12 +39,13 @@ import json
 import os
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, BinaryIO, Protocol
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import CampaignInterrupted, ConfigurationError, ReproError
 from repro.fault.parallel import TrialOutcome
+from repro.store.encoding import exact_json_dump, exact_json_dumps
 from repro.utils.logging import get_logger
 
 if TYPE_CHECKING:
@@ -69,13 +70,15 @@ class StoreError(ReproError):
     """A campaign store is missing, corrupt, or incompatible."""
 
 
-class CampaignInterrupted(ReproError):
-    """The store's new-trial budget ran out (``max_new_records``).
+class Describable(Protocol):
+    """Anything with a deterministic ``describe()`` spec string.
 
-    Raised *before* the over-budget trial is journaled, so the store is
-    left in a clean resumable state: re-running the same campaign with
-    the same store picks up exactly where this run stopped.
+    The store journals fault models by this string alone (callables
+    don't serialise); every fault model in :mod:`repro.fault` satisfies
+    it, as does :class:`StoredFaultModel` itself.
     """
+
+    def describe(self) -> str: ...
 
 
 @dataclass(frozen=True)
@@ -129,7 +132,7 @@ def _config_key(tag: str, spec: str) -> str:
 
 def _identity_hash(identity: Mapping[str, object]) -> str:
     """Order-independent digest of a campaign identity (the config hash)."""
-    text = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    text = exact_json_dumps(identity, sort_keys=True)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
@@ -155,7 +158,7 @@ class CampaignStore:
     def __init__(
         self,
         path: str,
-        manifest: dict[str, object],
+        manifest: dict[str, Any],
         records: dict[str, dict[int, TrialRecord]],
         journal_end: int,
     ) -> None:
@@ -163,7 +166,7 @@ class CampaignStore:
         self._manifest = manifest
         self._records = records
         self._journal_end = journal_end
-        self._writer = None
+        self._writer: BinaryIO | None = None
         self.appended = 0
         #: Journal at most this many new trials, then raise
         #: :class:`CampaignInterrupted` (None = unlimited).  Powers
@@ -187,7 +190,7 @@ class CampaignStore:
         }
 
     @classmethod
-    def exists(cls, path: str | os.PathLike) -> bool:
+    def exists(cls, path: str | os.PathLike[str]) -> bool:
         """Whether ``path`` already holds a campaign store.
 
         The single place that knows the on-disk layout — callers decide
@@ -198,7 +201,7 @@ class CampaignStore:
     @classmethod
     def create(
         cls,
-        path: str | os.PathLike,
+        path: str | os.PathLike[str],
         identity: Mapping[str, object],
         meta: Mapping[str, object] | None = None,
     ) -> "CampaignStore":
@@ -208,7 +211,7 @@ class CampaignStore:
             raise StoreError(f"{path!r} already holds a campaign store")
         os.makedirs(path, exist_ok=True)
         identity = dict(identity)
-        manifest: dict[str, object] = {
+        manifest: dict[str, Any] = {
             "version": _VERSION,
             "identity": identity,
             "config_hash": _identity_hash(identity),
@@ -224,7 +227,7 @@ class CampaignStore:
         return store
 
     @classmethod
-    def open(cls, path: str | os.PathLike) -> "CampaignStore":
+    def open(cls, path: str | os.PathLike[str]) -> "CampaignStore":
         """Load an existing store, tolerating a torn trailing record."""
         path = os.fspath(path)
         manifest_path = os.path.join(path, _MANIFEST)
@@ -254,7 +257,7 @@ class CampaignStore:
     @classmethod
     def for_campaign(
         cls,
-        path: str | os.PathLike,
+        path: str | os.PathLike[str],
         campaign: "FaultCampaign",
         meta: Mapping[str, object] | None = None,
     ) -> "CampaignStore":
@@ -298,12 +301,14 @@ class CampaignStore:
         return os.path.join(self.path, _JOURNAL)
 
     @property
-    def identity(self) -> dict[str, object]:
-        return dict(self._manifest["identity"])
+    def identity(self) -> dict[str, Any]:
+        identity: dict[str, Any] = dict(self._manifest["identity"])
+        return identity
 
     @property
-    def meta(self) -> dict[str, object]:
-        return dict(self._manifest["meta"])
+    def meta(self) -> dict[str, Any]:
+        meta: dict[str, Any] = dict(self._manifest["meta"])
+        return meta
 
     @property
     def config_hash(self) -> str:
@@ -326,12 +331,17 @@ class CampaignStore:
     def layers(self) -> list[str]:
         return list(self._manifest["identity"].get("layers", []))
 
+    @property
+    def _configs(self) -> list[dict[str, Any]]:
+        configs: list[dict[str, Any]] = self._manifest["configs"]
+        return configs
+
     def config_keys(self) -> list[str]:
         """Config keys in first-run order (the sweep's rate order)."""
-        return [str(entry["key"]) for entry in self._manifest["configs"]]
+        return [str(entry["key"]) for entry in self._configs]
 
-    def config_entry(self, key: str) -> dict[str, object]:
-        for entry in self._manifest["configs"]:
+    def config_entry(self, key: str) -> dict[str, Any]:
+        for entry in self._configs:
             if entry["key"] == key:
                 return entry
         raise StoreError(f"store has no config {key!r}")
@@ -343,7 +353,7 @@ class CampaignStore:
         """Atomic rewrite: temp file in the same directory, then rename."""
         tmp = self._manifest_path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(self._manifest, handle, indent=2, sort_keys=False)
+            exact_json_dump(self._manifest, handle, indent=2)
             handle.write("\n")
             handle.flush()
             os.fsync(handle.fileno())
@@ -405,13 +415,15 @@ class CampaignStore:
         self._journal_end = offset
 
     def _append(self, key: str, record: TrialRecord) -> None:
-        if self._writer is None:
+        writer = self._writer
+        if writer is None:
             # Reclaim any torn tail before the first append of this
             # session, so the journal stays a clean sequence of lines.
-            self._writer = open(self._journal_path, "r+b")
-            self._writer.seek(self._journal_end)
-            self._writer.truncate()
-        line = json.dumps(
+            writer = open(self._journal_path, "r+b")
+            writer.seek(self._journal_end)
+            writer.truncate()
+            self._writer = writer
+        line = exact_json_dumps(
             {
                 "c": key,
                 "t": record.index,
@@ -419,12 +431,11 @@ class CampaignStore:
                 "f": record.flips,
                 "s": [[layer, bit] for layer, bit in record.sites],
                 "sec": record.seconds,
-            },
-            separators=(",", ":"),
+            }
         )
         payload = line.encode("utf-8") + b"\n"
-        self._writer.write(payload)
-        self._writer.flush()
+        writer.write(payload)
+        writer.flush()
         self._journal_end += len(payload)
 
     def close(self) -> None:
@@ -441,14 +452,14 @@ class CampaignStore:
     # ------------------------------------------------------------------
     # The campaign-facing journal surface
     # ------------------------------------------------------------------
-    def open_config(self, fault_model, tag: str = "") -> str:
+    def open_config(self, fault_model: Describable, tag: str = "") -> str:
         """Register one fault configuration (idempotent); returns its key."""
         spec = fault_model.describe()
         key = _config_key(tag, spec)
-        for entry in self._manifest["configs"]:
+        for entry in self._configs:
             if entry["key"] == key:
                 return key
-        self._manifest["configs"].append(
+        self._configs.append(
             {"key": key, "tag": tag, "spec": spec, "converged_at": None}
         )
         self._write_manifest()
@@ -568,11 +579,11 @@ class CampaignStore:
 
     def status(self) -> dict[str, object]:
         """JSON-ready progress summary (``repro campaign status``)."""
-        configs = []
+        configs: list[dict[str, object]] = []
         total_done = 0
         total_expected = 0
         seconds = 0.0
-        for entry in self._manifest["configs"]:
+        for entry in self._configs:
             key = str(entry["key"])
             records = self._records.get(key, {})
             expected = self.expected_indices(key)
@@ -621,8 +632,8 @@ class CampaignStore:
     @classmethod
     def merge(
         cls,
-        path: str | os.PathLike,
-        sources: Sequence["CampaignStore | str | os.PathLike"],
+        path: str | os.PathLike[str],
+        sources: Sequence["CampaignStore | str | os.PathLike[str]"],
     ) -> "CampaignStore":
         """Fold shard stores into one unsharded store at ``path``.
 
@@ -652,12 +663,12 @@ class CampaignStore:
         identity = {**base, "shard": None}
         merged = cls.create(path, identity, meta=stores[0].meta)
         for store in stores:
-            for entry in store._manifest["configs"]:
+            for entry in store._configs:
                 key = str(entry["key"])
                 try:
                     existing = merged.config_entry(key)
                 except StoreError:
-                    merged._manifest["configs"].append(
+                    merged._configs.append(
                         {
                             "key": key,
                             "tag": entry["tag"],
@@ -687,13 +698,13 @@ class CampaignStore:
             for key, records in store._records.items():
                 merged_records = merged._records.setdefault(key, {})
                 for index, record in sorted(records.items()):
-                    existing = merged_records.get(index)
-                    if existing is not None:
-                        if existing != record:
+                    prior = merged_records.get(index)
+                    if prior is not None:
+                        if prior != record:
                             raise StoreError(
                                 f"config {key!r} trial {index}: sources "
                                 "journaled conflicting outcomes "
-                                f"({existing.accuracy!r} vs {record.accuracy!r})"
+                                f"({prior.accuracy!r} vs {record.accuracy!r})"
                             )
                         continue
                     merged._append(key, record)

@@ -16,6 +16,8 @@ from repro.data.transforms import Normalize
 from repro.errors import ConfigurationError
 from repro.eval.evaluator import Evaluator, forward_logits
 from repro.models.registry import build_model
+from repro.optim import SGD
+from repro.optim.adam import Adam
 from repro.runtime import compile_model, register_block_compiler
 from repro.runtime.kernels import FallbackKernel
 
@@ -99,6 +101,33 @@ def test_replaced_parameter_array_is_detected_automatically():
     param = next(model.parameters())
     param.data = np.zeros_like(param.data)  # array replaced, not signalled
     np.testing.assert_array_equal(plan(x), forward_logits(model, x))
+
+
+@pytest.mark.parametrize("make_optimizer", [
+    lambda params: SGD(params, lr=0.05, momentum=0.9),
+    lambda params: Adam(params, lr=0.01),
+])
+def test_plan_tracks_optimizer_steps(make_optimizer):
+    """A compiled plan never serves pre-step weights after optimizer.step().
+
+    Optimizer updates rebind ``param.data`` to fresh arrays without
+    signalling the plan (the audited RPL001 baseline entries in
+    optim/sgd.py and optim/adam.py); the plan's per-call identity probe
+    must catch the rebind on its own.
+    """
+    rng = np.random.default_rng(6)
+    model = _lenet()
+    x = _batch(rng, 2)
+    plan = compile_model(model, x.shape)
+    before = plan(x).copy()
+    params = list(model.parameters())
+    optimizer = make_optimizer(params)
+    for param in params:
+        param.grad = rng.standard_normal(param.shape).astype(np.float32)
+    optimizer.step()
+    after = plan(x)
+    np.testing.assert_array_equal(after, forward_logits(model, x))
+    assert not np.array_equal(after, before)
 
 
 def test_in_place_buffer_mutation_needs_refresh():
