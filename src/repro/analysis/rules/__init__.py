@@ -9,4 +9,5 @@ from repro.analysis.rules import (  # noqa: F401
     rpl006_layering,
     rpl007_pickle_safety,
     rpl008_restore_leak,
+    rpl009_raw_timing,
 )

@@ -44,11 +44,14 @@ LAYER_DAG: dict[str, frozenset[str]] = {
     "core": frozenset(
         {"autograd", "data", "errors", "models", "nn", "optim", "quant", "utils"}
     ),
-    "fault": frozenset({"autograd", "core", "errors", "nn", "quant", "utils"}),
-    "runtime": frozenset(
-        {"autograd", "core", "errors", "fault", "models", "nn", "utils"}
+    "obs": frozenset({"errors", "utils"}),
+    "fault": frozenset(
+        {"autograd", "core", "errors", "nn", "obs", "quant", "utils"}
     ),
-    "store": frozenset({"errors", "fault", "utils"}),
+    "runtime": frozenset(
+        {"autograd", "core", "errors", "fault", "models", "nn", "obs", "utils"}
+    ),
+    "store": frozenset({"errors", "fault", "obs", "utils"}),
     "eval": frozenset(
         {
             "autograd",
@@ -72,6 +75,7 @@ LAYER_DAG: dict[str, frozenset[str]] = {
             "fault",
             "models",
             "nn",
+            "obs",
             "quant",
             "runtime",
             "utils",

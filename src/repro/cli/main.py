@@ -553,12 +553,9 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
             )
 
 
-def _cmd_campaign_status(args: argparse.Namespace) -> int:
+def _print_campaign_status(status: dict) -> None:
     from repro.eval.reporting import format_table
-    from repro.store import CampaignStore
 
-    with CampaignStore.open(args.store) as store:
-        status = store.status()
     rows = []
     for config in status["configs"]:
         mean = config["mean_accuracy"]
@@ -596,6 +593,79 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         )
     else:
         print(f"{status['journaled']}/{status['expected']} trials")
+
+
+def _follow_campaign_status(args: argparse.Namespace) -> int:
+    """Poll the store's journal; one progress line per poll until complete.
+
+    The live view is built from the same observability registry the
+    campaign process feeds: each poll updates gauges in the process
+    default registry (so an embedded scraper sees identical numbers)
+    and derives the trial rate from the journaled-count delta.
+    """
+    import time
+
+    from repro.obs.metrics import default_registry
+    from repro.store import CampaignStore
+
+    registry = default_registry()
+    journaled_gauge = registry.gauge(
+        "repro_campaign_status_journaled",
+        "Journaled trials seen by the status follower, per store.",
+        labelnames=("store",),
+    )
+    expected_gauge = registry.gauge(
+        "repro_campaign_status_expected",
+        "Expected trials seen by the status follower, per store.",
+        labelnames=("store",),
+    )
+    previous_journaled: int | None = None
+    previous_at = 0.0
+    while True:
+        # Wall-clock poll pacing only — nothing journaled depends on it.
+        now = time.monotonic()  # repro-lint: disable=RPL009
+        with CampaignStore.open(args.store) as store:
+            status = store.status()
+        journaled = int(status["journaled"])
+        expected = int(status["expected"])
+        journaled_gauge.set(journaled, store=str(status["path"]))
+        expected_gauge.set(expected, store=str(status["path"]))
+        converged = sum(
+            1
+            for config in status["configs"]
+            if config["converged_at"] is not None
+        )
+        note = f"converged {converged}/{len(status['configs'])} configs"
+        if previous_journaled is not None and now > previous_at:
+            rate = (journaled - previous_journaled) / (now - previous_at)
+            note += f", {rate:.2f} trials/s"
+        mean_seconds = status["mean_trial_seconds"]
+        if not status["complete"] and mean_seconds:
+            eta = (expected - journaled) * mean_seconds
+            note += f", ~{eta:.0f}s remaining"
+        print(f"{journaled}/{expected} trials ({note})", flush=True)
+        if status["complete"]:
+            print(f"complete: {status['path']}")
+            return 0
+        previous_journaled, previous_at = journaled, now
+        time.sleep(args.interval)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.store import CampaignStore
+
+    if args.follow:
+        return _follow_campaign_status(args)
+    with CampaignStore.open(args.store) as store:
+        status = store.status()
+    if args.format == "json":
+        from repro.store.encoding import exact_json_dumps
+
+        # The exact-float encoder: accuracies in the JSON view
+        # round-trip to the journaled bits.
+        print(exact_json_dumps(status, indent=2, sort_keys=True))
+        return 0
+    _print_campaign_status(status)
     return 0
 
 
@@ -709,6 +779,31 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.checkpoint import load_protected_auto
+    from repro.runtime.plan import compile_model
+
+    model, meta = load_protected_auto(args.checkpoint)
+    image_size = int(meta["image_size"])
+    in_channels = int(meta.get("in_channels", 3))
+    shape = (args.batch, in_channels, image_size, image_size)
+    plan = compile_model(model, shape)
+    profile = plan.profile(repeats=args.repeats, warmup=args.warmup)
+    print(
+        f"profile {args.checkpoint}: {meta['model']}/{meta['dataset']} "
+        f"({meta['method']}), input {shape}, "
+        f"{args.repeats} forwards after {args.warmup} warmup"
+    )
+    print(profile.table())
+    if args.trace_out:
+        count = profile.write_chrome_trace(args.trace_out)
+        print(
+            f"wrote {count} trace events to {args.trace_out} "
+            "(open at https://ui.perfetto.dev)"
+        )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import all_rules, lint_paths, render_json, render_text
     from repro.analysis.baseline import Baseline
@@ -775,6 +870,25 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "FitAct reproduction: error-resilient DNNs via fine-grained "
             "post-trainable activation functions (DATE 2022)."
+        ),
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning"),
+        default=None,
+        help=(
+            "library-wide log verbosity (debug also prints every closed "
+            "tracing span); place before the subcommand"
+        ),
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "enable span tracing for this invocation and write the "
+            "Chrome-trace/Perfetto JSON to PATH on exit; place before "
+            "the subcommand"
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -1006,6 +1120,30 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="journal progress of a campaign store"
     )
     c.add_argument("--store", required=True)
+    c.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help=(
+            "table (human) or json (the store's status dict through the "
+            "exact-float encoder, for scripts)"
+        ),
+    )
+    c.add_argument(
+        "--follow",
+        action="store_true",
+        help=(
+            "poll the journal and print a progress line (trial rate, "
+            "ETA, per-config convergence) until the campaign completes"
+        ),
+    )
+    c.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="polling interval for --follow (default: 2)",
+    )
     c.set_defaults(func=_cmd_campaign_status)
 
     c = campaign_sub.add_parser(
@@ -1042,6 +1180,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     c.set_defaults(func=_cmd_campaign_report)
 
+    p = sub.add_parser(
+        "profile",
+        help="per-kernel gather/GEMM/epilogue timing of a compiled plan",
+        description=(
+            "Compile the checkpoint into the inference runtime, run a few "
+            "profiled forwards (under warmup mode — side-band by "
+            "construction), and print the per-layer timing table.  "
+            "--trace writes the raw step/phase intervals as Chrome-trace "
+            "JSON for https://ui.perfetto.dev."
+        ),
+    )
+    p.add_argument("checkpoint", help="protected checkpoint (.npz)")
+    p.add_argument(
+        "--batch", type=int, default=1, help="input batch size (default: 1)"
+    )
+    p.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="profiled forwards to average over (default: 3)",
+    )
+    p.add_argument(
+        "--warmup",
+        type=_nonnegative_int,
+        default=1,
+        help="untimed warmup forwards (default: 1)",
+    )
+    p.add_argument(
+        "--trace",
+        dest="trace_out",
+        metavar="PATH",
+        default=None,
+        help="write the per-kernel Chrome-trace JSON to PATH",
+    )
+    p.set_defaults(func=_cmd_profile)
+
     p = sub.add_parser("experiment", help="regenerate a paper artefact by id")
     p.add_argument("--id", required=True, help="see 'repro list-experiments'")
     _add_preset_arguments(p)
@@ -1049,13 +1223,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="check the repo's correctness invariants (rules RPL001-RPL008)",
+        help="check the repo's correctness invariants (rules RPL001-RPL009)",
         description=(
             "AST-based invariant linter: plan-invalidation, thread-safe "
             "eval mode, bit-exact GEMM routing, journal determinism, "
             "exact-float JSON, import layering, pickle safety, fault "
-            "restoration.  Exit codes: 0 clean, 1 findings, 2 unparsable "
-            "files or bad usage.  See docs/INVARIANTS.md."
+            "restoration, funneled timing.  Exit codes: 0 clean, 1 "
+            "findings, 2 unparsable files or bad usage.  See "
+            "docs/INVARIANTS.md."
         ),
     )
     p.add_argument(
@@ -1100,8 +1275,25 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     np.seterr(over="ignore")  # faulty Q15.16 extremes overflow exp() benignly
+    if args.log_level is not None:
+        from repro.utils.logging import set_verbosity
+
+        set_verbosity(args.log_level.upper())
+    if args.trace is not None:
+        from repro.obs.trace import configure_tracing
+
+        configure_tracing(True)
     try:
         return int(args.func(args))
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if args.trace is not None:
+            from repro.obs.trace import export_chrome_trace, reset_tracing
+
+            count = export_chrome_trace(args.trace)
+            reset_tracing()  # embedded callers (tests) get a clean tracer
+            print(
+                f"wrote {count} trace events to {args.trace}", file=sys.stderr
+            )

@@ -30,6 +30,7 @@ from repro.fault.parallel import (
     TrialWork,
     make_executor,
 )
+from repro.obs.trace import span
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_seed
 
@@ -373,6 +374,16 @@ class FaultCampaign:
         is never re-opened: its journaled trials are replayed and the
         same converged result returned without any evaluation.
         """
+        with span("campaign.config", tag=tag, trials=self.trials):
+            return self._run(fault_model, tag, early_stop, store)
+
+    def _run(
+        self,
+        fault_model: FaultModel,
+        tag: str,
+        early_stop: EarlyStop | None,
+        store: "CampaignStore | None",
+    ) -> CampaignResult:
         if early_stop is not None and self.shard is not None:
             raise ConfigurationError(
                 "early_stop cannot be combined with shard: CI convergence "

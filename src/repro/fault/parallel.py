@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ConfigurationError
 from repro.fault.sites import FaultSites
+from repro.obs.trace import span
 from repro.utils.logging import get_logger
 
 if TYPE_CHECKING:
@@ -114,14 +115,16 @@ class TrialRunner:
         self.evaluate = evaluate
 
     def __call__(self, work: TrialWork) -> TrialOutcome:
-        started = time.perf_counter()
-        with self.injector.inject(work.sites) as count:
-            accuracy = float(self.evaluate())
+        with span("campaign.trial", trial=work.index):
+            started = time.perf_counter()
+            with self.injector.inject(work.sites) as count:
+                accuracy = float(self.evaluate())
+            seconds = time.perf_counter() - started
         return TrialOutcome(
             index=work.index,
             accuracy=accuracy,
             flips=int(count),
-            seconds=time.perf_counter() - started,
+            seconds=seconds,
         )
 
 

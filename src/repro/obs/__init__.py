@@ -1,0 +1,60 @@
+"""Unified observability: metrics registry, span tracer, plan profiler.
+
+``repro.obs`` is the low-level telemetry layer every higher layer
+(runtime, campaigns, store, serving, CLI) feeds:
+
+- :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms
+  behind one lock, with a JSON snapshot and Prometheus text exposition
+  (``repro.serve``'s ``ServerMetrics`` is built on it);
+- :func:`span` — context-manager tracing into a bounded ring buffer,
+  exported as Chrome-trace/Perfetto JSON (:func:`export_chrome_trace`);
+- :class:`KernelProfiler` / :class:`PlanProfile` — opt-in per-kernel
+  gather/GEMM/epilogue timing for compiled inference plans
+  (``plan.profile()``, ``repro profile``).
+
+The hard invariant, enforced by tests and the ``obs-smoke`` CI job:
+telemetry is strictly *side-band*.  Enabling any of it never changes a
+journaled byte, an RNG stream, or a float result, and disabled
+instrumentation costs < 2% (``benchmarks/test_bench_obs.py``).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramFamily,
+    MetricsRegistry,
+    bucket_label,
+    default_registry,
+)
+from repro.obs.profile import KernelProfiler, PlanProfile
+from repro.obs.trace import (
+    SpanRecord,
+    chrome_trace,
+    configure_tracing,
+    export_chrome_trace,
+    reset_tracing,
+    span,
+    trace_events,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramFamily",
+    "KernelProfiler",
+    "MetricsRegistry",
+    "PlanProfile",
+    "SpanRecord",
+    "bucket_label",
+    "chrome_trace",
+    "configure_tracing",
+    "default_registry",
+    "export_chrome_trace",
+    "reset_tracing",
+    "span",
+    "trace_events",
+    "tracing_enabled",
+]

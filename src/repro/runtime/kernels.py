@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -51,6 +52,9 @@ from repro.nn.linear import Linear
 from repro.nn.module import Module, eval_mode, is_warmup
 from repro.nn.norm import _BatchNormBase
 from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+
+if TYPE_CHECKING:
+    from repro.obs.profile import KernelProfiler
 
 __all__ = [
     "ACTIVATION_TYPES",
@@ -276,11 +280,21 @@ def apply_activation(
 class Kernel:
     """One step of an :class:`~repro.runtime.plan.InferencePlan`."""
 
+    #: Attached :class:`~repro.obs.KernelProfiler` — set per instance by
+    #: ``InferencePlan.attach_profiler`` while profiling is on, ``None``
+    #: otherwise.  Instrumented sections guard on ``prof is not None``,
+    #: so a detached kernel pays one truth test, not a clock read.
+    prof: "KernelProfiler | None" = None
+
     def refresh(self) -> None:
         """Recompute cached constants from the live module state."""
 
     def run(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def child_kernels(self) -> "tuple[tuple[str, list[Kernel]], ...]":
+        """Nested kernel lists as ``(branch, steps)`` pairs (profiling)."""
+        return ()
 
     def describe(self) -> str:
         return type(self).__name__
@@ -403,12 +417,14 @@ class ConvKernel(Kernel):
         self, x: np.ndarray, gemm: np.ndarray, oh: int, ow: int
     ) -> None:
         conv = self.conv
+        prof = self.prof
         n, c = x.shape[:2]
         sh, sw = conv.stride
         view = x if (sh, sw) == (1, 1) else x[:, :, ::sh, ::sw]
         cols = self.bufs.get("cols1x1", (n, oh, ow, c))
         nhwc = view.transpose(0, 2, 3, 1)
         workers = self._workers_for(n * oh * ow, c, conv.out_channels)
+        started = prof.now() if prof is not None else 0.0
         if workers <= 1 or n < 2:
             np.copyto(cols, nhwc)
         else:
@@ -420,9 +436,14 @@ class ConvKernel(Kernel):
                     for r0, r1 in _row_ranges(n, workers)
                 ]
             )
+        if prof is not None:
+            prof.phase(self, "gather", started, prof.now())
+            started = prof.now()
         np.matmul(cols.reshape(n * oh * ow, c), conv.weight.data.reshape(
             conv.out_channels, c
         ).T, out=gemm)
+        if prof is not None:
+            prof.phase(self, "gemm", started, prof.now())
 
     def _gather_block(
         self,
@@ -528,12 +549,17 @@ class ConvKernel(Kernel):
         ow: int,
     ) -> None:
         conv = self.conv
+        prof = self.prof
         kh, kw = conv.kernel_size
         k = c * kh * kw
         positions = n * oh * ow
         cols6 = self.bufs.get("cols", (n, oh, ow, c, kh, kw))
         workers = self._workers_for(positions, k, conv.out_channels)
+        started = prof.now() if prof is not None else 0.0
         self._fill_cols(cols6, padded, n, c, oh, ow, workers)
+        if prof is not None:
+            prof.phase(self, "gather", started, prof.now())
+            started = prof.now()
         # One full-shape GEMM, exactly the module's call (BLAS threads
         # it natively on multi-core machines; see module-level note).
         np.matmul(
@@ -541,22 +567,31 @@ class ConvKernel(Kernel):
             conv.weight.data.reshape(conv.out_channels, -1).T,
             out=gemm,
         )
+        if prof is not None:
+            prof.phase(self, "gemm", started, prof.now())
 
     def _run_grouped(
         self, windows: np.ndarray, gemm: np.ndarray, n: int, c: int, oh: int, ow: int
     ) -> np.ndarray:
         conv = self.conv
+        prof = self.prof
         kh, kw = conv.kernel_size
         groups = conv.groups
         positions = n * oh * ow
         cols6 = self.bufs.get("cols", (n, oh, ow, c, kh, kw))
+        started = prof.now() if prof is not None else 0.0
         np.copyto(cols6, windows.transpose(0, 2, 3, 1, 4, 5))
+        if prof is not None:
+            prof.phase(self, "gather", started, prof.now())
+            started = prof.now()
         cg = c // groups
         og = conv.out_channels // groups
         cols = cols6.reshape(positions, groups, cg * kh * kw)
         w_mat = conv.weight.data.reshape(groups, og, cg * kh * kw)
         gemm3 = gemm.reshape(positions, groups, og)
         np.einsum("pgk,gok->pgo", cols, w_mat, out=gemm3)
+        if prof is not None:
+            prof.phase(self, "gemm", started, prof.now())
         return gemm
 
     # ------------------------------------------------------------------
@@ -576,10 +611,15 @@ class ConvKernel(Kernel):
             self._run_direct1x1(x, gemm, oh, ow)
         else:
             if ph or pw:
+                prof = self.prof
+                started = prof.now() if prof is not None else 0.0
                 padded = self.bufs.get(
                     "padded", (n, c, h + 2 * ph, w + 2 * pw), fill=0.0
                 )
                 padded[:, :, ph : ph + h, pw : pw + w] = x
+                if prof is not None:
+                    # The border copy assembles GEMM input: gather time.
+                    prof.phase(self, "gather", started, prof.now())
             else:
                 padded = x
             if self.tier == "im2col":
@@ -633,8 +673,12 @@ class LinearKernel(Kernel):
         # No gather stage to thread here: the input already is the GEMM
         # operand, and the BLAS call must stay whole for bit-exactness.
         linear = self.linear
+        prof = self.prof
         out = self.bufs.get("out", (x.shape[0], linear.out_features))
+        started = prof.now() if prof is not None else 0.0
         np.matmul(x, linear.weight.data.T, out=out)
+        if prof is not None:
+            prof.phase(self, "gemm", started, prof.now())
         if linear.bias is not None:
             np.add(out, linear.bias.data, out=out)
         if self.bn is not None:
@@ -814,13 +858,26 @@ class ResidualKernel(Kernel):
         for step in self.down or ():
             step.refresh()
 
+    def child_kernels(self) -> "tuple[tuple[str, list[Kernel]], ...]":
+        if self.down is None:
+            return (("main", self.main),)
+        return (("main", self.main), ("down", self.down))
+
+    def _run_branch(self, steps: list[Kernel], x: np.ndarray) -> np.ndarray:
+        prof = self.prof
+        if prof is None:
+            for step in steps:
+                x = step.run(x)
+            return x
+        for step in steps:
+            started = prof.now()
+            x = step.run(x)
+            prof.step(step, started, prof.now())
+        return x
+
     def run(self, x: np.ndarray) -> np.ndarray:
-        identity = x
-        for step in self.down or ():
-            identity = step.run(identity)
-        h = x
-        for step in self.main:
-            h = step.run(h)
+        identity = self._run_branch(self.down, x) if self.down else x
+        h = self._run_branch(self.main, x)
         out = self.bufs.get("out", h.shape)
         np.add(h, identity, out=out)
         if self.act is not None:

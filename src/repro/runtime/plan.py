@@ -45,6 +45,8 @@ from repro.autograd.tensor import Tensor
 from repro.errors import ConfigurationError
 from repro.fault.parallel import available_workers
 from repro.nn.module import Module, register_runtime_plan, warmup_mode
+from repro.obs.profile import KernelProfiler, PlanProfile
+from repro.obs.trace import span
 from repro.runtime.compiler import compile_module
 from repro.runtime.kernels import Kernel, ResidualKernel
 
@@ -94,6 +96,7 @@ class InferencePlan:
         self._signature: tuple[int, ...] = ()
         self._structure: tuple[int, ...] = self._structure_signature()
         self._gemm_workers = 1
+        self._profiler: KernelProfiler | None = None
         register_runtime_plan(model, self)
 
     def __getstate__(self) -> dict[str, object]:
@@ -138,6 +141,10 @@ class InferencePlan:
                 self.steps = steps
                 self._structure = structure
                 self._apply_gemm_workers()
+                if self._profiler is not None:
+                    # Fresh kernels: re-register them (accumulation
+                    # restarts — rows for retired kernels would lie).
+                    self.attach_profiler(self._profiler)
             for step in self.steps:
                 step.refresh()
             self._signature = state
@@ -205,6 +212,85 @@ class InferencePlan:
         walk(self.steps)
 
     # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    def attach_profiler(
+        self, profiler: KernelProfiler | None = None
+    ) -> KernelProfiler:
+        """Attach a per-kernel profiler; every later forward accumulates.
+
+        Registers the kernel tree (including the kernels nested inside
+        residual blocks) and sets each kernel's ``prof`` hook.
+        Attaching resets the profiler's accumulation; detach with
+        :meth:`detach_profiler`.  Purely observational — profiled and
+        unprofiled forwards are bit-identical.
+        """
+        with self._lock:
+            resolved = profiler if profiler is not None else KernelProfiler()
+            resolved.attach(list(self.steps))
+            self._set_kernel_profiler(resolved)
+            self._profiler = resolved
+            return resolved
+
+    def detach_profiler(self) -> None:
+        """Remove the attached profiler (forwards stop being timed)."""
+        with self._lock:
+            self._set_kernel_profiler(None)
+            self._profiler = None
+
+    def _set_kernel_profiler(self, profiler: KernelProfiler | None) -> None:
+        def walk(steps: list[Kernel]) -> None:
+            for step in steps:
+                step.prof = profiler
+                for _branch, sub_steps in step.child_kernels():
+                    walk(sub_steps)
+
+        walk(self.steps)
+
+    def profile(
+        self,
+        inputs: np.ndarray | Tensor | None = None,
+        repeats: int = 3,
+        warmup: int = 1,
+    ) -> PlanProfile:
+        """One-shot per-kernel profile: gather/GEMM/epilogue per step.
+
+        Runs ``warmup`` untimed forwards, then ``repeats`` timed ones,
+        and returns the :class:`~repro.obs.PlanProfile` report (rows
+        average over the timed forwards).  ``inputs`` defaults to a
+        zero batch of the plan's compiled ``input_shape``.
+
+        Every profiled forward runs under ``warmup_mode``, so transient
+        activation-fault layers neither fire nor advance their random
+        streams — profiling a campaign's plan is side-band; the
+        (disarmed) fault-site steps are measured as the pass-throughs
+        they are in the clean phase.  A previously attached persistent
+        profiler is re-attached afterwards with its accumulation reset.
+        """
+        if repeats < 1:
+            raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+        if warmup < 0:
+            raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+        if inputs is None:
+            inputs = np.zeros(self.input_shape, dtype=np.float32)
+        with self._lock:
+            previous = self._profiler
+            profiler = KernelProfiler()
+            try:
+                with warmup_mode():
+                    for _ in range(warmup):
+                        self(inputs)
+                    self.attach_profiler(profiler)
+                    for _ in range(repeats):
+                        self(inputs)
+            finally:
+                if previous is not None:
+                    self.attach_profiler(previous)
+                else:
+                    self.detach_profiler()
+        return profiler.result()
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def __call__(self, inputs: np.ndarray | Tensor) -> np.ndarray:
@@ -215,11 +301,19 @@ class InferencePlan:
         """
         x = inputs.data if isinstance(inputs, Tensor) else inputs
         x = np.ascontiguousarray(np.asarray(x, dtype=np.float32))
-        with self._lock:
+        with self._lock, span("runtime.forward", steps=len(self.steps)):
             if self._dirty or (self._structure, self._signature) != self._signatures():
                 self.refresh()
-            for step in self.steps:
-                x = step.run(x)
+            prof = self._profiler
+            if prof is None:
+                for step in self.steps:
+                    x = step.run(x)
+            else:
+                prof.begin_forward()
+                for step in self.steps:
+                    started = prof.now()
+                    x = step.run(x)
+                    prof.step(step, started, prof.now())
             # The final buffer is reused by the next call: hand the
             # caller an owned copy (logits are small).
             return np.array(x, dtype=np.float32, copy=True)
@@ -248,6 +342,7 @@ def compile_model(
     input_shape: tuple[int, ...],
     warm: bool = True,
     gemm_workers: int | str | None = None,
+    profile: bool = False,
 ) -> InferencePlan:
     """Compile ``model`` into an :class:`InferencePlan`.
 
@@ -272,6 +367,11 @@ def compile_model(
         (default — fault campaigns keep the 1-core determinism
         contract), ``"auto"`` to use every available core, ``N >= 2``
         for an explicit width.  Bit-identical either way.
+    profile:
+        Attach a persistent :class:`~repro.obs.KernelProfiler` (after
+        the warm pass, so only real forwards accumulate).  Read the
+        report via ``plan._profiler.result()`` or use the one-shot
+        :meth:`InferencePlan.profile` instead.
     """
     shape = tuple(int(dim) for dim in input_shape)
     if len(shape) == 3:
@@ -280,14 +380,17 @@ def compile_model(
         raise ConfigurationError(
             f"input_shape must be a non-empty positive shape, got {input_shape!r}"
         )
-    steps = compile_module(model)
-    if not steps:
-        raise ConfigurationError(
-            f"{type(model).__name__} compiled to an empty plan"
-        )
-    plan = InferencePlan(model, steps, shape)
-    plan.set_gemm_workers(gemm_workers)
-    if warm:
-        with warmup_mode():
-            plan(np.zeros(shape, dtype=np.float32))
+    with span("runtime.compile", model=type(model).__name__):
+        steps = compile_module(model)
+        if not steps:
+            raise ConfigurationError(
+                f"{type(model).__name__} compiled to an empty plan"
+            )
+        plan = InferencePlan(model, steps, shape)
+        plan.set_gemm_workers(gemm_workers)
+        if warm:
+            with warmup_mode():
+                plan(np.zeros(shape, dtype=np.float32))
+    if profile:
+        plan.attach_profiler()
     return plan

@@ -9,7 +9,9 @@ lane per resident model, optional chaos engine, shared metrics — and
   arrays, one sample of shape (3, H, W) or a batch of them.
 - ``GET /models``    — registered checkpoints with metadata.
 - ``GET /healthz``   — liveness plus resident-model summary.
-- ``GET /metrics``   — :class:`repro.serve.metrics.ServerMetrics` snapshot.
+- ``GET /metrics``   — :class:`repro.serve.metrics.ServerMetrics` snapshot
+  (JSON); ``GET /metrics?format=prometheus`` serves the same counters in
+  the Prometheus text exposition format for scrape-based collectors.
 
 Transport is stdlib-only JSON over HTTP; concurrency comes from the
 threading server (one thread per connection) feeding the batcher queues.
@@ -22,10 +24,12 @@ import threading
 import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
 import numpy as np
 
 from repro.errors import ConfigurationError, ReproError
+from repro.obs.trace import span
 from repro.serve.batcher import MicroBatcher
 from repro.serve.chaos import ChaosConfig, ChaosEngine
 from repro.serve.metrics import ServerMetrics
@@ -64,10 +68,13 @@ class _Lane:
             # when the registry was built with runtime=True, else the
             # module path; both run under the thread-local eval
             # override, so shared training-flag state is never touched.
-            with entry.infer_lock:
-                if self.chaos is None:
-                    return entry.forward(stacked)
-                outputs, report = self.chaos.run_batch(entry.forward, stacked)
+            with span("serve.batch", model=entry.name, size=len(stacked)):
+                with entry.infer_lock:
+                    if self.chaos is None:
+                        return entry.forward(stacked)
+                    outputs, report = self.chaos.run_batch(
+                        entry.forward, stacked
+                    )
             metrics.observe_chaos(entry.name, report)
             return outputs
 
@@ -302,9 +309,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def _send_json(self, status: int, payload: dict[str, object]) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._send_bytes(
+            status, json.dumps(payload).encode("utf-8"), "application/json"
+        )
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -312,20 +323,30 @@ class _Handler(BaseHTTPRequestHandler):
     def _dispatch(self, endpoint: str, handler) -> None:
         app = self.server.app
         started = time.monotonic()
-        try:
-            status, payload = handler(app)
-        except ConfigurationError as error:
-            status = 404 if "unknown model" in str(error) else 400
-            payload = {"error": str(error)}
-        except ReproError as error:
-            status, payload = 400, {"error": str(error)}
-        except (ValueError, TypeError, KeyError) as error:
-            status, payload = 400, {"error": f"bad request: {error}"}
-        except Exception as error:  # noqa: BLE001 — last-resort 500
-            _logger.exception("unhandled error serving %s", endpoint)
-            status, payload = 500, {"error": f"internal error: {error}"}
+        with span("serve.request", endpoint=endpoint):
+            try:
+                status, payload = handler(app)
+            except ConfigurationError as error:
+                status = 404 if "unknown model" in str(error) else 400
+                payload = {"error": str(error)}
+            except ReproError as error:
+                status, payload = 400, {"error": str(error)}
+            except (ValueError, TypeError, KeyError) as error:
+                status, payload = 400, {"error": f"bad request: {error}"}
+            except Exception as error:  # noqa: BLE001 — last-resort 500
+                _logger.exception("unhandled error serving %s", endpoint)
+                status, payload = 500, {"error": f"internal error: {error}"}
         app.metrics.observe_request(endpoint, status, time.monotonic() - started)
-        self._send_json(status, payload)
+        if isinstance(payload, str):
+            # Text endpoints (the Prometheus exposition) skip the JSON
+            # envelope; errors fall through above as JSON dicts.
+            self._send_bytes(
+                status,
+                payload.encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        else:
+            self._send_json(status, payload)
 
     def _read_body(self) -> dict[str, object]:
         length = int(self.headers.get("Content-Length", 0))
@@ -339,13 +360,20 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — http.server API
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/") or "/"
         if path == "/healthz":
             self._dispatch(path, lambda app: (200, app.health()))
         elif path == "/models":
             self._dispatch(path, lambda app: (200, app.describe_models()))
         elif path == "/metrics":
-            self._dispatch(path, lambda app: (200, app.metrics.snapshot()))
+            params = parse_qs(query)
+            if params.get("format", ["json"])[-1] == "prometheus":
+                self._dispatch(
+                    path, lambda app: (200, app.metrics.render_prometheus())
+                )
+            else:
+                self._dispatch(path, lambda app: (200, app.metrics.snapshot()))
         else:
             self._dispatch(path, lambda app: (404, {"error": f"no route {path}"}))
 

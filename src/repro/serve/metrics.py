@@ -1,4 +1,4 @@
-"""Thread-safe serving metrics.
+"""Thread-safe serving metrics, built on the ``repro.obs`` registry.
 
 One :class:`ServerMetrics` instance aggregates everything ``GET
 /metrics`` reports: per-endpoint request counts and status codes, a
@@ -6,15 +6,22 @@ log-scale request-latency histogram, the batch-size distribution the
 micro-batcher actually achieved, and — when chaos mode is on — per-model
 fault-injection counters (batches injected, bits flipped, SDC events).
 
-All observers take one lock per observation; snapshots are deep copies,
-so handlers can serialise them without racing the hot path.
+The state lives in a private :class:`~repro.obs.MetricsRegistry`
+(private so concurrent apps in one process never share counts): every
+observer takes the registry lock per observation, snapshots are built
+from copies, and the same families render the Prometheus text
+exposition behind ``GET /metrics?format=prometheus``.  The JSON
+:meth:`ServerMetrics.snapshot` shape is a stable contract — dashboards
+and the serve tests consume it — and is reconstructed from the registry
+series byte-for-byte as before the registry refactor.
 """
 
 from __future__ import annotations
 
 import math
-import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.obs.metrics import Histogram, MetricsRegistry, bucket_label
 
 __all__ = [
     "BATCH_SIZE_BUCKETS",
@@ -33,50 +40,17 @@ LATENCY_BUCKETS_MS: tuple[float, ...] = (
 BATCH_SIZE_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, math.inf)
 """Upper bounds of the batch-size distribution buckets."""
 
+#: Back-compat alias (the label helper moved to ``repro.obs.metrics``).
+_bucket_label = bucket_label
 
-def _bucket_label(bound: float) -> str:
-    if math.isinf(bound):
-        return "+Inf"
-    return f"{bound:g}"
-
-
-class Histogram:
-    """Fixed-bucket histogram with Prometheus ``le`` semantics.
-
-    Observations are binned internally, and :meth:`snapshot` emits
-    *cumulative* bucket counts — ``le_X`` counts every observation
-    ``<= X``, as ``histogram_quantile``-style consumers expect.  Not
-    thread-safe on its own; :class:`ServerMetrics` serialises access.
-    """
-
-    __slots__ = ("bounds", "counts", "total", "sum")
-
-    def __init__(self, bounds: tuple[float, ...]) -> None:
-        self.bounds = bounds
-        self.counts = [0] * len(bounds)
-        self.total = 0
-        self.sum = 0.0
-
-    def observe(self, value: float) -> None:
-        self.total += 1
-        self.sum += value
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.counts[index] += 1
-                break
-
-    def snapshot(self) -> dict[str, object]:
-        buckets = {}
-        cumulative = 0
-        for bound, count in zip(self.bounds, self.counts):
-            cumulative += count
-            buckets[f"le_{_bucket_label(bound)}"] = cumulative
-        return {
-            "count": self.total,
-            "sum": round(self.sum, 6),
-            "mean": round(self.sum / self.total, 6) if self.total else 0.0,
-            "buckets": buckets,
-        }
+#: The per-model chaos counters, in their (stable) snapshot order.
+_CHAOS_FIELDS = (
+    "batches",
+    "injected_batches",
+    "flips",
+    "samples",
+    "sdc_events",
+)
 
 
 @dataclass(frozen=True)
@@ -94,55 +68,39 @@ class ChaosBatchReport:
     sdc_events: int
 
 
-@dataclass
-class _ChaosCounters:
-    batches: int = 0
-    injected_batches: int = 0
-    flips: int = 0
-    samples: int = 0
-    sdc_events: int = 0
-
-    def add(self, report: ChaosBatchReport) -> None:
-        self.batches += 1
-        self.injected_batches += int(report.injected)
-        self.flips += report.flips
-        self.samples += report.samples
-        self.sdc_events += report.sdc_events
-
-    def snapshot(self) -> dict[str, object]:
-        return {
-            "batches": self.batches,
-            "injected_batches": self.injected_batches,
-            "flips": self.flips,
-            "samples": self.samples,
-            "sdc_events": self.sdc_events,
-            # Fraction of served predictions silently corrupted by the
-            # injected faults — an upper bound on the accuracy drop the
-            # traffic experienced (some flipped predictions may have
-            # been wrong anyway).
-            "sdc_rate": round(self.sdc_events / self.samples, 6)
-            if self.samples
-            else 0.0,
-        }
-
-
-@dataclass
-class _EndpointCounters:
-    count: int = 0
-    errors: int = 0
-    by_status: dict[int, int] = field(default_factory=dict)
-
-
 class ServerMetrics:
     """Aggregated observability state behind ``GET /metrics``."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._endpoints: dict[str, _EndpointCounters] = {}
-        self._latency = Histogram(LATENCY_BUCKETS_MS)
-        self._batch_sizes = Histogram(BATCH_SIZE_BUCKETS)
-        self._samples_served = 0
-        self._chaos: dict[str, _ChaosCounters] = {}
+        registry = MetricsRegistry()
+        self.registry = registry
+        self._requests = registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by endpoint and status code.",
+            labelnames=("endpoint", "status"),
+        )
+        self._latency = registry.histogram(
+            "repro_http_request_latency_ms",
+            "End-to-end request handling latency (milliseconds).",
+            buckets=LATENCY_BUCKETS_MS,
+        )
+        self._batch_sizes = registry.histogram(
+            "repro_serve_batch_size",
+            "Coalesced micro-batch sizes the batcher actually executed.",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+        self._samples = registry.counter(
+            "repro_serve_samples_total",
+            "Samples served through executed micro-batches.",
+        )
+        self._chaos = {
+            field: registry.counter(
+                f"repro_serve_chaos_{field}_total",
+                f"Chaos-mode {field.replace('_', ' ')}, per model.",
+                labelnames=("model",),
+            )
+            for field in _CHAOS_FIELDS
+        }
 
     def __getstate__(self) -> dict[str, object]:
         """Metrics hold a lock; refuse to pickle (RPL007)."""
@@ -152,56 +110,89 @@ class ServerMetrics:
         )
 
     def observe_request(self, endpoint: str, status: int, seconds: float) -> None:
-        with self._lock:
-            counters = self._endpoints.setdefault(endpoint, _EndpointCounters())
-            counters.count += 1
-            counters.by_status[status] = counters.by_status.get(status, 0) + 1
-            if status >= 400:
-                counters.errors += 1
-            self._latency.observe(seconds * 1000.0)
+        self._requests.inc(endpoint=endpoint, status=int(status))
+        self._latency.observe(seconds * 1000.0)
 
     def observe_batch(self, size: int) -> None:
-        with self._lock:
-            self._batch_sizes.observe(size)
-            self._samples_served += size
+        self._batch_sizes.observe(size)
+        self._samples.inc(int(size))
 
     def observe_chaos(self, model: str, report: ChaosBatchReport) -> None:
-        with self._lock:
-            self._chaos.setdefault(model, _ChaosCounters()).add(report)
+        self._chaos["batches"].inc(1, model=model)
+        self._chaos["injected_batches"].inc(int(report.injected), model=model)
+        self._chaos["flips"].inc(int(report.flips), model=model)
+        self._chaos["samples"].inc(int(report.samples), model=model)
+        self._chaos["sdc_events"].inc(int(report.sdc_events), model=model)
+
+    def _chaos_counts(self, model: str) -> dict[str, int]:
+        return {
+            field: int(self._chaos[field].value(model=model))
+            for field in _CHAOS_FIELDS
+        }
+
+    @staticmethod
+    def _chaos_entry(counts: dict[str, int]) -> dict[str, object]:
+        samples = counts["samples"]
+        return {
+            **counts,
+            # Fraction of served predictions silently corrupted by the
+            # injected faults — an upper bound on the accuracy drop the
+            # traffic experienced (some flipped predictions may have
+            # been wrong anyway).
+            "sdc_rate": round(counts["sdc_events"] / samples, 6)
+            if samples
+            else 0.0,
+        }
 
     def chaos_snapshot(self, model: str) -> dict[str, object]:
         """Chaos counters for one model (zeros when never injected)."""
-        with self._lock:
-            counters = self._chaos.get(model, _ChaosCounters())
-            return counters.snapshot()
+        return self._chaos_entry(self._chaos_counts(model))
 
     def snapshot(self) -> dict[str, object]:
-        with self._lock:
-            return {
-                "requests": {
-                    "total": sum(c.count for c in self._endpoints.values()),
-                    "errors": sum(c.errors for c in self._endpoints.values()),
-                    "by_endpoint": {
-                        endpoint: {
-                            "count": counters.count,
-                            "errors": counters.errors,
-                            "by_status": {
-                                str(status): count
-                                for status, count in sorted(
-                                    counters.by_status.items()
-                                )
-                            },
-                        }
-                        for endpoint, counters in sorted(self._endpoints.items())
-                    },
+        by_endpoint: dict[str, dict[int, int]] = {}
+        for (endpoint, status), count in self._requests.series().items():
+            by_endpoint.setdefault(endpoint, {})[int(status)] = int(count)
+        chaos_models = sorted(
+            {model for (model,) in self._chaos["batches"].series()}
+        )
+        return {
+            "requests": {
+                "total": sum(
+                    sum(statuses.values()) for statuses in by_endpoint.values()
+                ),
+                "errors": sum(
+                    count
+                    for statuses in by_endpoint.values()
+                    for status, count in statuses.items()
+                    if status >= 400
+                ),
+                "by_endpoint": {
+                    endpoint: {
+                        "count": sum(statuses.values()),
+                        "errors": sum(
+                            count
+                            for status, count in statuses.items()
+                            if status >= 400
+                        ),
+                        "by_status": {
+                            str(status): count
+                            for status, count in sorted(statuses.items())
+                        },
+                    }
+                    for endpoint, statuses in sorted(by_endpoint.items())
                 },
-                "latency_ms": self._latency.snapshot(),
-                "batches": {
-                    "samples_served": self._samples_served,
-                    "sizes": self._batch_sizes.snapshot(),
-                },
-                "chaos": {
-                    model: counters.snapshot()
-                    for model, counters in sorted(self._chaos.items())
-                },
-            }
+            },
+            "latency_ms": self._latency.snapshot_series(),
+            "batches": {
+                "samples_served": int(self._samples.value()),
+                "sizes": self._batch_sizes.snapshot_series(),
+            },
+            "chaos": {
+                model: self._chaos_entry(self._chaos_counts(model))
+                for model in chaos_models
+            },
+        }
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition of every serving metric."""
+        return self.registry.render_prometheus()

@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.errors import CampaignInterrupted, ConfigurationError, ReproError
 from repro.fault.parallel import TrialOutcome
+from repro.obs.metrics import default_registry
 from repro.store.encoding import exact_json_dump, exact_json_dumps
 from repro.utils.logging import get_logger
 
@@ -60,6 +61,13 @@ __all__ = [
 ]
 
 _logger = get_logger("store")
+
+#: Trials journaled by this process, across all stores — the live
+#: progress counter `repro campaign status --follow` reads.
+_TRIALS_JOURNALED = default_registry().counter(
+    "repro_campaign_trials_journaled_total",
+    "Trial outcomes appended to campaign journals by this process.",
+)
 
 _MANIFEST = "manifest.json"
 _JOURNAL = "trials.jsonl"
@@ -533,6 +541,9 @@ class CampaignStore:
         self._append(key, record)
         per_config[record.index] = record
         self.appended += 1
+        # Side-band progress signal for `repro campaign status --follow`
+        # and the process registry; never touches the journal bytes.
+        _TRIALS_JOURNALED.inc(1)
 
     # ------------------------------------------------------------------
     # Completeness and results

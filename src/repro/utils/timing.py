@@ -25,6 +25,11 @@ class Timer:
     _start: float | None = None
 
     def __enter__(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError(
+                "Timer re-entered without exiting; Timer is not re-entrant "
+                "(use one Timer per nesting level)"
+            )
         self._start = time.perf_counter()
         return self
 

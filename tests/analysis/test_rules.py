@@ -157,7 +157,8 @@ class TestRPL004:
             def stamp():
                 return time.time()
         """
-        assert rules_in(src, "src/repro/store/foo.py") == ["RPL004"]
+        # RPL009 (raw clock read) fires on the same call.
+        assert rules_in(src, "src/repro/store/foo.py") == ["RPL004", "RPL009"]
 
     def test_flags_stdlib_random_import_and_call(self):
         src = """
@@ -203,14 +204,15 @@ class TestRPL004:
         """
         assert rules_in(src, "src/repro/store/foo.py") == []
 
-    def test_wall_clock_outside_journaled_paths_unconstrained(self):
+    def test_wall_clock_outside_journaled_paths_is_not_rpl004(self):
         src = """
             import time
 
             def stamp():
                 return time.time()
         """
-        assert rules_in(src, "src/repro/core/foo.py") == []
+        # Only the raw-timing rule fires outside fault/ and store/.
+        assert rules_in(src, "src/repro/core/foo.py") == ["RPL009"]
 
     def test_perf_counter_is_fine(self):
         src = """
@@ -219,7 +221,7 @@ class TestRPL004:
             def tick():
                 return time.perf_counter()
         """
-        assert rules_in(src, "src/repro/fault/foo.py") == []
+        assert "RPL004" not in rules_in(src, "src/repro/fault/foo.py")
 
 
 # ----------------------------------------------------------------------
@@ -444,3 +446,76 @@ class TestRPL008:
                     return None
         """
         assert rules_in(src, "src/repro/fault/foo.py") == []
+
+
+# ----------------------------------------------------------------------
+# RPL009 — raw clock reads outside the observability layer
+# ----------------------------------------------------------------------
+class TestRPL009:
+    def test_flags_every_clock_call(self):
+        src = """
+            import time
+
+            def clocks():
+                return (
+                    time.time(),
+                    time.perf_counter(),
+                    time.monotonic(),
+                    time.process_time(),
+                )
+        """
+        assert rules_in(src, "src/repro/serve/foo.py") == ["RPL009"] * 4
+
+    def test_flags_ns_variants(self):
+        src = """
+            import time
+
+            def clocks():
+                return time.monotonic_ns() + time.perf_counter_ns()
+        """
+        assert rules_in(src, "src/repro/core/foo.py") == ["RPL009", "RPL009"]
+
+    def test_obs_package_is_the_funnel(self):
+        src = """
+            import time
+
+            def now():
+                return time.perf_counter()
+        """
+        assert rules_in(src, "src/repro/obs/trace.py") == []
+
+    def test_utils_timing_is_the_funnel(self):
+        src = """
+            import time
+
+            def lap():
+                return time.perf_counter()
+        """
+        assert rules_in(src, "src/repro/utils/timing.py") == []
+
+    def test_other_utils_modules_are_constrained(self):
+        src = """
+            import time
+
+            def lap():
+                return time.perf_counter()
+        """
+        assert rules_in(src, "src/repro/utils/rng.py") == ["RPL009"]
+
+    def test_sleep_is_pacing_not_reading(self):
+        src = """
+            import time
+
+            def wait():
+                time.sleep(0.1)
+        """
+        assert rules_in(src, "src/repro/serve/foo.py") == []
+
+    def test_inline_disable_suppresses(self):
+        src = """
+            import time
+
+            def deadline():
+                return time.monotonic()  # repro-lint: disable=RPL009
+        """
+        assert rules_in(src, "src/repro/cli/foo.py") == []

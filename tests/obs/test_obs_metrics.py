@@ -1,0 +1,161 @@
+"""MetricsRegistry: families, snapshots, and Prometheus exposition."""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import pytest
+
+from repro.obs import MetricsRegistry, bucket_label, default_registry
+from repro.obs.metrics import Histogram
+
+
+class TestRegistry:
+    def test_counter_accumulates_per_label_set(self):
+        registry = MetricsRegistry()
+        requests = registry.counter(
+            "requests_total", "Requests.", labelnames=("endpoint",)
+        )
+        requests.inc(endpoint="/predict")
+        requests.inc(2, endpoint="/predict")
+        requests.inc(endpoint="/healthz")
+        assert requests.value(endpoint="/predict") == 3
+        assert requests.value(endpoint="/healthz") == 1
+        assert requests.value(endpoint="/missing") == 0
+
+    def test_counter_rejects_negative_increment(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", "Events.")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "Queue depth.")
+        gauge.set(5)
+        gauge.inc(-2)
+        assert gauge.value() == 3
+
+    def test_registration_is_idempotent_for_same_signature(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", "Hits.", labelnames=("a",))
+        second = registry.counter("hits_total", "Hits.", labelnames=("a",))
+        assert first is second
+
+    def test_conflicting_registration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "Hits.")
+        with pytest.raises(ValueError):
+            registry.counter("hits_total", "Hits.", labelnames=("a",))
+        with pytest.raises(ValueError):
+            registry.gauge("hits_total", "Hits.")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad-name", "Bad.")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", "Bad label.", labelnames=("le",))
+
+    def test_snapshot_is_json_ready_and_sorted(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("b_total", "B.", labelnames=("k",))
+        registry.gauge("a_gauge", "A.").set(1.5)
+        counter.inc(k="z")
+        counter.inc(k="a")
+        snap = registry.snapshot()
+        assert list(snap) == ["a_gauge", "b_total"]
+        series = snap["b_total"]["series"]
+        assert [entry["labels"]["k"] for entry in series] == ["a", "z"]
+
+    def test_reset_clears_series(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n_total", "N.")
+        counter.inc(4)
+        registry.reset()
+        assert counter.value() == 0
+
+    def test_registry_refuses_pickling(self):
+        with pytest.raises(TypeError):
+            pickle.dumps(MetricsRegistry())
+
+    def test_default_registry_is_a_singleton(self):
+        assert default_registry() is default_registry()
+
+
+class TestHistogram:
+    def test_snapshot_shape_matches_legacy_serve_contract(self):
+        hist = Histogram((1.0, 5.0, math.inf))
+        for value in (0.5, 3.0, 100.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["buckets"] == {"le_1": 1, "le_5": 2, "le_+Inf": 3}
+        assert snap["mean"] == round(103.5 / 3, 6)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram((5.0, 1.0))
+
+    def test_infinity_bucket_appended_when_missing(self):
+        hist = Histogram((1.0, 2.0))
+        hist.observe(10.0)
+        assert hist.snapshot()["buckets"]["le_+Inf"] == 1
+
+    def test_bucket_label(self):
+        assert bucket_label(math.inf) == "+Inf"
+        assert bucket_label(2.5) == "2.5"
+        assert bucket_label(100.0) == "100"
+
+
+class TestPrometheusExposition:
+    def test_help_type_and_series_lines(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "requests_total", "Requests served.", labelnames=("endpoint",)
+        ).inc(3, endpoint="/predict")
+        text = registry.render_prometheus()
+        assert "# HELP requests_total Requests served.\n" in text
+        assert "# TYPE requests_total counter\n" in text
+        assert 'requests_total{endpoint="/predict"} 3\n' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "C.", labelnames=("path",)).inc(
+            path='a\\b"c\nd'
+        )
+        text = registry.render_prometheus()
+        assert 'c_total{path="a\\\\b\\"c\\nd"} 1\n' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "H.", buckets=(1.0, 5.0, math.inf))
+        for value in (0.5, 0.7, 3.0, 100.0):
+            hist.observe(value)
+        lines = registry.render_prometheus().splitlines()
+        bucket_lines = [l for l in lines if l.startswith("h_bucket")]
+        assert bucket_lines == [
+            'h_bucket{le="1"} 2',
+            'h_bucket{le="5"} 3',
+            'h_bucket{le="+Inf"} 4',
+        ]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in bucket_lines]
+        assert counts == sorted(counts)
+
+    def test_histogram_sum_and_count_match_json_snapshot(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "H.", buckets=(10.0, math.inf))
+        for value in (1.25, 2.5, 30.0):
+            hist.observe(value)
+        text = registry.render_prometheus()
+        assert "h_sum 33.75\n" in text
+        assert "h_count 3\n" in text
+        snap = hist.snapshot_series()
+        assert snap["count"] == 3
+        assert snap["sum"] == 33.75
+
+    def test_exposition_ends_with_newline(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "G.").set(1)
+        assert registry.render_prometheus().endswith("\n")

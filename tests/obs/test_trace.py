@@ -1,0 +1,128 @@
+"""Span tracer: null-span fast path, ring bound, Chrome-trace schema."""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.obs import (
+    chrome_trace,
+    configure_tracing,
+    export_chrome_trace,
+    reset_tracing,
+    span,
+    trace_events,
+    tracing_enabled,
+)
+from repro.obs.trace import _NULL_SPAN, _STATE
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    reset_tracing()
+    yield
+    reset_tracing()
+
+
+class TestSpan:
+    def test_disabled_by_default_returns_shared_null_span(self):
+        assert not tracing_enabled()
+        assert span("a") is _NULL_SPAN
+        assert span("b", key=1) is _NULL_SPAN
+        with span("c"):
+            pass
+        assert trace_events() == []
+
+    def test_enabled_records_name_attrs_and_thread(self):
+        configure_tracing(True)
+        with span("serve.request", endpoint="/predict"):
+            pass
+        (record,) = trace_events()
+        assert record.name == "serve.request"
+        assert dict(record.attrs) == {"endpoint": "/predict"}
+        assert record.end >= record.start
+        assert record.thread_name == threading.current_thread().name
+
+    def test_record_survives_exceptions(self):
+        configure_tracing(True)
+        with pytest.raises(RuntimeError):
+            with span("boom"):
+                raise RuntimeError("x")
+        assert [r.name for r in trace_events()] == ["boom"]
+
+    def test_ring_buffer_is_bounded(self):
+        configure_tracing(True, capacity=4)
+        for index in range(10):
+            with span(f"s{index}"):
+                pass
+        names = [r.name for r in trace_events()]
+        assert names == ["s6", "s7", "s8", "s9"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            configure_tracing(True, capacity=0)
+
+    def test_reset_disables_and_drops(self):
+        configure_tracing(True)
+        with span("x"):
+            pass
+        reset_tracing()
+        assert not tracing_enabled()
+        assert trace_events() == []
+
+    def test_tracer_state_refuses_pickling(self):
+        with pytest.raises(TypeError):
+            pickle.dumps(_STATE)
+
+
+class TestChromeTrace:
+    def _trace(self):
+        configure_tracing(True)
+        with span("runtime.forward", steps=3):
+            with span("serve.batch", size=2):
+                pass
+        return chrome_trace()
+
+    def test_schema(self):
+        trace = self._trace()
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(meta) == 1 and meta[0]["name"] == "thread_name"
+        assert {e["name"] for e in complete} == {
+            "runtime.forward",
+            "serve.batch",
+        }
+        for event in complete:
+            assert event["cat"] == event["name"].split(".")[0]
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["pid"] == 0
+
+    def test_timestamps_relative_to_earliest_span(self):
+        trace = self._trace()
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in complete) == 0.0
+
+    def test_json_serialisable_including_attr_coercion(self):
+        configure_tracing(True)
+        with span("x", obj=object(), flag=True):
+            pass
+        payload = json.dumps(chrome_trace())
+        assert "traceEvents" in payload
+
+    def test_export_writes_file_and_returns_count(self, tmp_path):
+        configure_tracing(True)
+        with span("a"):
+            pass
+        path = tmp_path / "trace.json"
+        assert export_chrome_trace(str(path)) == 1
+        loaded = json.loads(path.read_text())
+        assert [e["name"] for e in loaded["traceEvents"] if e["ph"] == "X"] == [
+            "a"
+        ]

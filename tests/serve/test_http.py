@@ -125,6 +125,35 @@ class TestEndpoints:
         assert metrics["batches"]["samples_served"] >= 2 * len(sample_batch)
         assert metrics["latency_ms"]["count"] >= 2
 
+    def test_metrics_prometheus_exposition(self, client, server, sample_batch):
+        from urllib.request import urlopen
+
+        client.predict(sample_batch, model="plain")
+        with urlopen(f"{server.url}/metrics?format=prometheus") as response:
+            assert response.status == 200
+            content_type = response.headers["Content-Type"]
+            text = response.read().decode("utf-8")
+        assert content_type.startswith("text/plain; version=0.0.4")
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert 'repro_http_requests_total{endpoint="/predict",status="200"}' in text
+        assert "# TYPE repro_http_request_latency_ms histogram" in text
+        assert "repro_http_request_latency_ms_count" in text
+        # Unknown/absent format values fall back to the JSON snapshot.
+        with urlopen(f"{server.url}/metrics?format=unknown") as response:
+            assert response.headers["Content-Type"].startswith("application/json")
+
+    def test_request_and_batch_spans_recorded(self, client, sample_batch):
+        from repro.obs import configure_tracing, reset_tracing, trace_events
+
+        configure_tracing(True)
+        try:
+            client.predict(sample_batch, model="plain")
+            names = [record.name for record in trace_events()]
+        finally:
+            reset_tracing()
+        assert "serve.request" in names
+        assert "serve.batch" in names
+
     def test_errors_map_to_statuses(self, client, sample_batch):
         with pytest.raises(ConfigurationError, match="HTTP 404"):
             client.predict(sample_batch, model="nope")

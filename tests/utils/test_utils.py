@@ -108,6 +108,28 @@ class TestTimer:
         with pytest.raises(RuntimeError):
             Timer().__exit__(None, None, None)
 
+    def test_reentry_raises_and_leaves_timer_usable(self):
+        timer = Timer()
+        with pytest.raises(RuntimeError, match="re-entered"):
+            with timer:
+                with timer:
+                    pass
+        # The failed inner enter must not corrupt the open lap: exiting
+        # the outer ``with`` already recorded it.
+        assert len(timer.laps) == 1
+        with timer:
+            pass
+        assert len(timer.laps) == 2
+
+    def test_mean_on_empty_is_zero(self):
+        assert Timer().mean == 0.0
+
+    def test_exit_clears_start_for_next_lap(self):
+        timer = Timer()
+        with timer:
+            pass
+        assert timer._start is None
+
     def test_survives_exceptions(self):
         timer = Timer()
         with pytest.raises(ValueError):
