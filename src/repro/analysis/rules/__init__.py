@@ -10,4 +10,5 @@ from repro.analysis.rules import (  # noqa: F401
     rpl007_pickle_safety,
     rpl008_restore_leak,
     rpl009_raw_timing,
+    rpl010_replica_row_split,
 )

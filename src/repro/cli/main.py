@@ -53,6 +53,21 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _replicas_spec(text: str) -> "int | str":
+    """``--replicas`` values: a lane count, ``auto``, or ``off``."""
+    if text in ("auto", "off"):
+        return text
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, 'auto', or 'off', got {text!r}"
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def _add_preset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--preset",
@@ -363,14 +378,15 @@ def _campaign_for_meta(
     run_meta: dict[str, object],
     shard: "tuple[int, int] | None",
     workers: int | None = None,
+    replicas: "int | str | None" = None,
 ):
     """Rebuild the (campaign, evaluator) pair a store's meta describes.
 
     The deterministic reconstruction both ``campaign run`` and
     ``campaign resume`` share: checkpoint → model (``load_protected_auto``),
     preset sizes → evaluator test set, manifest format → injector.
-    ``workers`` only changes scheduling, never results, so resume may
-    override it.
+    ``workers`` and ``replicas`` only change scheduling, never results,
+    so resume may override either.
     """
     from repro.core.checkpoint import load_protected_auto
     from repro.eval.experiments import get_preset
@@ -394,6 +410,9 @@ def _campaign_for_meta(
         seed=int(run_meta["seed"]),
         workers=workers if workers is not None else int(run_meta.get("workers", 0)),
         shard=shard,
+        replicas=(
+            replicas if replicas is not None else run_meta.get("replicas", "auto")
+        ),
     )
     return campaign, evaluator, model, meta
 
@@ -467,6 +486,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         "test_samples": preset.test_samples,
         "workers": preset.workers,
         "runtime": bool(args.runtime),
+        "replicas": args.replicas if args.replicas is not None else "auto",
     }
     if CampaignStore.exists(args.store):
         # Re-running against an existing store is a resume: the store's
@@ -502,6 +522,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         run_meta = dict(stored)  # keeps the recorded clean_accuracy baseline
         if args.workers is not None:
             run_meta["workers"] = args.workers  # scheduling only
+        if args.replicas is not None:
+            run_meta["replicas"] = args.replicas  # scheduling only
         campaign, _, _, _ = _campaign_for_meta(run_meta, shard)
     else:
         store = None
@@ -539,7 +561,7 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
     run_meta = store.meta
     _require_run_recipe(args.store, run_meta)
     campaign, _, _, _ = _campaign_for_meta(
-        run_meta, store.shard, workers=args.workers
+        run_meta, store.shard, workers=args.workers, replicas=args.replicas
     )
     with campaign:
         with store.attach(campaign):
@@ -788,6 +810,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     in_channels = int(meta.get("in_channels", 3))
     shape = (args.batch, in_channels, image_size, image_size)
     plan = compile_model(model, shape)
+    if args.replicas:
+        return _profile_replicas(args, plan, model, meta, shape)
     profile = plan.profile(repeats=args.repeats, warmup=args.warmup)
     print(
         f"profile {args.checkpoint}: {meta['model']}/{meta['dataset']} "
@@ -800,6 +824,53 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(
             f"wrote {count} trace events to {args.trace_out} "
             "(open at https://ui.perfetto.dev)"
+        )
+    return 0
+
+
+def _profile_replicas(args, plan, model, meta: dict, shape) -> int:
+    """Split a replica group's shared clean pass from its per-lane suffixes.
+
+    Samples one single-flip fault per lane (the replica-batched
+    campaign's dominant regime), runs one prepared clean forward plus a
+    lane suffix per fault, and prints both per-kernel tables — the
+    shared GEMM work every lane amortises versus the per-lane fault-step
+    cost that scales with the group width.
+    """
+    from repro.fault.fault_model import BitFlipFaultModel
+    from repro.fault.injector import FaultInjector
+
+    injector = FaultInjector(model, fmt=_checkpoint_format(meta))
+    fault_model = BitFlipFaultModel(n_flips=1)
+    site_sets = [
+        injector.sample(fault_model, rng=lane) for lane in range(args.replicas)
+    ]
+    replica = plan.replicate(args.replicas)
+    shared, lanes = replica.profile_lanes(injector, site_sets)
+    # Profile rows are per-forward means: the shared table is the one
+    # clean pass, the lanes table the mean suffix re-run per lane.
+    amortised_ms = shared.total_ms / args.replicas + lanes.total_ms
+    print(
+        f"replica profile {args.checkpoint}: {meta['model']}/{meta['dataset']} "
+        f"({meta['method']}), input {shape}, {args.replicas} lanes "
+        "(1 flip/lane)"
+    )
+    print()
+    print(
+        f"shared clean pass ({shared.total_ms:.3f} ms, amortised over "
+        f"{args.replicas} lanes):"
+    )
+    print(shared.table())
+    print()
+    print(f"lane suffixes (mean {lanes.total_ms:.3f} ms/lane):")
+    print(lanes.table())
+    print()
+    full = plan.profile(repeats=1, warmup=1)
+    if full.total_ms > 0 and amortised_ms > 0:
+        print(
+            f"per-trial forward {full.total_ms:.3f} ms vs "
+            f"{amortised_ms:.3f} ms/lane replica-batched "
+            f"({full.total_ms / amortised_ms:.2f}x)"
         )
     return 0
 
@@ -1099,6 +1170,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="evaluate trials through the compiled inference runtime",
     )
+    c.add_argument(
+        "--replicas",
+        type=_replicas_spec,
+        default=None,
+        metavar="N|auto|off",
+        help=(
+            "replica-batched evaluation: schedule trials in N-lane groups "
+            "that share each batch's clean forward (bit-identical results; "
+            "default auto picks a group width when the evaluator supports "
+            "it; 'off' forces the per-trial path)"
+        ),
+    )
     _add_preset_arguments(c)
     c.set_defaults(func=_cmd_campaign_run)
 
@@ -1112,6 +1195,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=_nonnegative_int,
         default=None,
         help="override the stored worker count (results are identical)",
+    )
+    c.add_argument(
+        "--replicas",
+        type=_replicas_spec,
+        default=None,
+        metavar="N|auto|off",
+        help="override the stored replica group width (results are identical)",
     )
     c.add_argument("--limit", type=int, default=None, metavar="N")
     c.set_defaults(func=_cmd_campaign_resume)
@@ -1214,6 +1304,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the per-kernel Chrome-trace JSON to PATH",
     )
+    p.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "profile an N-lane replica group instead: per-kernel tables "
+            "for the shared clean pass and the per-lane fault suffixes"
+        ),
+    )
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("experiment", help="regenerate a paper artefact by id")
@@ -1223,12 +1323,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="check the repo's correctness invariants (rules RPL001-RPL009)",
+        help="check the repo's correctness invariants (rules RPL001-RPL010)",
         description=(
             "AST-based invariant linter: plan-invalidation, thread-safe "
             "eval mode, bit-exact GEMM routing, journal determinism, "
             "exact-float JSON, import layering, pickle safety, fault "
-            "restoration, funneled timing.  Exit codes: 0 clean, 1 "
+            "restoration, funneled timing, replica-lane GEMM shapes.  "
+            "Exit codes: 0 clean, 1 "
             "findings, 2 unparsable files or bad usage.  See "
             "docs/INVARIANTS.md."
         ),

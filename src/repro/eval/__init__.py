@@ -16,6 +16,19 @@ from repro.eval.overhead import (
     measure_overhead,
 )
 from repro.eval.reporting import format_curves, format_table, percent, text_histogram
+from repro.core import post_training as _post_training
+
+
+def _compiled_clean_accuracy(model, eval_loader):
+    return Evaluator(eval_loader, runtime=True).bind(model)
+
+
+# Dependency inversion across the layer DAG: core's bound post-training
+# cannot import the compiled runtime (RPL006), so the fast clean-accuracy
+# probe is installed from here — any code path that touches the eval
+# harness upgrades post-training's per-epoch δ-probe to compiled-plan
+# forwards (bit-identical to the module forward by the plan contract).
+_post_training.install_clean_accuracy_factory(_compiled_clean_accuracy)
 
 __all__ = [
     "BoundAccuracy",

@@ -65,6 +65,15 @@ class BoundAccuracy:
     def __call__(self) -> float:
         return self.evaluator.accuracy(self.model)
 
+    def lane_accuracies(self, injector: object, site_sets: list) -> list[float]:
+        """Replicated-evaluation hook for replica-batched campaigns.
+
+        One accuracy per site set, bit-identical to injecting and
+        calling this closure once per set.  The presence of this method
+        is what lets ``FaultCampaign(replicas=...)`` group trials.
+        """
+        return self.evaluator.lane_accuracies(self.model, injector, site_sets)
+
 
 class Evaluator:
     """Materialised test set with top-1 accuracy evaluation.
@@ -112,6 +121,8 @@ class Evaluator:
         # against reuse; entries live as long as the evaluator (one or
         # two models in practice).
         self._plans: dict[int, tuple[Module, object]] = {}
+        # id(model) -> (model, ReplicaPlan) for replica-batched lanes.
+        self._replicas: dict[int, tuple[Module, object]] = {}
 
     # ------------------------------------------------------------------
     # Pickling (worker-pool transport)
@@ -122,6 +133,7 @@ class Evaluator:
         (which would silently duplicate the campaign's model)."""
         state = self.__dict__.copy()
         state["_plans"] = {}
+        state["_replicas"] = {}
         return state
 
     def _plan_for(self, model: Module):
@@ -135,6 +147,14 @@ class Evaluator:
         )
         self._plans[id(model)] = (model, plan)
         return plan
+
+    def _replica_for(self, model: Module):
+        entry = self._replicas.get(id(model))
+        if entry is not None:
+            return entry[1]
+        replica = self._plan_for(model).replicate(1)
+        self._replicas[id(model)] = (model, replica)
+        return replica
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -158,6 +178,71 @@ class Evaluator:
                     logits = model(inputs)
                     correct += int((logits.data.argmax(axis=1) == targets).sum())
         return correct / self.total_samples
+
+    def lane_accuracies(
+        self, model: Module, injector: object, site_sets: list
+    ) -> list[float]:
+        """Accuracy of ``model`` under each site set, sharing clean work.
+
+        The replicated-evaluation entry point behind
+        ``FaultCampaign(replicas=...)``: semantically equivalent to —
+        and bit-identical with — the per-trial loop ::
+
+            [injector.inject(sites) ∘ accuracy(model) for sites in site_sets]
+
+        On the runtime path with a replay-safe plan and an injector
+        whose live state matches its canonical clean values
+        (:meth:`repro.fault.FaultInjector.canonical_clean`), lanes share
+        one cached clean forward per batch and re-run only the plan
+        suffix below each fault's divergence step
+        (:class:`repro.runtime.ReplicaPlan`); zero-flip lanes replay the
+        shared pass outright.  Every condition that could perturb
+        bit-exactness (module-path evaluation, fallback kernels, armed
+        activation faults, unquantisable parameters, injectors without
+        the metadata hooks) degrades to the literal per-trial loop.
+        """
+        site_sets = list(site_sets)
+        if self.runtime and self._lanes_exact(injector):
+            replica = self._replica_for(model)
+            if replica.replay_safe():
+                return self._replica_lanes(replica, injector, site_sets)
+        accuracies = []
+        for sites in site_sets:
+            with injector.inject(sites):
+                accuracies.append(self.accuracy(model))
+        return accuracies
+
+    @staticmethod
+    def _lanes_exact(injector: object) -> bool:
+        """Whether shared-clean-forward lanes reproduce per-trial bits."""
+        canonical = getattr(injector, "canonical_clean", None)
+        return canonical is not None and bool(canonical())
+
+    def _replica_lanes(
+        self, replica, injector: object, site_sets: list
+    ) -> list[float]:
+        from repro.runtime import fault_parameters
+
+        clean_correct = 0
+        for key, (inputs, targets) in enumerate(self._batches):
+            logits = replica.prepare(key, inputs)
+            clean_correct += int((logits.argmax(axis=1) == targets).sum())
+        clean_accuracy = clean_correct / self.total_samples
+        accuracies = []
+        for sites in site_sets:
+            if len(sites) == 0:
+                # Zero flips drawn: the lane is the clean model; replay
+                # the shared pass instead of re-running any forward.
+                accuracies.append(clean_accuracy)
+                continue
+            params = fault_parameters(injector, sites)
+            correct = 0
+            with injector.inject(sites):
+                for key, (inputs, targets) in enumerate(self._batches):
+                    logits = replica.lane_forward(key, inputs, params)
+                    correct += int((logits.argmax(axis=1) == targets).sum())
+            accuracies.append(correct / self.total_samples)
+        return accuracies
 
     def bind(self, model: Module) -> BoundAccuracy:
         """Zero-argument closure for :class:`repro.fault.FaultCampaign`.

@@ -91,23 +91,27 @@ def format_markdown_table(
 
 
 def _atlas_rows(
-    entries: Sequence[Mapping[str, object]], label_key: str
+    entries: Sequence[Mapping[str, object]],
+    label_key: str,
+    with_density: bool = False,
 ) -> list[list[object]]:
     rows = []
     for entry in entries:
         low, high = entry["sdc_ci"]
-        rows.append(
-            [
-                entry[label_key],
-                entry["trials"],
-                entry["flips"],
-                percent(float(entry["mean_accuracy"])),
-                percent(float(entry["min_accuracy"])),
-                percent(float(entry["sdc_rate"]), digits=1),
-                f"[{percent(float(low), digits=1)}, "
-                f"{percent(float(high), digits=1)}]",
-            ]
-        )
+        row: list[object] = [
+            entry[label_key],
+            entry["trials"],
+            entry["flips"],
+            percent(float(entry["mean_accuracy"])),
+            percent(float(entry["min_accuracy"])),
+            percent(float(entry["sdc_rate"]), digits=1),
+            f"[{percent(float(low), digits=1)}, "
+            f"{percent(float(high), digits=1)}]",
+        ]
+        if with_density:
+            density = entry.get("sdc_density")
+            row.append("-" if density is None else f"{float(density):.2e}")
+        rows.append(row)
     return rows
 
 
@@ -117,7 +121,9 @@ def format_atlas(atlas: Mapping[str, object]) -> str:
     Takes the JSON-ready dict of :func:`repro.store.build_atlas`: a
     per-layer table (most vulnerable first) and a per-bit-position table
     (ascending bit index, so the fraction→integer→sign damage ramp reads
-    top to bottom).
+    top to bottom).  When the atlas carries fault-space-normalised
+    densities (stores that journal their fault-space geometry), an
+    "SDC density" column renders the size-corrected per-bit rates.
     """
     headers = ["trials hit", "flips", "mean acc", "min acc", "SDC rate", "95% CI"]
     layers = sorted(
@@ -125,6 +131,11 @@ def format_atlas(atlas: Mapping[str, object]) -> str:
         key=lambda row: (-float(row["sdc_rate"]), -float(row["flips"])),
     )
     bits = sorted(atlas["bits"], key=lambda row: int(row["bit"]))
+    with_density = any(
+        "sdc_density" in row for table in (layers, bits) for row in table
+    )
+    if with_density:
+        headers = [*headers, "SDC density"]
     lines = [
         "## Vulnerability atlas",
         "",
@@ -137,7 +148,11 @@ def format_atlas(atlas: Mapping[str, object]) -> str:
         "",
     ]
     if layers:
-        lines.append(format_markdown_table(["layer", *headers], _atlas_rows(layers, "layer")))
+        lines.append(
+            format_markdown_table(
+                ["layer", *headers], _atlas_rows(layers, "layer", with_density)
+            )
+        )
         unhit = int(atlas.get("layers_unhit", 0))
         if unhit:
             lines.append("")
@@ -146,7 +161,11 @@ def format_atlas(atlas: Mapping[str, object]) -> str:
         lines.append("(no fault sites journaled yet)")
     lines.extend(["", "### By bit position", ""])
     if bits:
-        lines.append(format_markdown_table(["bit", *headers], _atlas_rows(bits, "bit")))
+        lines.append(
+            format_markdown_table(
+                ["bit", *headers], _atlas_rows(bits, "bit", with_density)
+            )
+        )
     else:
         lines.append("(no fault sites journaled yet)")
     return "\n".join(lines)

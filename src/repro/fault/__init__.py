@@ -15,6 +15,7 @@ from repro.fault.activation import (
 )
 from repro.fault.burst import BurstFaultModel, expand_bursts
 from repro.fault.campaign import (
+    AUTO_REPLICAS,
     CampaignAggregator,
     CampaignResult,
     EarlyStop,
@@ -30,9 +31,11 @@ from repro.fault.ecc import (
 from repro.fault.fault_model import PAPER_FAULT_RATES, BitFlipFaultModel, FaultModel
 from repro.fault.injector import FaultInjector
 from repro.fault.parallel import (
+    GroupTrialRunner,
     ProcessExecutor,
     SerialExecutor,
     TrialExecutor,
+    TrialGroup,
     TrialOutcome,
     TrialRunner,
     TrialWork,
@@ -55,6 +58,7 @@ from repro.fault.stuck_at import StuckAtFaultModel, active_stuck_sites
 from repro.fault.word import WordFaultModel, replacement_flips
 
 __all__ = [
+    "AUTO_REPLICAS",
     "PAPER_FAULT_RATES",
     "ActivationFaultCampaign",
     "ActivationFaultInjector",
@@ -71,6 +75,7 @@ __all__ = [
     "FaultInjector",
     "FaultModel",
     "FaultSites",
+    "GroupTrialRunner",
     "OutcomeBreakdown",
     "ProcessExecutor",
     "SECDEDCode",
@@ -78,6 +83,7 @@ __all__ = [
     "StuckAtFaultModel",
     "SweepResult",
     "TrialExecutor",
+    "TrialGroup",
     "TrialOutcome",
     "TrialRunner",
     "TrialWork",

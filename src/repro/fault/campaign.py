@@ -14,7 +14,7 @@ campaign seed, so both backends produce bit-identical results.
 from __future__ import annotations
 
 import math
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
@@ -24,7 +24,9 @@ from repro.errors import CampaignInterrupted, ConfigurationError
 from repro.fault.fault_model import BitFlipFaultModel, FaultModel
 from repro.fault.injector import FaultInjector
 from repro.fault.parallel import (
+    GroupTrialRunner,
     TrialExecutor,
+    TrialGroup,
     TrialOutcome,
     TrialRunner,
     TrialWork,
@@ -38,6 +40,7 @@ if TYPE_CHECKING:
     from repro.store import CampaignStore
 
 __all__ = [
+    "AUTO_REPLICAS",
     "CampaignAggregator",
     "CampaignResult",
     "EarlyStop",
@@ -46,6 +49,11 @@ __all__ = [
 ]
 
 _logger = get_logger("fault.campaign")
+
+#: Replica-group width used by ``replicas="auto"``.  Wide enough to
+#: amortise the shared clean-prefix forward, small enough that a pooled
+#: executor still has groups to balance across workers.
+AUTO_REPLICAS = 8
 
 
 @dataclass
@@ -256,6 +264,18 @@ class FaultCampaign:
         result bit-identical to the unsharded run.  Trial seeds depend
         only on the trial index, never on the shard, so slices compose
         exactly.
+    replicas:
+        Replica-batched evaluation: ``R >= 2`` schedules trials in
+        groups of R lanes whose clean forward work is shared
+        (:meth:`ReplicaPlan <repro.runtime.ReplicaPlan>` share-until-
+        diverge), requiring ``evaluate`` to expose the
+        ``lane_accuracies(injector, site_sets)`` hook
+        (:meth:`repro.eval.BoundAccuracy.lane_accuracies`).  ``"auto"``
+        picks a default group width when the hook is present and falls
+        back to per-trial execution when it is not;
+        ``None``/``"off"``/``0``/``1`` forces the per-trial path.
+        Either way results are bit-identical — grouping is purely a
+        scheduling decision.
     """
 
     def __init__(
@@ -267,6 +287,7 @@ class FaultCampaign:
         workers: int | TrialExecutor | None = 0,
         start_method: str | None = None,
         shard: tuple[int, int] | None = None,
+        replicas: int | str | None = None,
     ) -> None:
         if trials < 1:
             raise ValueError(f"trials must be >= 1, got {trials}")
@@ -275,10 +296,44 @@ class FaultCampaign:
         self.trials = int(trials)
         self.seed = int(seed)
         self.shard = self._validated_shard(shard)
+        self.replicas = self._resolved_replicas(replicas, evaluate)
         self.executor = make_executor(workers, start_method=start_method)
         # One runner for the campaign's lifetime: process pools key their
         # worker state on it, so a sweep reuses one pool across rates.
         self._runner = TrialRunner(injector, evaluate)
+        self._group_runner = (
+            GroupTrialRunner(injector, evaluate) if self.replicas else None
+        )
+
+    @staticmethod
+    def _resolved_replicas(
+        replicas: int | str | None, evaluate: Callable[[], float]
+    ) -> int:
+        """Resolve the ``replicas`` knob to a group width (0 = per-trial)."""
+        if replicas is None or replicas == "off":
+            return 0
+        has_hook = callable(getattr(evaluate, "lane_accuracies", None))
+        if replicas == "auto":
+            return AUTO_REPLICAS if has_hook else 0
+        try:
+            width = int(replicas)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"replicas must be an integer, 'auto', or 'off', "
+                f"got {replicas!r}"
+            )
+        if width < 0:
+            raise ConfigurationError(f"replicas must be >= 0, got {width}")
+        if width <= 1:
+            return 0
+        if not has_hook:
+            raise ConfigurationError(
+                f"replicas={width} requires an evaluation callable with a "
+                "lane_accuracies(injector, site_sets) hook "
+                "(Evaluator.bind provides one); got "
+                f"{type(evaluate).__name__}"
+            )
+        return width
 
     @staticmethod
     def _validated_shard(
@@ -433,11 +488,22 @@ class FaultCampaign:
         }
         pending = [works[trial] for trial in missing]
         aggregator = CampaignAggregator()
-        outcomes = (
-            self.executor.run_trials(self._runner, pending)
-            if pending
-            else iter(())
-        )
+        outcomes: Iterator[TrialOutcome]
+        if not pending:
+            outcomes = iter(())
+        elif self._group_runner is not None:
+            # Replica-batched path: consecutive pending trials become
+            # lanes of one shared-forward evaluation.  The flattened
+            # stream keeps trial-index order, so everything downstream
+            # (journal, early stop, aggregation) is unchanged — and
+            # bit-identical to the per-trial stream.
+            groups = [
+                TrialGroup(works=tuple(pending[at : at + self.replicas]))
+                for at in range(0, len(pending), self.replicas)
+            ]
+            outcomes = self.executor.run_groups(self._group_runner, groups)
+        else:
+            outcomes = self.executor.run_trials(self._runner, pending)
         stopped_early = False
         try:
             fresh = 0

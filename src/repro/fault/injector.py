@@ -80,11 +80,27 @@ class FaultInjector:
             self._names.append(name)
             self._params.append(param)
             self._words.append(words)
-            self._clean.append(decode(words, self.fmt))
+            self._clean.append(self._clean_array(words, param))
             sizes.append(words.size)
         if not sizes:
             raise ConfigurationError("module has no parameters to inject into")
         self._offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+
+    def _clean_array(self, words: np.ndarray, param: Parameter) -> np.ndarray:
+        """One canonical, read-only clean array in the parameter's shape.
+
+        :meth:`restore` rebinds ``param.data`` to this *same object*
+        every time, which keeps restores copy-free and keeps compiled
+        plans' identity signatures stable across inject/restore cycles
+        (the :class:`repro.runtime.ReplicaPlan` snapshot cache keys on
+        them).  Read-only because every sanctioned mutation path rebinds
+        ``param.data`` rather than writing through it — an in-place
+        write to the canonical clean state would silently corrupt every
+        later restore, so it fails loudly instead.
+        """
+        clean = decode(words, self.fmt).reshape(param.shape)
+        clean.flags.writeable = False
+        return clean
 
     # ------------------------------------------------------------------
     # Pickling (worker-pool transport)
@@ -108,7 +124,10 @@ class FaultInjector:
 
     def __setstate__(self, state: dict[str, object]) -> None:
         self.__dict__.update(state)
-        self._clean = [decode(words, self.fmt) for words in self._words]
+        self._clean = [
+            self._clean_array(words, param)
+            for words, param in zip(self._words, self._params)
+        ]
 
     @property
     def total_words(self) -> int:
@@ -123,6 +142,27 @@ class FaultInjector:
     @property
     def parameter_names(self) -> list[str]:
         return list(self._names)
+
+    @property
+    def parameters(self) -> list[Parameter]:
+        """Live parameter objects, aligned with :attr:`parameter_names`.
+
+        The hook :func:`repro.runtime.fault_parameters` uses to map
+        fault sites to the parameters they land in (replica-batched
+        evaluation bounds each lane's divergence step with it).
+        """
+        return list(self._params)
+
+    @property
+    def parameter_words(self) -> list[int]:
+        """Per-parameter fault-space word counts (:attr:`parameter_names` order).
+
+        Campaign stores persist these so the vulnerability atlas can
+        normalise raw per-layer SDC rates by each layer's fault-space
+        size into per-bit vulnerability densities.
+        """
+        sizes = self._offsets[1:] - self._offsets[:-1]
+        return [int(size) for size in sizes]
 
     def fingerprint(self) -> str:
         """Stable digest of the clean fault space (campaign-store identity).
@@ -280,10 +320,43 @@ class FaultInjector:
         invalidate_runtime_plans(self.module)
         return len(sites)
 
-    def restore(self) -> None:
-        """Restore every parameter to its exact pre-fault value."""
+    def canonical_clean(self) -> bool:
+        """Whether live parameters hold exactly their canonical clean values.
+
+        The replica-batched evaluation fast path
+        (:meth:`repro.eval.Evaluator.lane_accuracies`) shares one clean
+        forward across lanes; that is only bit-identical to the
+        per-trial path when the model's current state equals the state
+        :meth:`restore` re-establishes after every trial.  True for
+        quantised models from the start (encode∘decode is exact) and
+        for any model after its first restore; False while faults are
+        active, or before the first restore of a model whose float
+        parameters are not representable in the injector's format.
+        """
+        if self._active:
+            return False
         for param, clean in zip(self._params, self._clean):
-            param.data = clean.reshape(param.shape).copy()
+            data = param.data
+            if data is clean:
+                continue
+            if (
+                data.dtype != clean.dtype
+                or data.shape != clean.shape
+                or not np.array_equal(data, clean)
+            ):
+                return False
+        return True
+
+    def restore(self) -> None:
+        """Restore every parameter to its exact pre-fault value.
+
+        Rebinds each ``param.data`` to the injector's canonical
+        (read-only) clean array — the same object every time, so
+        restores are copy-free and a compiled plan's identity probe
+        sees one stable clean state across trials.
+        """
+        for param, clean in zip(self._params, self._clean):
+            param.data = clean
         self._active = False
         invalidate_runtime_plans(self.module)
 

@@ -50,9 +50,11 @@ if TYPE_CHECKING:
     from repro.fault.injector import FaultInjector
 
 __all__ = [
+    "GroupTrialRunner",
     "ProcessExecutor",
     "SerialExecutor",
     "TrialExecutor",
+    "TrialGroup",
     "TrialOutcome",
     "TrialRunner",
     "TrialWork",
@@ -128,6 +130,64 @@ class TrialRunner:
         )
 
 
+@dataclass(frozen=True)
+class TrialGroup:
+    """A replica group: consecutive trials evaluated as lanes of one pass.
+
+    Groups carry ordinary :class:`TrialWork` units — the same sites the
+    per-trial path would inject — so grouping is purely a scheduling
+    decision; lane outcomes are attributed back to the original trial
+    indices and must be bit-identical to the ungrouped evaluation.
+    """
+
+    works: tuple[TrialWork, ...]
+
+
+class GroupTrialRunner:
+    """Picklable work function evaluating one replica group per call.
+
+    Requires an evaluation callable exposing
+    ``lane_accuracies(injector, site_sets)`` — the replicated-evaluation
+    hook (:meth:`repro.eval.BoundAccuracy.lane_accuracies`), which
+    shares each batch's clean forward across the group's lanes and
+    returns one accuracy per site set, in order, bit-identical to the
+    per-trial path.
+    """
+
+    __slots__ = ("injector", "evaluate")
+
+    def __init__(self, injector: "FaultInjector", evaluate: object) -> None:
+        self.injector = injector
+        self.evaluate = evaluate
+
+    def __call__(self, group: TrialGroup) -> tuple[TrialOutcome, ...]:
+        works = group.works
+        with span("campaign.group", trials=len(works)):
+            # Group wall time split evenly over lanes: shared work has no
+            # per-trial attribution.  Like TrialRunner's raw reads above,
+            # kept obs-free so pickled workers need no obs import.
+            started = time.perf_counter()  # repro-lint: disable=RPL009
+            accuracies = self.evaluate.lane_accuracies(
+                self.injector, [work.sites for work in works]
+            )
+            seconds = time.perf_counter() - started  # repro-lint: disable=RPL009
+        if len(accuracies) != len(works):  # pragma: no cover - defensive
+            raise ConfigurationError(
+                f"lane_accuracies returned {len(accuracies)} accuracies "
+                f"for {len(works)} lanes"
+            )
+        per_lane = seconds / len(works) if works else 0.0
+        return tuple(
+            TrialOutcome(
+                index=work.index,
+                accuracy=float(accuracy),
+                flips=len(work.sites),
+                seconds=per_lane,
+            )
+            for work, accuracy in zip(works, accuracies)
+        )
+
+
 class TrialExecutor:
     """Strategy interface: run trials, yield outcomes in trial-index order.
 
@@ -145,6 +205,20 @@ class TrialExecutor:
         self, runner: TrialRunner, works: Iterable[TrialWork]
     ) -> Iterator[TrialOutcome]:
         raise NotImplementedError
+
+    def run_groups(
+        self, runner: GroupTrialRunner, groups: Iterable[TrialGroup]
+    ) -> Iterator[TrialOutcome]:
+        """Run replica groups, yielding a flat trial-index-ordered stream.
+
+        Groups hold consecutive trial indices and outcomes stream back
+        flattened in that order, so consumers are oblivious to grouping
+        — the journal/early-stop/aggregation loop is byte-identical to
+        :meth:`run_trials`.  The default evaluates groups in the calling
+        process (correct for any backend); pooled executors override it.
+        """
+        for group in groups:
+            yield from runner(group)
 
     def shutdown(self, terminate: bool = False) -> None:
         """Release any pooled resources (no-op for in-process backends)."""
@@ -181,18 +255,24 @@ def default_start_method() -> str:
 
 # Worker-global campaign state, installed once per worker by the pool
 # initializer (inherited via fork, or unpickled once under spawn).
-_WORKER_RUNNER: TrialRunner | None = None
+_WORKER_RUNNER: TrialRunner | GroupTrialRunner | None = None
 
 
-def _initialize_worker(runner: TrialRunner) -> None:
+def _initialize_worker(runner: TrialRunner | GroupTrialRunner) -> None:
     global _WORKER_RUNNER
     _WORKER_RUNNER = runner
 
 
 def _execute_trial(work: TrialWork) -> TrialOutcome:
-    if _WORKER_RUNNER is None:  # pragma: no cover - defensive
-        raise ConfigurationError("worker pool was not initialised with a runner")
+    if not isinstance(_WORKER_RUNNER, TrialRunner):  # pragma: no cover - defensive
+        raise ConfigurationError("worker pool was not initialised with a trial runner")
     return _WORKER_RUNNER(work)
+
+
+def _execute_group(group: TrialGroup) -> tuple[TrialOutcome, ...]:
+    if not isinstance(_WORKER_RUNNER, GroupTrialRunner):  # pragma: no cover
+        raise ConfigurationError("worker pool was not initialised with a group runner")
+    return _WORKER_RUNNER(group)
 
 
 class ProcessExecutor(TrialExecutor):
@@ -243,14 +323,14 @@ class ProcessExecutor(TrialExecutor):
         self.start_method = start_method
         self.chunk_size = chunk_size
         self._pool: "Pool | None" = None
-        self._pool_runner: TrialRunner | None = None
+        self._pool_runner: TrialRunner | GroupTrialRunner | None = None
 
     def _resolve_chunk(self, n_trials: int) -> int:
         if self.chunk_size is not None:
             return self.chunk_size
         return max(1, n_trials // (self.workers * 4))
 
-    def _ensure_pool(self, runner: TrialRunner) -> "Pool":
+    def _ensure_pool(self, runner: TrialRunner | GroupTrialRunner) -> "Pool":
         if self._pool is not None and self._pool_runner is runner:
             return self._pool
         self.shutdown()
@@ -286,6 +366,26 @@ class ProcessExecutor(TrialExecutor):
                 # Abandoned mid-stream (early stop, worker error): kill
                 # the speculative trials instead of letting them occupy
                 # the pool; the next run lazily restarts it.
+                self.shutdown(terminate=True)
+
+    def run_groups(
+        self, runner: GroupTrialRunner, groups: Iterable[TrialGroup]
+    ) -> Iterator[TrialOutcome]:
+        groups = list(groups)
+        if not groups:
+            return
+        pool = self._ensure_pool(runner)
+        completed = 0
+        try:
+            # Same ordered imap as run_trials, one replica group per
+            # message; lane outcomes flatten back in trial-index order.
+            for outcomes in pool.imap(
+                _execute_group, groups, chunksize=self._resolve_chunk(len(groups))
+            ):
+                yield from outcomes
+                completed += 1
+        finally:
+            if completed < len(groups):
                 self.shutdown(terminate=True)
 
     def shutdown(self, terminate: bool = False) -> None:

@@ -296,6 +296,18 @@ class Kernel:
         """Nested kernel lists as ``(branch, steps)`` pairs (profiling)."""
         return ()
 
+    def source_modules(self) -> "tuple[Module, ...]":
+        """The modules whose live state this step reads at run time.
+
+        :class:`~repro.runtime.replica.ReplicaPlan` builds its
+        parameter → earliest-reading-step map from this: a fault in one
+        of these modules' parameters can change this step's output but
+        no earlier step's.  Kernels with nested branches report their
+        children's sources as their own (the whole block is one step of
+        the owning plan).
+        """
+        return ()
+
     def describe(self) -> str:
         return type(self).__name__
 
@@ -402,6 +414,14 @@ class ConvKernel(Kernel):
     def refresh(self) -> None:
         if self.bn is not None:
             self.bn.refresh()
+
+    def source_modules(self) -> "tuple[Module, ...]":
+        modules: tuple[Module, ...] = (self.conv,)
+        if self.bn is not None:
+            modules += (self.bn.bn,)
+        if self.act is not None:
+            modules += (self.act,)
+        return modules
 
     # ------------------------------------------------------------------
     # GEMM tiers (all write the channels-last (positions, out) buffer)
@@ -669,6 +689,14 @@ class LinearKernel(Kernel):
         if self.bn is not None:
             self.bn.refresh()
 
+    def source_modules(self) -> "tuple[Module, ...]":
+        modules: tuple[Module, ...] = (self.linear,)
+        if self.bn is not None:
+            modules += (self.bn.bn,)
+        if self.act is not None:
+            modules += (self.act,)
+        return modules
+
     def run(self, x: np.ndarray) -> np.ndarray:
         # No gather stage to thread here: the input already is the GEMM
         # operand, and the BLAS call must stay whole for bit-exactness.
@@ -705,6 +733,9 @@ class BatchNormKernel(Kernel):
 
     def refresh(self) -> None:
         self.fold.refresh()
+
+    def source_modules(self) -> "tuple[Module, ...]":
+        return (self.fold.bn,)
 
     def run(self, x: np.ndarray) -> np.ndarray:
         bn = self.fold.bn
@@ -828,6 +859,9 @@ class ActivationKernel(Kernel):
         self.module = module
         self.bufs = _Buffers()
 
+    def source_modules(self) -> "tuple[Module, ...]":
+        return (self.module,)
+
     def run(self, x: np.ndarray) -> np.ndarray:
         if isinstance(self.module, Identity):
             return x
@@ -862,6 +896,17 @@ class ResidualKernel(Kernel):
         if self.down is None:
             return (("main", self.main),)
         return (("main", self.main), ("down", self.down))
+
+    def source_modules(self) -> "tuple[Module, ...]":
+        # The whole block is one plan step: a fault anywhere inside it
+        # (either branch) diverges the block's output.
+        modules: tuple[Module, ...] = ()
+        for _branch, steps in self.child_kernels():
+            for step in steps:
+                modules += step.source_modules()
+        if self.act is not None:
+            modules += (self.act,)
+        return modules
 
     def _run_branch(self, steps: list[Kernel], x: np.ndarray) -> np.ndarray:
         prof = self.prof
@@ -904,6 +949,9 @@ class FallbackKernel(Kernel):
     def __init__(self, module: Module) -> None:
         self.module = module
 
+    def source_modules(self) -> "tuple[Module, ...]":
+        return (self.module,)
+
     def run(self, x: np.ndarray) -> np.ndarray:
         with eval_mode(), no_grad():
             return self.module(Tensor(x)).data
@@ -931,6 +979,9 @@ class FaultStepKernel(Kernel):
 
     def __init__(self, layer: Module) -> None:
         self.layer = layer
+
+    def source_modules(self) -> "tuple[Module, ...]":
+        return (self.layer,)
 
     def run(self, x: np.ndarray) -> np.ndarray:
         layer = self.layer

@@ -38,6 +38,7 @@ so serve-lane worker threads can share one plan safely.
 from __future__ import annotations
 
 import threading
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -49,6 +50,9 @@ from repro.obs.profile import KernelProfiler, PlanProfile
 from repro.obs.trace import span
 from repro.runtime.compiler import compile_module
 from repro.runtime.kernels import Kernel, ResidualKernel
+
+if TYPE_CHECKING:
+    from repro.runtime.replica import ReplicaPlan
 
 __all__ = ["InferencePlan", "compile_model", "resolve_gemm_workers"]
 
@@ -299,24 +303,70 @@ class InferencePlan:
         Inputs are converted to a contiguous float32 array (the plan's
         numeric contract); the input array itself is never written.
         """
+        logits, _ = self.forward_from(inputs)
+        return logits
+
+    def forward_from(
+        self,
+        inputs: np.ndarray | Tensor,
+        start: int = 0,
+        taps: tuple[int, ...] = (),
+    ) -> tuple[np.ndarray, dict[int, np.ndarray]]:
+        """Run the step suffix ``start..end``, snapshotting at ``taps``.
+
+        ``inputs`` is the activation *entering* step ``start`` — for
+        ``start=0`` the plan input, otherwise an intermediate a previous
+        forward tapped.  ``taps`` names step indices whose entering
+        activation should be returned as owned copies (buffers are
+        reused across calls and some steps return views, so snapshots
+        must copy); a tap at or before ``start`` is skipped — the
+        caller already holds that activation.
+
+        Because every kernel's output is a pure function of its input
+        and the live module state, a suffix run from a tapped activation
+        is bit-identical to the corresponding tail of a full forward —
+        the shapes (and therefore the BLAS micro-kernels) are exactly
+        those of the full pass.  This is what
+        :class:`~repro.runtime.replica.ReplicaPlan` builds on.
+        """
         x = inputs.data if isinstance(inputs, Tensor) else inputs
         x = np.ascontiguousarray(np.asarray(x, dtype=np.float32))
-        with self._lock, span("runtime.forward", steps=len(self.steps)):
+        wanted = {int(tap) for tap in taps}
+        snapshots: dict[int, np.ndarray] = {}
+        with self._lock, span("runtime.forward", steps=len(self.steps) - start):
             if self._dirty or (self._structure, self._signature) != self._signatures():
                 self.refresh()
+            if not 0 <= start <= len(self.steps):
+                raise ConfigurationError(
+                    f"start step {start} outside plan of {len(self.steps)} steps"
+                )
             prof = self._profiler
-            if prof is None:
-                for step in self.steps:
-                    x = step.run(x)
-            else:
+            if prof is not None:
                 prof.begin_forward()
-                for step in self.steps:
+            for index in range(start, len(self.steps)):
+                if index > start and index in wanted:
+                    snapshots[index] = np.array(x, dtype=np.float32, copy=True)
+                step = self.steps[index]
+                if prof is None:
+                    x = step.run(x)
+                else:
                     started = prof.now()
                     x = step.run(x)
                     prof.step(step, started, prof.now())
             # The final buffer is reused by the next call: hand the
             # caller an owned copy (logits are small).
-            return np.array(x, dtype=np.float32, copy=True)
+            return np.array(x, dtype=np.float32, copy=True), snapshots
+
+    def replicate(self, replicas: int) -> "ReplicaPlan":
+        """Wrap this plan for replica-batched fault evaluation.
+
+        See :class:`repro.runtime.replica.ReplicaPlan`: ``replicas``
+        faulted variants of the model share the clean prefix of each
+        forward and re-run only the steps a fault can affect.
+        """
+        from repro.runtime.replica import ReplicaPlan
+
+        return ReplicaPlan(self, replicas)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -343,7 +393,8 @@ def compile_model(
     warm: bool = True,
     gemm_workers: int | str | None = None,
     profile: bool = False,
-) -> InferencePlan:
+    replicas: int | None = None,
+) -> "InferencePlan | ReplicaPlan":
     """Compile ``model`` into an :class:`InferencePlan`.
 
     Parameters
@@ -372,6 +423,11 @@ def compile_model(
         the warm pass, so only real forwards accumulate).  Read the
         report via ``plan._profiler.result()`` or use the one-shot
         :meth:`InferencePlan.profile` instead.
+    replicas:
+        When set (``>= 1``), wrap the compiled plan in a
+        :class:`~repro.runtime.replica.ReplicaPlan` sized for that many
+        fault lanes and return it instead (equivalent to
+        ``plan.replicate(replicas)``).
     """
     shape = tuple(int(dim) for dim in input_shape)
     if len(shape) == 3:
@@ -393,4 +449,6 @@ def compile_model(
                 plan(np.zeros(shape, dtype=np.float32))
     if profile:
         plan.attach_profiler()
+    if replicas is not None:
+        return plan.replicate(replicas)
     return plan

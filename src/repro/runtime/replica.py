@@ -1,0 +1,334 @@
+"""Replica-batched fault evaluation: share the clean prefix, re-run the rest.
+
+A campaign trial flips bits in *parameters* and asks for the faulted
+model's accuracy.  Run per-trial, every trial pays a full compiled
+forward per batch even though most of that forward is identical to the
+clean pass: a fault in layer L cannot change any activation computed
+before the first kernel step that reads L's parameters.
+
+:class:`ReplicaPlan` exploits exactly that.  One clean forward per
+batch is executed with *taps* — owned snapshots of the activation
+entering every step at which some parameter is first read — and cached.
+Each faulted replica ("lane") then re-runs only the plan suffix from
+its divergence step, seeded with the cached clean activation.  For
+single-bit faults on deep models the expected suffix is a small
+fraction of the full forward, which is where the replica-batched
+campaign speedup comes from; dense many-layer faults degrade gracefully
+toward one full forward per lane (never worse than the per-trial path,
+up to snapshot bookkeeping).
+
+Why lanes are *virtual*, not a physical batch dimension
+-------------------------------------------------------
+Stacking R replicas along the batch axis through one shared-weight GEMM
+cannot satisfy the repository's bit-exactness contract, for two
+reasons.  First, parameter faults give every lane *different* weights —
+there is no shared GEMM operand to batch.  Second, PR 4 measured that
+changing a BLAS call's shape changes its K-accumulation order
+(shape-selected micro-kernels), so an R-fold batch GEMM is not
+float32-bit-identical to R serial GEMMs.  The share-until-diverge
+scheme sidesteps both: every GEMM a lane executes has *exactly* the
+serial shapes and operands, so lane results equal the per-trial path
+bit for bit on any BLAS backend, by construction — the never-row-split
+rule of ``runtime/kernels.py`` extended to replicas (lint rule RPL010,
+``docs/INVARIANTS.md``).
+
+Replay safety
+-------------
+Suffix replay assumes every step is a pure function of its input and
+the live module state.  Two step kinds may not be: a
+:class:`~repro.runtime.kernels.FallbackKernel` runs arbitrary module
+code, and an *armed* :class:`~repro.runtime.kernels.FaultStepKernel`
+draws from the layer's random stream (replaying it would desynchronise
+RNG consumption with the serial schedule).  :meth:`ReplicaPlan.replay_safe`
+reports whether the current plan is free of both; callers
+(:meth:`repro.eval.Evaluator.lane_accuracies`) fall back to the
+per-trial path otherwise.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.obs.profile import KernelProfiler, PlanProfile
+from repro.runtime.kernels import FallbackKernel, FaultStepKernel, Kernel
+
+if TYPE_CHECKING:
+    from repro.nn.parameter import Parameter
+    from repro.runtime.plan import InferencePlan
+
+__all__ = ["DEFAULT_SNAPSHOT_BUDGET", "ReplicaPlan", "fault_parameters"]
+
+#: Byte budget for cached clean-activation snapshots (per ReplicaPlan).
+#: Evicted batches only cost a clean re-run / full-forward fallback,
+#: never correctness.
+DEFAULT_SNAPSHOT_BUDGET = 256 << 20
+
+
+def fault_parameters(
+    injector: Any, sites: Sequence[int]
+) -> "tuple[Parameter, ...] | None":
+    """The parameters ``sites`` touch, via the injector's metadata hooks.
+
+    Returns ``None`` when the injector lacks the hooks
+    (``site_metadata`` + ``parameters``) — callers then cannot bound the
+    divergence step and must treat the fault as affecting the whole
+    forward.
+    """
+    metadata = getattr(injector, "site_metadata", None)
+    parameters = getattr(injector, "parameters", None)
+    if metadata is None or parameters is None:
+        return None
+    indices = sorted({index for index, _bit in metadata(sites)})
+    return tuple(parameters[index] for index in indices)
+
+
+def _walk_steps(steps: Iterable[Kernel]) -> Iterable[Kernel]:
+    for step in steps:
+        yield step
+        for _branch, sub_steps in step.child_kernels():
+            yield from _walk_steps(sub_steps)
+
+
+class ReplicaPlan:
+    """R-lane fault evaluation over one :class:`InferencePlan`.
+
+    ``replicas`` is the lane-group width campaign schedulers size their
+    trial groups by; the evaluation itself is width-independent (any
+    number of lanes may share one prepared clean pass).
+
+    Usage, per evaluation batch (model **clean**)::
+
+        clean_logits = replica.prepare(key, inputs)
+
+    then, per lane (model carrying that lane's fault)::
+
+        logits = replica.lane_forward(key, inputs, params)
+
+    where ``params`` are the faulted parameters
+    (:func:`fault_parameters`).  ``prepare`` validates the cache against
+    the plan's identity signatures, so a new checkpoint, surgery, or a
+    genuine weight update flushes stale snapshots automatically; the
+    caller's only contract is that between ``prepare`` and
+    ``lane_forward`` the sole model mutation is the injector's
+    all-or-nothing flip of exactly ``params``.
+    """
+
+    def __init__(
+        self,
+        plan: "InferencePlan",
+        replicas: int,
+        snapshot_budget: int = DEFAULT_SNAPSHOT_BUDGET,
+    ) -> None:
+        if replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
+        self.plan = plan
+        self.replicas = int(replicas)
+        self.snapshot_budget = int(snapshot_budget)
+        self._lock = threading.RLock()
+        #: (structure, state) signatures of the clean model the cache
+        #: was built against; None until the first prepare().
+        self._generation: tuple[tuple[int, ...], tuple[int, ...]] | None = None
+        self._starts: dict[int, int] = {}
+        self._taps: tuple[int, ...] = ()
+        self._logits: "OrderedDict[Any, np.ndarray]" = OrderedDict()
+        self._snapshots: "OrderedDict[Any, dict[int, np.ndarray]]" = OrderedDict()
+        self._snapshot_bytes = 0
+
+    def __getstate__(self) -> dict[str, object]:
+        """Process-local (lock + plan + id()-keyed caches); see RPL007."""
+        raise TypeError(
+            "ReplicaPlan is process-local and cannot be pickled; pickle "
+            "the model and rebuild with compile_model(replicas=...)"
+        )
+
+    # ------------------------------------------------------------------
+    # Divergence map
+    # ------------------------------------------------------------------
+    def _rebuild_map(self) -> None:
+        """Map each parameter to the earliest plan step reading it."""
+        starts: dict[int, int] = {}
+        for index, step in enumerate(self.plan.steps):
+            for module in step.source_modules():
+                for param in module.parameters():
+                    starts.setdefault(id(param), index)
+        self._starts = starts
+        self._taps = tuple(sorted({s for s in starts.values() if s > 0}))
+
+    def lane_start(self, params: "Iterable[Parameter] | None") -> int:
+        """Earliest step a fault in ``params`` can affect (0 = unknown)."""
+        if params is None:
+            return 0
+        start: int | None = None
+        for param in params:
+            step = self._starts.get(id(param), 0)
+            start = step if start is None else min(start, step)
+            if start == 0:
+                break
+        return 0 if start is None else start
+
+    def replay_safe(self) -> bool:
+        """Whether every current step is pure (suffix replay is exact).
+
+        False when the plan holds a :class:`FallbackKernel` (arbitrary
+        module code) or an *armed* :class:`FaultStepKernel` (replaying
+        it would double-draw the layer's random stream).
+        """
+        for step in _walk_steps(self.plan.steps):
+            if isinstance(step, FallbackKernel):
+                return False
+            if isinstance(step, FaultStepKernel):
+                layer = step.layer
+                if (
+                    getattr(layer, "enabled", False)
+                    and getattr(layer, "fault_model", None) is not None
+                ):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Cache lifecycle
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every cached clean pass (next prepare() rebuilds)."""
+        with self._lock:
+            self._generation = None
+            self._logits.clear()
+            self._snapshots.clear()
+            self._snapshot_bytes = 0
+
+    def _ensure_generation(self) -> None:
+        """Refresh the plan and re-key the cache to the clean model state.
+
+        Caller holds both locks and guarantees the model is clean.
+        """
+        plan = self.plan
+        if plan._dirty or (plan._structure, plan._signature) != plan._signatures():
+            plan.refresh()
+        signatures = (plan._structure, plan._signature)
+        if signatures != self._generation:
+            self._logits.clear()
+            self._snapshots.clear()
+            self._snapshot_bytes = 0
+            self._rebuild_map()
+            self._generation = signatures
+
+    def _store_snapshots(self, key: Any, snaps: dict[int, np.ndarray]) -> None:
+        size = sum(array.nbytes for array in snaps.values())
+        if size > self.snapshot_budget:
+            # One batch alone busts the budget: its lanes run full
+            # forwards instead (correct, just unamortised).
+            return
+        while self._snapshot_bytes + size > self.snapshot_budget and self._snapshots:
+            _key, evicted = self._snapshots.popitem(last=False)
+            self._snapshot_bytes -= sum(a.nbytes for a in evicted.values())
+        self._snapshots[key] = snaps
+        self._snapshot_bytes += size
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def prepare(self, key: Any, inputs: np.ndarray) -> np.ndarray:
+        """Clean forward for batch ``key``: cache taps, return logits.
+
+        Must run with the model in its clean state.  Cached per
+        (model-state generation, batch key), so across a whole campaign
+        each batch's clean pass is paid once, not once per trial.
+        """
+        with self._lock, self.plan._lock:
+            self._ensure_generation()
+            cached = self._logits.get(key)
+            if cached is not None:
+                self._logits.move_to_end(key)
+                return cached
+            logits, snaps = self.plan.forward_from(inputs, 0, taps=self._taps)
+            self._logits[key] = logits
+            self._store_snapshots(key, snaps)
+            return logits
+
+    def lane_forward(
+        self,
+        key: Any,
+        inputs: np.ndarray,
+        params: "Iterable[Parameter] | None",
+    ) -> np.ndarray:
+        """One lane's logits for batch ``key`` under the applied fault.
+
+        Runs the plan suffix from the fault's divergence step, seeded
+        with the cached clean activation; without a usable snapshot
+        (evicted, unmapped parameter, structure changed) it degrades to
+        a full forward — bit-identical either way, since steps before
+        the divergence point read no faulted state.
+        """
+        with self._lock, self.plan._lock:
+            start = 0
+            snapshot: np.ndarray | None = None
+            if self._generation is not None:
+                structure, _state = self.plan._signatures()
+                if structure != self._generation[0]:
+                    # Surgery since prepare(): step indices moved.
+                    self.invalidate()
+                else:
+                    start = self.lane_start(params)
+                    if start > 0:
+                        batch = self._snapshots.get(key)
+                        if batch is not None:
+                            self._snapshots.move_to_end(key)
+                            snapshot = batch.get(start)
+            if snapshot is None:
+                start = 0
+                x = inputs
+            else:
+                x = snapshot
+            logits, _ = self.plan.forward_from(x, start)
+            return logits
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    def profile_lanes(
+        self,
+        injector: Any,
+        site_sets: Sequence[Sequence[int]],
+        inputs: np.ndarray | None = None,
+    ) -> tuple[PlanProfile, PlanProfile]:
+        """(shared, lanes) per-kernel profiles of one replica group.
+
+        The *shared* profile times the clean prepare pass every lane
+        amortises; the *lanes* profile accumulates each lane's suffix
+        re-execution (one profiler forward per lane), splitting the
+        per-lane cost from the shared work ``repro profile --replicas``
+        reports.  Purely observational; the snapshot cache is flushed
+        on entry and exit so profiling never feeds real evaluations.
+        """
+        if inputs is None:
+            inputs = np.zeros(self.plan.input_shape, dtype=np.float32)
+        with self._lock, self.plan._lock:
+            previous = self.plan._profiler
+            self.invalidate()
+            shared_prof = self.plan.attach_profiler(KernelProfiler())
+            try:
+                self.prepare("profile", inputs)
+                lanes_prof = self.plan.attach_profiler(KernelProfiler())
+                for sites in site_sets:
+                    params = fault_parameters(injector, sites)
+                    with injector.inject(sites):
+                        self.lane_forward("profile", inputs, params)
+            finally:
+                self.invalidate()
+                if previous is not None:
+                    self.plan.attach_profiler(previous)
+                else:
+                    self.plan.detach_profiler()
+        return shared_prof.result(), lanes_prof.result()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"ReplicaPlan({self.plan!r}, replicas={self.replicas})"

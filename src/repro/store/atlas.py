@@ -14,6 +14,18 @@ layers contributes its outcome to both rows (single-trial outcomes
 cannot be decomposed further).  Trials whose Binomial draw produced no
 flips hit nothing and appear only in the overall totals.
 
+Raw SDC rates are biased by fault-space size — a wide layer absorbs
+more uniform-sampling hits than a narrow one at equal per-bit
+sensitivity, and the paper's protection decisions need the per-bit
+view.  When the store's identity records the fault-space geometry
+(``layer_words`` × ``word_bits``, journaled by campaigns whose injector
+exposes them), each row also carries ``fault_space_bits`` and
+``sdc_density`` — the SDC rate divided by the bits the row's sampling
+universe holds (a layer row's own bits; for bit-position rows the one
+bit per word across all layers).  Densities are comparable *across*
+rows where raw rates are not; stores journaled before the geometry was
+recorded simply omit the fields.
+
 The output is a JSON-ready dict; :func:`repro.eval.reporting.format_atlas`
 renders it as markdown.
 """
@@ -37,23 +49,29 @@ def _rows(
     baseline: float,
     tolerance: float,
     confidence: float,
+    space: dict[int, int] | None = None,
 ) -> list[dict[str, object]]:
     rows: list[dict[str, object]] = []
     for group in outcomes:
         accuracies = np.asarray(outcomes[group], dtype=np.float64)
         sdc = int(np.count_nonzero(is_sdc(accuracies, baseline, tolerance)))
         low, high = wilson_interval(sdc, accuracies.size, confidence)
-        rows.append(
-            {
-                "trials": int(accuracies.size),
-                "flips": int(flips[group]),
-                "mean_accuracy": float(accuracies.mean()),
-                "min_accuracy": float(accuracies.min()),
-                "sdc": sdc,
-                "sdc_rate": sdc / accuracies.size,
-                "sdc_ci": [low, high],
-            }
-        )
+        row: dict[str, object] = {
+            "trials": int(accuracies.size),
+            "flips": int(flips[group]),
+            "mean_accuracy": float(accuracies.mean()),
+            "min_accuracy": float(accuracies.min()),
+            "sdc": sdc,
+            "sdc_rate": sdc / accuracies.size,
+            "sdc_ci": [low, high],
+        }
+        bits = space.get(group) if space is not None else None
+        if bits:
+            # Per-bit vulnerability density: raw SDC rate normalised by
+            # the row's fault-space size, comparable across rows.
+            row["fault_space_bits"] = int(bits)
+            row["sdc_density"] = (sdc / accuracies.size) / bits
+        rows.append(row)
     return rows
 
 
@@ -119,6 +137,22 @@ def build_atlas(
             for bit in hit_bits:
                 bit_outcomes[bit].append(record.accuracy)
 
+    identity = store.identity
+    layer_words = identity.get("layer_words")
+    word_bits = identity.get("word_bits")
+    layer_space: dict[int, int] | None = None
+    bit_space: dict[int, int] | None = None
+    if layer_words and word_bits:
+        words = [int(w) for w in layer_words]
+        bits_per_word = int(word_bits)
+        layer_space = {
+            layer: words[layer] * bits_per_word
+            for layer in layer_outcomes
+            if 0 <= layer < len(words)
+        }
+        # A bit position occurs once per word, in every layer.
+        bit_space = {bit: sum(words) for bit in bit_outcomes}
+
     layer_order = sorted(layer_outcomes)
     bit_order = sorted(bit_outcomes)
     layer_rows = _rows(
@@ -127,6 +161,7 @@ def build_atlas(
         baseline,
         tolerance,
         confidence,
+        layer_space,
     )
     bit_rows = _rows(
         {bit: bit_outcomes[bit] for bit in bit_order},
@@ -134,6 +169,7 @@ def build_atlas(
         baseline,
         tolerance,
         confidence,
+        bit_space,
     )
     for layer, row in zip(layer_order, layer_rows):
         row["layer"] = (

@@ -186,15 +186,29 @@ class CampaignStore:
     # ------------------------------------------------------------------
     @staticmethod
     def campaign_identity(campaign: "FaultCampaign") -> dict[str, object]:
-        """The identity block a campaign's store must match to resume."""
+        """The identity block a campaign's store must match to resume.
+
+        ``layer_words``/``word_bits`` record each layer's fault-space
+        size (words per layer, bits per word) when the injector exposes
+        them — the denominators :func:`repro.store.atlas.build_atlas`
+        normalises raw SDC rates by to get per-bit vulnerability
+        densities.  They are derived from the same planned fault space
+        the fingerprint hashes, so including them adds no new ways for
+        resume to mismatch.
+        """
         injector = campaign.injector
         fingerprint = getattr(injector, "fingerprint", None)
+        words = getattr(injector, "parameter_words", None)
+        fmt = getattr(injector, "fmt", None)
+        bits = getattr(fmt, "total_bits", None)
         return {
             "seed": int(campaign.seed),
             "trials": int(campaign.trials),
             "shard": list(campaign.shard) if campaign.shard is not None else None,
             "fingerprint": fingerprint() if callable(fingerprint) else "unknown",
             "layers": list(getattr(injector, "parameter_names", [])),
+            "layer_words": [int(w) for w in words] if words is not None else None,
+            "word_bits": int(bits) if bits is not None else None,
         }
 
     @classmethod

@@ -225,7 +225,7 @@ class TestReporters:
         assert payload["version"] == 1
         assert payload["tool"] == "repro-lint"
         assert set(payload["rules"]) == {
-            f"RPL00{i}" for i in range(1, 10)
+            f"RPL{i:03d}" for i in range(1, 11)
         }
         assert payload["files"] == 2  # read files, parsable or not
         (finding,) = payload["findings"]

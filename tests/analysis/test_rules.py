@@ -519,3 +519,69 @@ class TestRPL009:
                 return time.monotonic()  # repro-lint: disable=RPL009
         """
         assert rules_in(src, "src/repro/cli/foo.py") == []
+
+
+# ----------------------------------------------------------------------
+# RPL010 — replica lanes never row-split the shared-weight GEMM
+# ----------------------------------------------------------------------
+class TestRPL010:
+    def test_flags_subscripted_gemm_operand_in_kernels(self):
+        src = """
+            import numpy as np
+
+            def lane(acts, weights, lane_index):
+                return np.dot(acts[lane_index], weights)
+        """
+        assert "RPL010" in rules_in(src, "src/repro/runtime/kernels.py")
+
+    def test_flags_sliced_matmul_operator(self):
+        src = """
+            def lane(acts, weights, i, j):
+                return acts[i:j] @ weights
+        """
+        assert rules_in(src, "src/repro/runtime/kernels.py") == ["RPL010"]
+
+    def test_flags_subscripted_out_target(self):
+        src = """
+            import numpy as np
+
+            def lane(acts, weights, out, lane_index):
+                np.matmul(acts, weights, out=out[lane_index])
+        """
+        assert "RPL010" in rules_in(src, "src/repro/runtime/plan.py")
+
+    def test_flags_einsum_with_sliced_operand(self):
+        src = """
+            import numpy as np
+
+            def lane(batch, weights, r):
+                return np.einsum("bk,kn->bn", batch[r], weights)
+        """
+        assert "RPL010" in rules_in(src, "src/repro/runtime/kernels.py")
+
+    def test_whole_array_gemm_is_clean(self):
+        src = """
+            import numpy as np
+
+            def forward(acts, weights):
+                return np.dot(acts, weights)
+        """
+        assert rules_in(src, "src/repro/runtime/kernels.py") == []
+
+    def test_subscript_outside_runtime_is_not_this_rules_business(self):
+        src = """
+            import numpy as np
+
+            def mix(a, b, i):
+                return np.dot(a[i], b)
+        """
+        assert "RPL010" not in rules_in(src, "src/repro/eval/metrics.py")
+
+    def test_subscript_in_non_gemm_call_is_clean(self):
+        src = """
+            import numpy as np
+
+            def gather(weights, index):
+                return np.take(weights[index], 0)
+        """
+        assert rules_in(src, "src/repro/runtime/kernels.py") == []

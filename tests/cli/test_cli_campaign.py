@@ -212,3 +212,61 @@ class TestErrors:
     def test_bad_limit(self, checkpoint, tmp_path, capsys):
         assert _run(checkpoint, tmp_path / "s", "--limit", "0") == 1
         assert "--limit" in capsys.readouterr().err
+
+
+class TestReplicasCLI:
+    def test_replica_batched_artifacts_byte_identical_to_off(
+        self, checkpoint, tmp_path, capsys
+    ):
+        """The PR acceptance, end to end through the CLI: journal,
+        report.md, and atlas.json unchanged by the scheduling knob."""
+        off = tmp_path / "off"
+        assert _run(checkpoint, off, "--replicas", "off") == 0
+        assert main(["campaign", "report", "--store", str(off)]) == 0
+
+        batched = tmp_path / "batched"
+        assert _run(checkpoint, batched, "--replicas", "3") == 0
+        assert main(["campaign", "report", "--store", str(batched)]) == 0
+        capsys.readouterr()
+
+        strip = lambda line: {  # noqa: E731 — "sec" is wall-clock, not identity
+            k: v for k, v in json.loads(line).items() if k != "sec"
+        }
+        off_journal = (off / "trials.jsonl").read_text().splitlines()
+        batched_journal = (batched / "trials.jsonl").read_text().splitlines()
+        assert [strip(l) for l in off_journal] == [strip(l) for l in batched_journal]
+        assert (batched / "report.md").read_bytes() == (off / "report.md").read_bytes()
+        assert (batched / "atlas.json").read_bytes() == (off / "atlas.json").read_bytes()
+
+    def test_report_renders_density_column(self, checkpoint, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert _run(checkpoint, store) == 0
+        assert main(["campaign", "report", "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert "SDC density" in (store / "report.md").read_text()
+        atlas = json.loads((store / "atlas.json").read_text())
+        hit = [row for row in atlas["layers"] if row["trials"]]
+        assert all("sdc_density" in row for row in hit)
+
+    def test_resume_accepts_replicas_override(self, checkpoint, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert _run(checkpoint, store, "--limit", "2", "--replicas", "off") == 0
+        assert (
+            main(
+                [
+                    "campaign",
+                    "resume",
+                    "--store",
+                    str(store),
+                    "--replicas",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "store complete" in out
+
+    def test_garbage_replicas_spelling_is_an_argparse_error(self, checkpoint):
+        with pytest.raises(SystemExit):
+            _run(checkpoint, "ignored", "--replicas", "many")

@@ -183,3 +183,15 @@ class TestStatusViews:
             labelnames=("store",),
         )
         assert gauge.value(store=store) == 2
+
+
+class TestProfileReplicas:
+    def test_per_lane_profile_splits_shared_from_suffix_cost(
+        self, checkpoint, capsys
+    ):
+        assert main(["profile", checkpoint, "--batch", "8", "--replicas", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "shared clean pass" in out
+        assert "amortised over 4 lanes" in out
+        assert "lane suffixes" in out
+        assert "replica-batched" in out

@@ -210,3 +210,44 @@ class TestInfeasibleConstraintFallback:
         )
         report = trainer.run(loader, loader, reference_accuracy=reference)
         assert reference - report.final_accuracy < 0.05 + 1e-9
+
+
+class TestCompiledCleanAccuracyProbe:
+    """The per-epoch δ-probe runs through a compiled plan when the eval
+    layer has installed its factory — and must change nothing but time."""
+
+    def _report(self, monkeypatch, compiled):
+        import repro.eval  # noqa: F401 — importing installs the factory
+        from repro.core import post_training as module
+
+        if not compiled:
+            monkeypatch.setattr(module, "_CLEAN_ACCURACY_FACTORY", None)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((256, 8)).astype(np.float32)
+        y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+        train = DataLoader(ArrayDataset(x, y), batch_size=32, shuffle=True, rng=0)
+        evalset = DataLoader(ArrayDataset(x, y), batch_size=32)
+        model = _mlp()
+        Trainer(model, TrainingConfig(epochs=10, lr=0.1)).fit(train)
+        protect_model(model, train, ProtectionConfig(method="fitact"))
+        trainer = BoundPostTrainer(
+            model, PostTrainingConfig(epochs=3, lr=0.05, zeta=1.0, delta=0.1)
+        )
+        return trainer.run(train, evalset)
+
+    def test_factory_is_installed_by_importing_eval(self):
+        import repro.eval  # noqa: F401
+        from repro.core import post_training as module
+
+        assert module._CLEAN_ACCURACY_FACTORY is not None
+
+    def test_compiled_probe_is_bit_identical_to_module_forward(self, monkeypatch):
+        compiled = self._report(monkeypatch, compiled=True)
+        fallback = self._report(monkeypatch, compiled=False)
+        assert compiled.initial_accuracy == fallback.initial_accuracy
+        assert compiled.final_accuracy == fallback.final_accuracy
+        assert compiled.rolled_back == fallback.rolled_back
+        assert [h["clean_accuracy"] for h in compiled.history] == [
+            h["clean_accuracy"] for h in fallback.history
+        ]
+        assert compiled.final_mean_bound == fallback.final_mean_bound

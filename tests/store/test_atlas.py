@@ -193,3 +193,57 @@ class TestRealCampaignAtlas:
             assert atlas["flips"] == journal_flips
             assert sum(row["flips"] for row in atlas["layers"]) == journal_flips
             assert sum(row["flips"] for row in atlas["bits"]) == journal_flips
+
+
+class TestDensityNormalisation:
+    """Fault-space-normalised SDC densities (stores journaling geometry)."""
+
+    def test_layer_density_divides_by_layer_fault_space(self, handmade_store):
+        atlas = build_atlas(handmade_store, baseline=1.0, tolerance=0.01)
+        by_layer = {row["layer"]: row for row in atlas["layers"]}
+        # 0.weight: 4x8 words at 32 bits/word.
+        first = by_layer["0.weight"]
+        assert first["fault_space_bits"] == 32 * 32
+        assert first["sdc_density"] == pytest.approx(1.0 / (32 * 32))
+        second = by_layer["2.weight"]
+        assert second["fault_space_bits"] == 16 * 32
+        assert second["sdc_density"] == pytest.approx(0.5 / (16 * 32))
+
+    def test_bit_density_divides_by_word_population(self, handmade_store):
+        atlas = build_atlas(handmade_store, baseline=1.0)
+        words = 32 + 8 + 16 + 2  # every word exposes each bit position once
+        by_bit = {row["bit"]: row for row in atlas["bits"]}
+        assert by_bit[31]["fault_space_bits"] == words
+        assert by_bit[31]["sdc_density"] == pytest.approx(1.0 / words)
+        assert by_bit[3]["sdc_density"] == pytest.approx(0.5 / words)
+
+    def test_density_is_json_ready_and_rendered(self, handmade_store):
+        atlas = json.loads(json.dumps(build_atlas(handmade_store, baseline=1.0)))
+        assert all("sdc_density" in row for row in atlas["layers"])
+        text = format_atlas(atlas)
+        assert "SDC density" in text
+        assert f"{1.0 / (32 * 32):.2e}" in text
+
+    def test_store_without_geometry_omits_densities(self, tmp_path):
+        """Pre-PR-8 stores (no layer_words in identity) stay readable."""
+        store_dir = tmp_path / "old"
+        store = CampaignStore.for_campaign(store_dir, make_campaign())
+        key = store.open_config(SPEC, tag="a")
+        store.record(key, TrialOutcome(0, 0.5, 1), [(0, 31)])
+        store.close()
+        manifest_path = store_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        from repro.store.store import _identity_hash
+
+        for field in ("layer_words", "word_bits"):
+            manifest["identity"].pop(field, None)
+        manifest["config_hash"] = _identity_hash(manifest["identity"])
+        manifest_path.write_text(json.dumps(manifest))
+        store = CampaignStore.open(store_dir)
+        try:
+            atlas = build_atlas(store, baseline=1.0)
+        finally:
+            store.close()
+        assert all("sdc_density" not in row for row in atlas["layers"])
+        text = format_atlas(atlas)
+        assert "SDC density" not in text
