@@ -10,11 +10,12 @@ then::
 
     python examples/serve_client.py --url http://127.0.0.1:8123
 
-It discovers the hosted models, sends a batch of SynthCIFAR samples to
-``POST /predict``, fires a short concurrent load burst so the
-micro-batcher has something to coalesce, and finishes by printing the
-``/metrics`` snapshot — including the chaos SDC counters when the server
-runs with ``--chaos-ber``.
+It discovers the hosted models over the typed ``/v1`` protocol, sends a
+batch of SynthCIFAR samples to ``POST /v1/predict``, fires a short
+concurrent load burst so the micro-batcher has something to coalesce,
+and finishes by printing the ``/v1/metrics`` snapshot — including the
+chaos SDC counters when the server runs with ``--chaos-ber`` and the
+admission shed counters when the burst overruns ``--max-pending``.
 """
 
 from __future__ import annotations
@@ -61,25 +62,27 @@ def main() -> int:
 
     client = ServeClient(args.url, timeout=60.0)
     health = client.wait_ready()
-    print(f"server ready: {health['models']} (chaos ber: {health['chaos_ber']})")
+    print(
+        f"server ready: {list(health.models)} "
+        f"(chaos ber: {health.chaos_ber}, workers: {health.workers})"
+    )
 
     listing = client.models()
-    target = args.model or listing["models"][0]["name"]
-    info = next(m for m in listing["models"] if m["name"] == target)
-    # /models reports the expected input geometry whether or not the
+    target = args.model or listing.models[0].name
+    info = next(m for m in listing.models if m.name == target)
+    # /v1/models reports the expected input geometry whether or not the
     # model is resident yet (the server peeks at the manifest).
-    shape = info.get("input_shape")
-    if shape is None:
+    if info.input_shape is None:
         raise SystemExit(
             f"server reports no input geometry for {target!r}; is the "
             "checkpoint a repro-protect one?"
         )
-    image_size = shape[1]
+    image_size = info.input_shape[1]
 
     # The synthesiser needs >= 1 sample per class; slice the batch down.
     inputs = model_ready_inputs(image_size, count=20)[:4]
     response = client.predict(inputs, model=target)
-    print(f"predict[{target}]: predictions {response['predictions']}")
+    print(f"predict[{target}]: predictions {list(response.predictions)}")
 
     report = run_load(
         client,
@@ -89,6 +92,11 @@ def main() -> int:
         model=target,
     )
     print(f"load burst: {report.summary()}")
+    if report.sheds:
+        print(
+            f"admission shed {report.sheds} request(s) with 429 + "
+            "Retry-After — the bounded queue working as designed"
+        )
     if report.errors:
         print("load burst saw errors; inspect the server log")
         return 1

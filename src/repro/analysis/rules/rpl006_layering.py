@@ -67,6 +67,10 @@ LAYER_DAG: dict[str, frozenset[str]] = {
         }
     ),
     "analysis": frozenset({"errors", "utils"}),
+    # serve imports store for exactly one thing: the exact-float JSON
+    # encoder (store/encoding.py) behind the /v1 protocol, so served
+    # logits round-trip bit-for-bit like journaled records do.  store
+    # sits below eval in the DAG, so this adds no cycle.
     "serve": frozenset(
         {
             "core",
@@ -78,6 +82,7 @@ LAYER_DAG: dict[str, frozenset[str]] = {
             "obs",
             "quant",
             "runtime",
+            "store",
             "utils",
         }
     ),

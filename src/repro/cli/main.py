@@ -90,11 +90,27 @@ def _add_preset_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _runtime_config(
+    runtime: bool = False, runtime_threads: "int | None" = None
+):
+    """The CLI's single :class:`RuntimeConfig` construction path.
+
+    Every command that touches the compiled runtime funnels its flags
+    through here, so the flag-to-config mapping (``--runtime-threads 0``
+    meaning "auto") lives in exactly one place.
+    """
+    from repro.runtime import RuntimeConfig
+
+    workers: "int | str | None" = runtime_threads
+    if workers == 0:
+        workers = "auto"  # 0 = one thread per usable core
+    return RuntimeConfig(enabled=bool(runtime), gemm_workers=workers)
+
+
 def _evaluator_for(
     dataset_name: str,
     preset,
-    runtime: bool = False,
-    gemm_workers: "int | str | None" = None,
+    config=None,
 ):
     """Build the test-set evaluator the experiment contexts use."""
     from repro.data.loader import DataLoader
@@ -117,12 +133,7 @@ def _evaluator_for(
         batch_size=max(preset.batch_size, 128),
         transform=Normalize(SYNTH_MEAN, SYNTH_STD),
     )
-    return Evaluator(
-        loader,
-        max_batches=preset.eval_batches,
-        runtime=runtime,
-        gemm_workers=gemm_workers,
-    )
+    return Evaluator(loader, max_batches=preset.eval_batches, config=config)
 
 
 # ----------------------------------------------------------------------
@@ -257,12 +268,10 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     preset = _preset_from_args(args)
     model, meta = load_protected_auto(args.checkpoint)
     preset = preset.with_overrides(image_size=int(meta["image_size"]))
-    # 0 = "auto" (one thread per usable core); None = serial default.
-    gemm_workers: "int | str | None" = args.runtime_threads
-    if gemm_workers == 0:
-        gemm_workers = "auto"
     evaluator = _evaluator_for(
-        str(meta["dataset"]), preset, runtime=args.runtime, gemm_workers=gemm_workers
+        str(meta["dataset"]),
+        preset,
+        config=_runtime_config(args.runtime, args.runtime_threads),
     )
     clean = evaluator.accuracy(model)
     runtime_note = " [compiled runtime]" if args.runtime else ""
@@ -297,6 +306,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
     from repro.serve import (
+        AsyncReproServer,
         ChaosConfig,
         ModelRegistry,
         ReproServer,
@@ -304,7 +314,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ServeConfig,
     )
 
-    registry = ModelRegistry(capacity=args.registry_capacity, runtime=args.runtime)
+    registry = ModelRegistry(
+        capacity=args.registry_capacity, config=_runtime_config(args.runtime)
+    )
     for spec in args.checkpoint:
         if "=" in spec:
             name, path = spec.split("=", 1)
@@ -325,6 +337,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_latency_ms=args.max_latency_ms,
             batch_workers=args.batch_workers,
             chaos=chaos,
+            max_pending=args.max_pending,
+            model_pending=args.model_pending,
+            workers=args.workers,
+            mp_start=args.mp_start,
+            slo_p99_ms=args.slo_p99_ms,
+            drain_timeout_s=args.drain_timeout_s,
         ),
     )
     preload_note = ""
@@ -334,14 +352,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         preload_note = f", preloaded {len(warmed)} model{'s' if len(warmed) != 1 else ''}"
         if rotated:
             preload_note += f" ({rotated} rotated beyond capacity)"
-    server = ReproServer(app, host=args.host, port=args.port)
+    server_cls = AsyncReproServer if args.front == "async" else ReproServer
+    server = server_cls(app, host=args.host, port=args.port)
     server.start()
     chaos_note = f", chaos ber {chaos.ber:g}" if chaos else ""
     runtime_note = ", compiled runtime" if args.runtime else ""
+    front_note = ", async front" if args.front == "async" else ""
+    workers_note = (
+        f", {args.workers} worker process{'es' if args.workers != 1 else ''} "
+        f"({args.mp_start})"
+        if args.workers
+        else ""
+    )
+    slo_note = (
+        f", SLO p99 {args.slo_p99_ms:g}ms" if args.slo_p99_ms is not None else ""
+    )
     print(
         f"serving {', '.join(registry.names())} on {server.url} "
         f"(max batch {args.max_batch}, max latency {args.max_latency_ms:g}ms"
-        f"{chaos_note}{runtime_note}{preload_note})",
+        f"{chaos_note}{runtime_note}{front_note}{workers_note}{slo_note}"
+        f"{preload_note})",
         flush=True,
     )
 
@@ -349,6 +379,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     for signum in (signal.SIGINT, signal.SIGTERM):
         signal.signal(signum, lambda *_: stop.set())
     stop.wait()
+    # SIGTERM drain: stop accepting, finish in-flight batches across
+    # every lane (and worker process), then exit.
     print("shutting down...", flush=True)
     server.stop()
     print("shutdown complete", flush=True)
@@ -400,7 +432,9 @@ def _campaign_for_meta(
         image_size=int(meta["image_size"]),
     )
     evaluator = _evaluator_for(
-        str(meta["dataset"]), preset, runtime=bool(run_meta.get("runtime", False))
+        str(meta["dataset"]),
+        preset,
+        config=_runtime_config(bool(run_meta.get("runtime", False))),
     )
     injector = FaultInjector(model, fmt=_checkpoint_format(meta))
     campaign = FaultCampaign(
@@ -1115,6 +1149,71 @@ def build_parser() -> argparse.ArgumentParser:
             "load checkpoints, compile runtime plans, and build serving "
             "lanes at startup (up to the registry capacity) instead of "
             "inside the first request; reported in /healthz"
+        ),
+    )
+    p.add_argument(
+        "--front",
+        choices=("threaded", "async"),
+        default="threaded",
+        help=(
+            "HTTP front: 'threaded' (thread per connection) or 'async' "
+            "(one asyncio event loop; in-flight requests cost no thread) "
+            "— identical /v1 responses either way (default: threaded)"
+        ),
+    )
+    p.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=0,
+        metavar="N",
+        help=(
+            "worker processes holding the models and compiled plans; "
+            "micro-batches fan out to idle workers and dead workers "
+            "restart in place (0 = serve in-process; default: 0)"
+        ),
+    )
+    p.add_argument(
+        "--mp-start",
+        choices=("spawn", "fork", "forkserver"),
+        default="spawn",
+        help="multiprocessing start method for --workers (default: spawn)",
+    )
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help=(
+            "requests allowed pending server-wide before admission sheds "
+            "with HTTP 429 + Retry-After (default: 256)"
+        ),
+    )
+    p.add_argument(
+        "--model-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-model pending bound (<= --max-pending) so one hot model "
+            "cannot starve the rest of the queue (default: global only)"
+        ),
+    )
+    p.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "arm the latency SLO tracker with this p99 target; /v1/healthz "
+            "reports p50/p99 and the 1%%-error-budget burn rate"
+        ),
+    )
+    p.add_argument(
+        "--drain-timeout-s",
+        type=float,
+        default=10.0,
+        help=(
+            "seconds SIGTERM shutdown waits for in-flight batches to "
+            "drain across lanes and worker processes (default: 10)"
         ),
     )
     p.set_defaults(func=_cmd_serve)

@@ -11,6 +11,7 @@ __all__ = [
     "ConfigurationError",
     "GraphError",
     "ReproError",
+    "ServerOverloadedError",
     "ShapeError",
 ]
 
@@ -42,3 +43,18 @@ class GraphError(ReproError, RuntimeError):
 
 class ConfigurationError(ReproError, ValueError):
     """An experiment or module was configured with invalid options."""
+
+
+class ServerOverloadedError(ReproError):
+    """The serving tier shed this request (admission control).
+
+    Maps to HTTP 429 with a ``Retry-After`` header; ``retry_after_s``
+    carries the server's backoff hint (seconds).  Lives here (not in
+    :mod:`repro.serve`) so clients can catch it without importing the
+    server stack and lower layers can raise it without violating the
+    layer DAG (RPL006).
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)

@@ -21,6 +21,8 @@ Two execution paths share identical results:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.autograd.grad_mode import no_grad
@@ -28,6 +30,9 @@ from repro.autograd.tensor import Tensor
 from repro.data.loader import DataLoader
 from repro.errors import ConfigurationError
 from repro.nn.module import Module, eval_mode
+
+if TYPE_CHECKING:
+    from repro.runtime import RuntimeConfig
 
 __all__ = ["BoundAccuracy", "Evaluator", "forward_logits"]
 
@@ -85,19 +90,25 @@ class Evaluator:
     max_batches:
         Optional cap for quicker campaigns.
     runtime:
-        Evaluate through a compiled :class:`repro.runtime.InferencePlan`
+        Deprecated alias for ``config=RuntimeConfig(enabled=True)``:
+        evaluate through a compiled :class:`repro.runtime.InferencePlan`
         (one per model instance, cached) instead of the module forward.
         Bit-identical results, measurably faster per trial; plans stay
         coherent under fault injection via the runtime's refresh
         contract.
     gemm_workers:
-        Threading knob forwarded to :func:`repro.runtime.compile_model`
+        Deprecated alias for ``config=RuntimeConfig(gemm_workers=...)``:
+        threading knob forwarded to :func:`repro.runtime.compile_model`
         for the plans this evaluator compiles: ``None`` (default) keeps
         the serial schedule — campaigns preserve the 1-core determinism
         contract without depending on threading — ``"auto"`` engages
         one thread per usable core, ``N >= 2`` forces a width.  Threaded
         plans are bit-identical to serial ones, so this is purely a
-        wall-clock knob.  Ignored unless ``runtime=True``.
+        wall-clock knob.  Ignored unless the runtime is enabled.
+    config:
+        One :class:`repro.runtime.RuntimeConfig` carrying every
+        compiled-runtime knob (``enabled``, ``gemm_workers``, ...).
+        Mutually exclusive with the deprecated aliases above.
     """
 
     def __init__(
@@ -106,7 +117,10 @@ class Evaluator:
         max_batches: int | None = None,
         runtime: bool = False,
         gemm_workers: int | str | None = None,
+        config: "RuntimeConfig | None" = None,
     ) -> None:
+        from repro.runtime import resolve_runtime_config
+
         self._batches: list[tuple[Tensor, np.ndarray]] = []
         for index, (inputs, targets) in enumerate(loader):
             if max_batches is not None and index >= max_batches:
@@ -115,8 +129,11 @@ class Evaluator:
         if not self._batches:
             raise ConfigurationError("evaluation loader produced no batches")
         self.total_samples = sum(len(t) for _, t in self._batches)
-        self.runtime = bool(runtime)
-        self.gemm_workers = gemm_workers
+        self.config = resolve_runtime_config(
+            config, "Evaluator", enabled=runtime, gemm_workers=gemm_workers
+        )
+        self.runtime = self.config.enabled
+        self.gemm_workers = self.config.gemm_workers
         # id(model) -> (model, plan).  The model reference pins the id
         # against reuse; entries live as long as the evaluator (one or
         # two models in practice).
@@ -142,8 +159,15 @@ class Evaluator:
             return entry[1]
         from repro.runtime import compile_model
 
+        # Internal call sites use the per-knob parameters directly;
+        # ``replicas`` is deliberately dropped (replica wrapping is
+        # _replica_for's job) so a replica-carrying config still yields
+        # a plain InferencePlan here.
         plan = compile_model(
-            model, self._batches[0][0].shape, gemm_workers=self.gemm_workers
+            model,
+            self._batches[0][0].shape,
+            gemm_workers=self.gemm_workers,
+            profile=self.config.profile,
         )
         self._plans[id(model)] = (model, plan)
         return plan

@@ -121,6 +121,36 @@ class Histogram:
             out.append(running)
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Standard ``histogram_quantile`` semantics: find the bucket the
+        target rank falls in and interpolate linearly inside it (from
+        the previous bound, or 0 for the first bucket).  Values landing
+        in the ``+Inf`` bucket are clamped to the last finite bound —
+        the estimate is then a lower bound, which is the conservative
+        direction for latency SLO burn accounting.  Returns 0.0 with no
+        observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        running = 0
+        for index, bound in enumerate(self.bounds):
+            previous = running
+            running += self.counts[index]
+            if running >= rank and self.counts[index] > 0:
+                if math.isinf(bound):
+                    finite = [b for b in self.bounds if not math.isinf(b)]
+                    return finite[-1] if finite else 0.0
+                lower = 0.0 if index == 0 else self.bounds[index - 1]
+                fraction = (rank - previous) / self.counts[index]
+                return lower + (bound - lower) * min(1.0, max(0.0, fraction))
+        finite = [b for b in self.bounds if not math.isinf(b)]
+        return finite[-1] if finite else 0.0
+
     def snapshot(self) -> dict[str, object]:
         buckets: dict[str, int] = {}
         for bound, cumulative in zip(self.bounds, self.cumulative_counts()):
@@ -269,6 +299,15 @@ class HistogramFamily(_Family):
             if series is None:
                 return Histogram(self.buckets).snapshot()
             return series.snapshot()
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Bucket-interpolated quantile of one series (0.0 if empty)."""
+        key = _label_key(self, labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                return 0.0
+            return series.quantile(q)
 
     def series(self) -> dict[tuple[str, ...], Histogram]:
         with self._lock:

@@ -25,6 +25,7 @@ Consumers: ``Evaluator(loader, runtime=True)`` for campaigns,
 """
 
 from repro.runtime.compiler import compile_module, register_block_compiler
+from repro.runtime.config import RuntimeConfig, resolve_runtime_config
 from repro.runtime.kernels import Kernel
 from repro.runtime.plan import InferencePlan, compile_model, resolve_gemm_workers
 from repro.runtime.replica import ReplicaPlan, fault_parameters
@@ -33,9 +34,11 @@ __all__ = [
     "InferencePlan",
     "Kernel",
     "ReplicaPlan",
+    "RuntimeConfig",
     "compile_model",
     "compile_module",
     "fault_parameters",
     "register_block_compiler",
     "resolve_gemm_workers",
+    "resolve_runtime_config",
 ]

@@ -1,0 +1,117 @@
+"""One runtime configuration object instead of four sprawling kwargs.
+
+Before PR 9, every layer that could touch the compiled runtime grew its
+own copy of the same knob tangle — ``Evaluator(runtime=, gemm_workers=)``,
+``ModelRegistry(runtime=)``, ``compile_model(gemm_workers=, profile=,
+replicas=)``, plus the CLI flags feeding them — and adding a knob meant
+editing every signature.  :class:`RuntimeConfig` collapses the tangle
+into one frozen dataclass accepted everywhere inference is configured:
+
+- :func:`repro.runtime.compile_model` (``config=``)
+- :class:`repro.eval.Evaluator` (``config=``)
+- :class:`repro.serve.ModelRegistry` (``config=``)
+- the CLI, which builds exactly one instance per command via
+  ``repro.cli.main._runtime_config`` (the single lint-visible
+  construction path)
+
+The old per-call kwargs still work as deprecated aliases — passing both
+an alias and ``config`` is an error rather than a silent precedence
+guess — so existing callers keep running while new code converges on
+the config object.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RuntimeConfig", "resolve_runtime_config"]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Every compiled-inference knob in one place.
+
+    Parameters
+    ----------
+    enabled:
+        Route inference through a compiled
+        :class:`~repro.runtime.InferencePlan` (bit-exact with the module
+        forward).  Consumers that *are* the compiler — ``compile_model``
+        itself — ignore this flag; gatekeepers (``Evaluator``,
+        ``ModelRegistry``) use it to decide whether to compile at all.
+    gemm_workers:
+        Gather-threading width forwarded to the plan: ``None``/``0``/
+        ``1`` serial (the 1-core determinism default), ``"auto"`` one
+        thread per usable core, ``N >= 2`` an explicit width.
+        Bit-identical either way (the BLAS call is never row-split).
+    replicas:
+        Replica-batched fault-lane width for campaign evaluation
+        (``compile_model(replicas=)`` / ``plan.replicate``); ``None``
+        leaves plans unreplicated.
+    profile:
+        Attach a persistent :class:`~repro.obs.KernelProfiler` to
+        compiled plans.
+    """
+
+    enabled: bool = False
+    gemm_workers: int | str | None = None
+    replicas: int | None = None
+    profile: bool = False
+
+    def __post_init__(self) -> None:
+        workers = self.gemm_workers
+        if isinstance(workers, str) and workers != "auto":
+            raise ConfigurationError(
+                f'gemm_workers must be an int, None, or "auto", got {workers!r}'
+            )
+        if isinstance(workers, int) and workers < 0:
+            raise ConfigurationError(
+                f"gemm_workers must be >= 0, got {workers}"
+            )
+        if self.replicas is not None and self.replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be >= 1, got {self.replicas}"
+            )
+
+    def with_enabled(self, enabled: bool = True) -> "RuntimeConfig":
+        """A copy with the ``enabled`` gate flipped (configs are frozen)."""
+        return replace(self, enabled=bool(enabled))
+
+
+def resolve_runtime_config(
+    config: RuntimeConfig | None,
+    owner: str,
+    **aliases: object,
+) -> RuntimeConfig:
+    """Fold deprecated per-call kwargs into one :class:`RuntimeConfig`.
+
+    ``aliases`` maps config field names to the values the caller's
+    legacy kwargs carried (``None`` / ``False`` meaning "not passed",
+    matching every alias's historical default).  Passing a legacy alias
+    *and* an explicit ``config`` is rejected — the caller's intent is
+    ambiguous and silently preferring either side would hide a bug.
+    """
+    used = {
+        name: value
+        for name, value in aliases.items()
+        if value not in (None, False)
+    }
+    if config is not None:
+        if used:
+            raise ConfigurationError(
+                f"{owner} got both config= and the deprecated "
+                f"{', '.join(sorted(used))} alias(es); pass the values "
+                "inside RuntimeConfig instead"
+            )
+        return config
+    if used:
+        warnings.warn(
+            f"{owner}({', '.join(sorted(used))}=...) is deprecated; pass "
+            f"config=RuntimeConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return RuntimeConfig(**aliases)  # type: ignore[arg-type]

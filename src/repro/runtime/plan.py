@@ -49,6 +49,7 @@ from repro.nn.module import Module, register_runtime_plan, warmup_mode
 from repro.obs.profile import KernelProfiler, PlanProfile
 from repro.obs.trace import span
 from repro.runtime.compiler import compile_module
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.kernels import Kernel, ResidualKernel
 
 if TYPE_CHECKING:
@@ -394,6 +395,7 @@ def compile_model(
     gemm_workers: int | str | None = None,
     profile: bool = False,
     replicas: int | None = None,
+    config: "RuntimeConfig | None" = None,
 ) -> "InferencePlan | ReplicaPlan":
     """Compile ``model`` into an :class:`InferencePlan`.
 
@@ -417,18 +419,36 @@ def compile_model(
         Row-partitioned GEMM threading: ``None``/``0``/``1`` serial
         (default — fault campaigns keep the 1-core determinism
         contract), ``"auto"`` to use every available core, ``N >= 2``
-        for an explicit width.  Bit-identical either way.
+        for an explicit width.  Bit-identical either way.  Deprecated
+        alias for ``config=RuntimeConfig(gemm_workers=...)``.
     profile:
         Attach a persistent :class:`~repro.obs.KernelProfiler` (after
         the warm pass, so only real forwards accumulate).  Read the
         report via ``plan._profiler.result()`` or use the one-shot
-        :meth:`InferencePlan.profile` instead.
+        :meth:`InferencePlan.profile` instead.  Deprecated alias for
+        ``config=RuntimeConfig(profile=True)``.
     replicas:
         When set (``>= 1``), wrap the compiled plan in a
         :class:`~repro.runtime.replica.ReplicaPlan` sized for that many
         fault lanes and return it instead (equivalent to
-        ``plan.replicate(replicas)``).
+        ``plan.replicate(replicas)``).  Deprecated alias for
+        ``config=RuntimeConfig(replicas=...)``.
+    config:
+        One :class:`~repro.runtime.config.RuntimeConfig` carrying the
+        three knobs above (``enabled`` is ignored here — calling the
+        compiler *is* enabling the runtime).  Mutually exclusive with
+        the per-knob aliases.
     """
+    if config is not None:
+        if gemm_workers is not None or profile or replicas is not None:
+            raise ConfigurationError(
+                "compile_model got both config= and the deprecated "
+                "gemm_workers/profile/replicas alias(es); pass the values "
+                "inside RuntimeConfig instead"
+            )
+        gemm_workers = config.gemm_workers
+        profile = config.profile
+        replicas = config.replicas
     shape = tuple(int(dim) for dim in input_shape)
     if len(shape) == 3:
         shape = (1, *shape)

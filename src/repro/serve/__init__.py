@@ -2,34 +2,47 @@
 
 ``repro.serve`` turns the offline reproduction into a deployable
 service: ``repro protect`` writes a checkpoint, ``repro serve`` puts it
-behind an HTTP endpoint, and chaos mode injects the paper's bit-flip
-faults into the *live* model so resilience is observable under traffic.
+behind the versioned ``/v1`` HTTP API, and chaos mode injects the
+paper's bit-flip faults into the *live* model so resilience is
+observable under traffic.
 
-Architecture (stdlib-only — ``ThreadingHTTPServer``, ``queue``,
-``threading``, ``urllib``):
+Architecture (stdlib-only — ``asyncio`` / ``ThreadingHTTPServer``,
+``multiprocessing``, ``queue``, ``threading``, ``urllib``):
 
+- :mod:`repro.serve.protocol` (``protocol.py``) defines the typed
+  ``/v1`` messages (:class:`PredictRequest`, :class:`PredictResponse`,
+  :class:`ModelInfo`, :class:`HealthReport`, ...) serialised with the
+  store's exact-float JSON encoder; the PR-2 unversioned paths remain
+  as deprecated aliases with byte-identical bodies.
 - :class:`ModelRegistry` (``registry.py``) maps serving names to
-  ``save_protected`` checkpoints, loads them on demand via
-  :func:`repro.core.checkpoint.load_protected_auto`, keeps at most
-  ``capacity`` resident with LRU eviction, single-flights concurrent
-  first loads, and gives each model an ``infer_lock``.
+  ``save_protected`` checkpoints, loads them on demand, keeps at most
+  ``capacity`` resident with LRU eviction, and gives each model an
+  ``infer_lock``; :class:`ModelSpec` is the picklable manifest-peek
+  view the multi-process path ships to workers.
 - :class:`MicroBatcher` (``batcher.py``) coalesces concurrent predict
-  requests into one forward pass: a batch closes when ``max_batch``
-  samples are pending or ``max_latency`` has elapsed, whichever comes
-  first.  Batched throughput is the reason the service beats
-  request-at-a-time evaluation (see ``benchmarks/test_bench_serve.py``).
+  requests into one forward pass.
+- :class:`AdmissionController` (``admission.py``) bounds pending
+  requests globally and per model; the overflow is shed as HTTP 429
+  with ``Retry-After`` (:class:`repro.errors.ServerOverloadedError`).
+- :class:`WorkerPool` (``workers.py``) fans micro-batches out to worker
+  processes, each holding its own compiled plans and chaos engine;
+  dead lanes restart in place without dropping queued requests.
+- :class:`SloTracker` (``slo.py``) turns a ``--slo-p99-ms`` target into
+  p50/p99 estimates and an error-budget burn rate in ``/v1/healthz``.
 - :class:`ChaosEngine` (``chaos.py``) reuses
   :class:`repro.fault.FaultInjector` to flip parameter bits at a
   configured BER around each batch — exact restore guaranteed — and
-  counts silent data corruptions against a fault-free forward pass of
-  the same inputs.
-- :class:`ServerMetrics` (``metrics.py``) aggregates request counts, a
-  latency histogram, the achieved batch-size distribution, and
-  per-model chaos/SDC counters for ``GET /metrics``.
-- :class:`ServeApp` / :class:`ReproServer` (``http.py``) expose
-  ``POST /predict``, ``GET /models``, ``GET /healthz`` and
-  ``GET /metrics``; :class:`ServeClient` / :func:`run_load`
-  (``client.py``) are the matching client and load generator.
+  counts silent data corruptions against a fault-free forward pass.
+- :class:`ServerMetrics` (``metrics.py``) aggregates request counts,
+  per-endpoint latency histograms, batch-size distribution, shed and
+  worker-restart counters, and per-model chaos/SDC counters for
+  ``GET /v1/metrics``.
+- :class:`Router` (``routes.py``) is the one transport-neutral code
+  path from (method, path, body) to response bytes; :class:`ServeApp` /
+  :class:`ReproServer` (``http.py``) and :class:`AsyncReproServer`
+  (``aio.py``) are the threaded and asyncio fronts over it;
+  :class:`ServeClient` / :func:`run_load` (``client.py``) are the
+  matching typed client and load generator.
 
 Quick start (library)::
 
@@ -42,29 +55,53 @@ Quick start (library)::
         ...
 
 or from the CLI: ``repro serve --checkpoint lenet-fitact.npz --port 8080
---chaos-ber 1e-5``.
+--front async --workers 2 --slo-p99-ms 50 --chaos-ber 1e-5``.
 """
 
+from repro.serve.admission import AdmissionController, Ticket
+from repro.serve.aio import AsyncReproServer
 from repro.serve.batcher import MicroBatcher
 from repro.serve.chaos import ChaosConfig, ChaosEngine
 from repro.serve.client import LoadReport, ServeClient, run_load
 from repro.serve.http import ReproServer, ServeApp, ServeConfig
 from repro.serve.metrics import ChaosBatchReport, Histogram, ServerMetrics
-from repro.serve.registry import ModelRegistry, ServedModel
+from repro.serve.protocol import (
+    HealthReport,
+    ModelInfo,
+    ModelList,
+    PredictRequest,
+    PredictResponse,
+)
+from repro.serve.registry import ModelRegistry, ModelSpec, ServedModel
+from repro.serve.routes import Router
+from repro.serve.slo import SloTracker
+from repro.serve.workers import WorkerPool
 
 __all__ = [
+    "AdmissionController",
+    "AsyncReproServer",
     "ChaosBatchReport",
     "ChaosConfig",
     "ChaosEngine",
+    "HealthReport",
     "Histogram",
     "LoadReport",
     "MicroBatcher",
+    "ModelInfo",
+    "ModelList",
     "ModelRegistry",
+    "ModelSpec",
+    "PredictRequest",
+    "PredictResponse",
     "ReproServer",
+    "Router",
     "ServeApp",
     "ServeClient",
     "ServeConfig",
     "ServedModel",
     "ServerMetrics",
+    "SloTracker",
+    "Ticket",
+    "WorkerPool",
     "run_load",
 ]

@@ -1,0 +1,299 @@
+"""The asyncio front door: selector-loop HTTP over the shared router.
+
+The threaded :class:`~repro.serve.http.ReproServer` spends one OS thread
+per connection, almost all of it blocked on a batcher future.  This
+front replaces that with a single selector event loop
+(``asyncio.start_server`` on a background thread): connections are
+coroutines, request parsing is non-blocking, and the inference wait is
+``await asyncio.wrap_future(...)`` on the batcher's
+``concurrent.futures.Future`` — no thread is parked per in-flight
+request, so thousands of slow clients cost file descriptors, not stacks.
+
+Everything above the transport is shared with the threaded front:
+:class:`repro.serve.routes.Router` does routing, legacy-alias
+canonicalisation, admission (429 + ``Retry-After``), error mapping and
+latency observation, so the two fronts return byte-identical bodies for
+identical requests.  The router's synchronous half (``begin``: parse,
+admit, submit — plus a possible first-request checkpoint load) runs in
+the loop's default executor to keep the loop responsive; only the
+cheap completion half runs on the loop.
+
+The transport is deliberately minimal HTTP/1.1: request line, headers,
+``Content-Length`` bodies, keep-alive.  That is exactly what
+:class:`~repro.serve.client.ServeClient`, curl, and load generators
+speak; it is not a general-purpose web server.
+
+Lifecycle mirrors :class:`~repro.serve.http.ReproServer` (``start`` /
+``stop`` / context manager / ``url``); ``stop()`` closes the listener,
+lets in-flight requests finish (bounded by the app's drain timeout),
+then drains the app's lanes and worker pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from http import HTTPStatus
+
+from repro.errors import ConfigurationError
+from repro.serve.http import ServeApp
+from repro.serve.routes import RouteResult
+from repro.utils.logging import get_logger
+
+__all__ = ["AsyncReproServer"]
+
+_logger = get_logger("serve.aio")
+
+_MAX_HEADER_LINES = 100
+_MAX_LINE = 65536
+
+
+def _reason(status: int) -> str:
+    try:
+        return HTTPStatus(status).phrase
+    except ValueError:
+        return "Unknown"
+
+
+class AsyncReproServer:
+    """Asyncio event-loop HTTP server over a :class:`ServeApp`.
+
+    Same surface as the threaded server: ``port=0`` binds an ephemeral
+    port (readable from :attr:`port` / :attr:`url` once started),
+    ``stop()`` drains gracefully, and it works as a context manager.
+    """
+
+    def __init__(
+        self, app: ServeApp, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.app = app
+        self._requested = (host, port)
+        self._address: tuple[str, int] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._startup = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def __getstate__(self) -> dict[str, object]:
+        """Servers own a loop thread and sockets; refuse to pickle (RPL007)."""
+        raise TypeError(
+            "AsyncReproServer owns an event loop and listening socket "
+            "and cannot be pickled; start a fresh server per process"
+        )
+
+    # ------------------------------------------------------------------
+    # Addresses
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        if self._address is None:
+            raise ConfigurationError("server is not running")
+        return self._address[0]
+
+    @property
+    def port(self) -> int:
+        if self._address is None:
+            raise ConfigurationError("server is not running")
+        return int(self._address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "AsyncReproServer":
+        if self._thread is not None:
+            raise ConfigurationError("server is already running")
+        self._startup.clear()
+        self._startup_error = None
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-serve-aio", daemon=True
+        )
+        self._thread.start()
+        if not self._startup.wait(timeout=30.0):
+            raise ConfigurationError("async server failed to start in time")
+        if self._startup_error is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+            raise self._startup_error
+        _logger.info("serving on %s (asyncio front)", self.url)
+        return self
+
+    def stop(self) -> None:
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self._shutdown(), loop)
+        try:
+            future.result(timeout=self.app.config.drain_timeout_s + 10.0)
+        except (TimeoutError, asyncio.TimeoutError):  # pragma: no cover
+            _logger.warning("async server drain timed out; forcing stop")
+            loop.call_soon_threadsafe(self._force_stop)
+        thread.join(timeout=10.0)
+        self._thread = None
+        self._loop = None
+        self._address = None
+        self.app.close()
+
+    def __enter__(self) -> "AsyncReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _force_stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        except BaseException as error:  # noqa: BLE001 — surfaced via start()
+            if not self._startup.is_set():
+                self._startup_error = error
+                self._startup.set()
+            else:  # pragma: no cover — post-startup loop crash
+                _logger.exception("async server loop failed")
+        finally:
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                asyncio.set_event_loop(None)
+                loop.close()
+
+    async def _main(self) -> None:
+        self._stop_event = asyncio.Event()
+        host, port = self._requested
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=host, port=port
+            )
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot bind async server to {host}:{port}: {error}"
+            ) from error
+        sockets = self._server.sockets or ()
+        bound = sockets[0].getsockname()
+        self._address = (bound[0], int(bound[1]))
+        self._startup.set()
+        await self._stop_event.wait()
+
+    async def _shutdown(self) -> None:
+        """Stop accepting, let in-flight requests finish, exit the loop."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = {task for task in self._conn_tasks if not task.done()}
+        if pending:
+            await asyncio.wait(
+                pending, timeout=self.app.config.drain_timeout_s
+            )
+        assert self._stop_event is not None
+        self._stop_event.set()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, version, headers, body = request
+                result = await self._dispatch(method, target, body)
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                    and version == "HTTP/1.1"
+                )
+                self._write_response(writer, result, keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, str, dict[str, str], bytes] | None:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split(" ")
+        if len(parts) != 3:
+            return None
+        method, target, version = parts
+        headers: dict[str, str] = {}
+        for _ in range(_MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(line) > _MAX_LINE:
+                return None
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            return None  # header flood
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length > 0 else b""
+        return method, target, version, headers, body
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> RouteResult:
+        loop = asyncio.get_running_loop()
+        # begin() is the synchronous half: parse, canonicalise, admit,
+        # submit (plus a possible first-request checkpoint load).  It
+        # runs in the executor so a slow load never stalls the loop;
+        # the inference *wait* costs no thread at all.
+        outcome = await loop.run_in_executor(
+            None, self.app.router.begin, method, target, body
+        )
+        if isinstance(outcome, RouteResult):
+            return outcome
+        try:
+            logits = await asyncio.wait_for(
+                asyncio.wrap_future(outcome.future),
+                timeout=self.app.config.request_timeout,
+            )
+        except BaseException as error:  # noqa: BLE001 — rendered as a response
+            return outcome.fail(error)
+        return outcome.finish(logits)
+
+    @staticmethod
+    def _write_response(
+        writer: asyncio.StreamWriter, result: RouteResult, keep_alive: bool
+    ) -> None:
+        lines = [
+            f"HTTP/1.1 {result.status} {_reason(result.status)}",
+            f"Content-Type: {result.content_type}",
+            f"Content-Length: {len(result.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in result.headers)
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + result.body)

@@ -84,6 +84,26 @@ class ServerMetrics:
             "End-to-end request handling latency (milliseconds).",
             buckets=LATENCY_BUCKETS_MS,
         )
+        self._serve_latency = registry.histogram(
+            "repro_serve_latency_ms",
+            "Per-endpoint request handling latency (milliseconds).",
+            buckets=LATENCY_BUCKETS_MS,
+            labelnames=("endpoint",),
+        )
+        self._shed = registry.counter(
+            "repro_serve_shed_total",
+            "Requests shed by admission control, by model and reason.",
+            labelnames=("model", "reason"),
+        )
+        self._queue_depth = registry.gauge(
+            "repro_serve_queue_depth",
+            "Requests currently pending per model (admission view).",
+            labelnames=("model",),
+        )
+        self._worker_restarts = registry.counter(
+            "repro_serve_worker_restarts_total",
+            "Worker-lane processes restarted after dying mid-service.",
+        )
         self._batch_sizes = registry.histogram(
             "repro_serve_batch_size",
             "Coalesced micro-batch sizes the batcher actually executed.",
@@ -112,6 +132,20 @@ class ServerMetrics:
     def observe_request(self, endpoint: str, status: int, seconds: float) -> None:
         self._requests.inc(endpoint=endpoint, status=int(status))
         self._latency.observe(seconds * 1000.0)
+        self._serve_latency.observe(seconds * 1000.0, endpoint=endpoint)
+
+    def observe_shed(self, model: str, reason: str) -> None:
+        self._shed.inc(model=model, reason=reason)
+
+    def observe_queue_depth(self, model: str, depth: int) -> None:
+        self._queue_depth.set(int(depth), model=model)
+
+    def observe_worker_restart(self) -> None:
+        self._worker_restarts.inc()
+
+    def latency_quantile(self, q: float, endpoint: str) -> float:
+        """Bucket-interpolated latency quantile for one endpoint (ms)."""
+        return self._serve_latency.quantile(q, endpoint=endpoint)
 
     def observe_batch(self, size: int) -> None:
         self._batch_sizes.observe(size)
@@ -191,7 +225,17 @@ class ServerMetrics:
                 model: self._chaos_entry(self._chaos_counts(model))
                 for model in chaos_models
             },
+            "admission": {
+                "shed": self._shed_snapshot(),
+                "worker_restarts": int(self._worker_restarts.value()),
+            },
         }
+
+    def _shed_snapshot(self) -> dict[str, dict[str, int]]:
+        out: dict[str, dict[str, int]] = {}
+        for (model, reason), count in sorted(self._shed.series().items()):
+            out.setdefault(model, {})[reason] = int(count)
+        return out
 
     def render_prometheus(self) -> str:
         """The Prometheus text exposition of every serving metric."""

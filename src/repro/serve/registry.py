@@ -18,6 +18,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.checkpoint import (
     checkpoint_format,
@@ -31,9 +32,28 @@ from repro.nn.module import Module
 from repro.quant.fixed_point import FixedPointFormat
 from repro.utils.logging import get_logger
 
-__all__ = ["ModelRegistry", "ServedModel"]
+if TYPE_CHECKING:
+    from repro.runtime import RuntimeConfig
+
+__all__ = ["ModelRegistry", "ModelSpec", "ServedModel"]
 
 _logger = get_logger("serve.registry")
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A registered checkpoint without a loaded model behind it.
+
+    The multi-process serving path keeps models (and compiled plans)
+    inside worker processes; the parent only needs the name, the path to
+    ship to workers, and the input geometry from a manifest peek to
+    validate requests.  Specs are picklable by construction — they carry
+    no locks, modules, or plans.
+    """
+
+    name: str
+    path: str
+    input_shape: tuple[int, int, int] | None
 
 
 @dataclass
@@ -117,17 +137,31 @@ class ModelRegistry:
         an evicted instance finish normally because they hold their own
         reference.
     runtime:
-        Compile every loaded checkpoint into a
+        Deprecated alias for ``config=RuntimeConfig(enabled=True)``:
+        compile every loaded checkpoint into a
         :class:`repro.runtime.InferencePlan` once at load time; lanes
         then serve batches through the compiled fast path (bit-exact
         with the module forward, chaos-compatible).
+    config:
+        One :class:`repro.runtime.RuntimeConfig` carrying every
+        compiled-runtime knob.  Mutually exclusive with ``runtime=``.
     """
 
-    def __init__(self, capacity: int = 4, runtime: bool = False) -> None:
+    def __init__(
+        self,
+        capacity: int = 4,
+        runtime: bool = False,
+        config: "RuntimeConfig | None" = None,
+    ) -> None:
+        from repro.runtime import resolve_runtime_config
+
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
-        self.runtime = bool(runtime)
+        self.config = resolve_runtime_config(
+            config, "ModelRegistry", enabled=runtime
+        )
+        self.runtime = self.config.enabled
         self._specs: dict[str, str] = {}
         self._spec_meta: dict[str, dict[str, object]] = {}
         self._resident: OrderedDict[str, ServedModel] = OrderedDict()
@@ -206,6 +240,23 @@ class ModelRegistry:
             "clean_accuracy": meta.get("clean_accuracy"),
         }
 
+    def spec(self, name: str) -> ModelSpec:
+        """Picklable spec for ``name`` without loading the model.
+
+        The process-lane serving path validates request geometry from
+        this (manifest-peeked) view and ships only the checkpoint path
+        to worker processes.  ``input_shape`` is ``None`` when the
+        manifest records no geometry; workers still reject malformed
+        inputs at forward time.
+        """
+        described = self.describe_spec(name)
+        shape = described.get("input_shape")
+        return ModelSpec(
+            name=name,
+            path=str(described["path"]),
+            input_shape=tuple(int(dim) for dim in shape) if shape else None,
+        )
+
     def __contains__(self, name: str) -> bool:
         with self._gate:
             return name in self._specs
@@ -267,7 +318,12 @@ class ModelRegistry:
         if self.runtime:
             from repro.runtime import compile_model
 
-            entry.plan = compile_model(model, entry.input_shape)
+            entry.plan = compile_model(
+                model,
+                entry.input_shape,
+                gemm_workers=self.config.gemm_workers,
+                profile=self.config.profile,
+            )
             _logger.info(
                 "compiled runtime plan for %s (%d kernels)", name, len(entry.plan)
             )

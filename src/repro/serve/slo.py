@@ -1,0 +1,82 @@
+"""Latency SLO tracking: p50/p99 estimates and burn rate for ``/healthz``.
+
+A latency SLO here is the standard shape: *99% of requests complete
+within the target* — i.e. the p99 latency stays at or under
+``target_p99_ms``, with a 1% violation budget.  :class:`SloTracker`
+counts every request against that budget and reports:
+
+- ``p50_ms`` / ``p99_ms`` — bucket-interpolated estimates from a
+  log-scale histogram (same bounds as the serving latency metric, so
+  the healthz numbers and the Prometheus series agree);
+- ``violations`` / ``violation_rate`` — requests over target;
+- ``burn_rate`` — violation rate divided by the 1% budget.  1.0 means
+  the server is spending its error budget exactly as fast as the SLO
+  allows; above 1.0 it is burning budget it does not have (a page),
+  below 1.0 it is healthy.
+
+The tracker is cumulative over the server's lifetime — the right shape
+for a smoke-testable reference implementation; a windowed variant would
+slot in behind the same ``observe``/``report`` interface.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import Histogram
+
+__all__ = ["SloTracker"]
+
+#: The violation budget behind a p99 target: 1% of requests may exceed it.
+_P99_BUDGET = 0.01
+
+
+class SloTracker:
+    """Cumulative latency-SLO accounting against a p99 target."""
+
+    def __init__(
+        self, target_p99_ms: float, buckets: tuple[float, ...]
+    ) -> None:
+        if target_p99_ms <= 0:
+            raise ConfigurationError(
+                f"target_p99_ms must be > 0, got {target_p99_ms}"
+            )
+        self.target_p99_ms = float(target_p99_ms)
+        self._lock = threading.Lock()
+        self._histogram = Histogram(buckets)
+        self._violations = 0
+
+    def __getstate__(self) -> dict[str, object]:
+        """Trackers hold a lock; refuse to pickle (RPL007)."""
+        raise TypeError(
+            "SloTracker holds a lock and cannot be pickled; export "
+            "report() instead"
+        )
+
+    def observe(self, latency_ms: float) -> None:
+        with self._lock:
+            self._histogram.observe(latency_ms)
+            if latency_ms > self.target_p99_ms:
+                self._violations += 1
+
+    def report(self) -> dict[str, object]:
+        """JSON-ready SLO state for ``GET /v1/healthz``."""
+        with self._lock:
+            total = self._histogram.total
+            violations = self._violations
+            p50 = self._histogram.quantile(0.5)
+            p99 = self._histogram.quantile(0.99)
+        violation_rate = violations / total if total else 0.0
+        return {
+            "target_p99_ms": self.target_p99_ms,
+            "requests": total,
+            "p50_ms": round(p50, 3),
+            "p99_ms": round(p99, 3),
+            "violations": violations,
+            "violation_rate": round(violation_rate, 6),
+            # Error-budget burn: 1.0 = spending the 1% violation budget
+            # exactly at the allowed rate; > 1.0 = out of budget.
+            "burn_rate": round(violation_rate / _P99_BUDGET, 4),
+            "healthy": violation_rate <= _P99_BUDGET,
+        }

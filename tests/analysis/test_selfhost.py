@@ -31,7 +31,7 @@ def test_repository_lints_clean(repo_root):
     # optimizer rebinds plus the pre-obs raw-timing sites — nothing
     # stale, nothing silently grown.
     assert result.baseline.unused() == []
-    assert result.baselined == 18
+    assert result.baselined == 15
     assert result.files > 150
 
 

@@ -1,0 +1,129 @@
+"""RuntimeConfig: one config object, deprecated kwargs as strict aliases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import RuntimeConfig, compile_model, resolve_runtime_config
+
+
+class TestRuntimeConfig:
+    def test_defaults_are_the_serial_determinism_contract(self):
+        config = RuntimeConfig()
+        assert config.enabled is False
+        assert config.gemm_workers is None
+        assert config.replicas is None
+        assert config.profile is False
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="gemm_workers"):
+            RuntimeConfig(gemm_workers="fastest")
+        with pytest.raises(ConfigurationError, match="gemm_workers"):
+            RuntimeConfig(gemm_workers=-1)
+        with pytest.raises(ConfigurationError, match="replicas"):
+            RuntimeConfig(replicas=0)
+        RuntimeConfig(gemm_workers="auto", replicas=2)  # valid extremes
+
+    def test_with_enabled_returns_a_copy(self):
+        base = RuntimeConfig(gemm_workers=2)
+        flipped = base.with_enabled()
+        assert flipped.enabled is True
+        assert flipped.gemm_workers == 2
+        assert base.enabled is False  # frozen original untouched
+
+
+class TestResolveRuntimeConfig:
+    def test_config_passes_through(self):
+        config = RuntimeConfig(enabled=True, gemm_workers=2)
+        assert resolve_runtime_config(config, "Owner") is config
+
+    def test_no_arguments_yields_defaults_silently(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = resolve_runtime_config(
+                None, "Owner", enabled=False, gemm_workers=None
+            )
+        assert config == RuntimeConfig()
+
+    def test_alias_alone_warns_and_folds_in(self):
+        with pytest.warns(DeprecationWarning, match="Owner.*deprecated"):
+            config = resolve_runtime_config(
+                None, "Owner", enabled=True, gemm_workers="auto"
+            )
+        assert config.enabled is True
+        assert config.gemm_workers == "auto"
+
+    def test_alias_plus_config_is_ambiguous(self):
+        with pytest.raises(ConfigurationError, match="both config="):
+            resolve_runtime_config(
+                RuntimeConfig(), "Owner", enabled=True
+            )
+
+
+class TestConsumersAcceptConfig:
+    def test_compile_model_via_config(self, small_model):
+        plan = compile_model(
+            small_model,
+            (1, 3, 8, 8),
+            config=RuntimeConfig(gemm_workers=2, profile=True),
+        )
+        x = np.zeros((2, 3, 8, 8), dtype=np.float32)
+        assert plan(x).shape[0] == 2
+        assert plan._profiler is not None
+
+    def test_compile_model_rejects_mixed_styles(self, small_model):
+        with pytest.raises(ConfigurationError, match="both config="):
+            compile_model(
+                small_model,
+                (1, 3, 8, 8),
+                gemm_workers=2,
+                config=RuntimeConfig(),
+            )
+
+    def test_compile_model_replicas_via_config(self, small_model):
+        plan = compile_model(
+            small_model, (1, 3, 8, 8), config=RuntimeConfig(replicas=2)
+        )
+        from repro.runtime import ReplicaPlan
+
+        assert isinstance(plan, ReplicaPlan)
+
+    def test_evaluator_via_config(self, test_loader):
+        from repro.eval.evaluator import Evaluator
+
+        evaluator = Evaluator(
+            test_loader, max_batches=1, config=RuntimeConfig(enabled=True)
+        )
+        assert evaluator.runtime is True
+        assert evaluator.config.enabled is True
+
+    def test_evaluator_legacy_kwarg_warns(self, test_loader):
+        from repro.eval.evaluator import Evaluator
+
+        with pytest.warns(DeprecationWarning, match="Evaluator"):
+            evaluator = Evaluator(test_loader, max_batches=1, runtime=True)
+        assert evaluator.config.enabled is True
+
+    def test_model_registry_via_config(self):
+        from repro.serve import ModelRegistry
+
+        registry = ModelRegistry(capacity=1, config=RuntimeConfig(enabled=True))
+        assert registry.runtime is True
+
+    def test_model_registry_legacy_kwarg_warns(self):
+        from repro.serve import ModelRegistry
+
+        with pytest.warns(DeprecationWarning, match="ModelRegistry"):
+            registry = ModelRegistry(capacity=1, runtime=True)
+        assert registry.runtime is True
+
+
+@pytest.fixture()
+def small_model():
+    from repro.models.lenet import build_lenet
+
+    return build_lenet(num_classes=4, scale=0.25, seed=0, image_size=8)

@@ -6,6 +6,7 @@ import pytest
 from repro.core import ProtectionConfig, protect_model, save_protected
 from repro.errors import ConfigurationError
 from repro.eval.evaluator import forward_logits
+from repro.runtime import RuntimeConfig
 from repro.serve import (
     ChaosConfig,
     ModelRegistry,
@@ -82,45 +83,49 @@ def sample_batch(test_loader):
 class TestEndpoints:
     def test_healthz(self, client):
         health = client.healthz()
-        assert health["status"] == "ok"
-        assert health["models"] == ["plain", "protected"]
-        assert health["chaos_ber"] is None
+        assert health.status == "ok"
+        assert health.models == ("plain", "protected")
+        assert health.chaos_ber is None
+        assert health.admission is not None
+        assert health.admission["pending"] == 0
+        assert health.workers == {"mode": "thread", "count": 1}
+        assert health.slo is None  # no --slo-p99-ms configured
 
     def test_models_before_and_after_load(self, client, sample_batch):
         listing = client.models()
-        assert {m["name"] for m in listing["models"]} == {"plain", "protected"}
-        assert all(not m["resident"] for m in listing["models"])
+        assert {m.name for m in listing.models} == {"plain", "protected"}
+        assert all(not m.resident for m in listing.models)
         # Geometry is reported even before a model is resident (manifest
         # peek), so clients can shape their first request correctly.
         assert all(
-            m["input_shape"] == [3, IMAGE_SIZE, IMAGE_SIZE]
-            for m in listing["models"]
+            m.input_shape == (3, IMAGE_SIZE, IMAGE_SIZE)
+            for m in listing.models
         )
         client.predict(sample_batch, model="protected")
         listing = client.models()
-        resident = {m["name"]: m for m in listing["models"]}
-        assert resident["protected"]["resident"] is True
-        assert resident["protected"]["input_shape"] == [3, IMAGE_SIZE, IMAGE_SIZE]
-        assert resident["protected"]["method"] == "clipact"
+        resident = {m.name: m for m in listing.models}
+        assert resident["protected"].resident is True
+        assert resident["protected"].input_shape == (3, IMAGE_SIZE, IMAGE_SIZE)
+        assert resident["protected"].method == "clipact"
 
     def test_predict_matches_local_forward(self, client, server, sample_batch):
         response = client.predict(sample_batch, model="protected", return_logits=True)
         entry = server.app.registry.get("protected")
         local = forward_logits(entry.model, sample_batch)
-        assert response["predictions"] == local.argmax(axis=1).tolist()
+        assert list(response.predictions) == local.argmax(axis=1).tolist()
         np.testing.assert_allclose(
-            np.asarray(response["logits"], dtype=np.float32), local, rtol=1e-5
+            np.asarray(response.logits, dtype=np.float32), local, rtol=1e-5
         )
 
     def test_predict_single_sample_auto_batches(self, client, sample_batch):
         response = client.predict(sample_batch[0], model="plain")
-        assert len(response["predictions"]) == 1
+        assert len(response.predictions) == 1
 
     def test_metrics_accumulate(self, client, sample_batch):
         client.predict(sample_batch, model="plain")
         client.predict(sample_batch, model="plain")
         metrics = client.metrics()
-        predict = metrics["requests"]["by_endpoint"]["/predict"]
+        predict = metrics["requests"]["by_endpoint"]["/v1/predict"]
         assert predict["count"] >= 2
         assert metrics["batches"]["samples_served"] >= 2 * len(sample_batch)
         assert metrics["latency_ms"]["count"] >= 2
@@ -135,7 +140,7 @@ class TestEndpoints:
             text = response.read().decode("utf-8")
         assert content_type.startswith("text/plain; version=0.0.4")
         assert "# TYPE repro_http_requests_total counter" in text
-        assert 'repro_http_requests_total{endpoint="/predict",status="200"}' in text
+        assert 'repro_http_requests_total{endpoint="/v1/predict",status="200"}' in text
         assert "# TYPE repro_http_request_latency_ms histogram" in text
         assert "repro_http_request_latency_ms_count" in text
         # Unknown/absent format values fall back to the JSON snapshot.
@@ -235,13 +240,15 @@ class TestRuntimeServing:
     """The compiled-runtime fast path: same predictions, chaos-compatible."""
 
     def _app(self, checkpoints, runtime, chaos=None):
-        registry = ModelRegistry(capacity=2, runtime=runtime)
+        registry = ModelRegistry(
+            capacity=2, config=RuntimeConfig(enabled=runtime)
+        )
         registry.register("protected", checkpoints["clipact"])
         config = ServeConfig(max_batch=8, max_latency_ms=0.0, chaos=chaos)
         return ServeApp(registry, config)
 
     def test_registry_compiles_plan_once(self, checkpoints):
-        registry = ModelRegistry(capacity=2, runtime=True)
+        registry = ModelRegistry(capacity=2, config=RuntimeConfig(enabled=True))
         registry.register("protected", checkpoints["clipact"])
         entry = registry.get("protected")
         assert entry.plan is not None
