@@ -1,9 +1,15 @@
-"""RPL004 — nondeterminism in journaled paths (``fault/``, ``store/``).
+"""RPL004 — nondeterminism in journaled paths (``fault/``, ``store/``,
+``coord/``).
 
 The byte-identical resume contract (PR 5): a campaign interrupted and
 resumed — or sharded and merged — must reproduce the straight run's
-journal and report byte for byte.  That only holds if nothing on the
-journaled path consults ambient state:
+journal and report byte for byte.  PR 10 extends the contract to the
+coordination layer: a multi-worker, steal-heavy, crash-interrupted
+drain must journal the same records a serial run would, so ``coord/``
+is held to the same bar (its lease staleness clock is the *filesystem's*
+— ``fs_now`` — precisely so no local wall-clock read decides protocol
+state).  That only holds if nothing on the journaled path consults
+ambient state:
 
 - ``time.time()``/``time.time_ns()`` — wall clock.  Durations belong in
   ``time.perf_counter()`` feeding non-identity fields
@@ -48,7 +54,7 @@ class NondeterminismRule(Rule):
 
     def applies(self, ctx: FileContext) -> bool:
         return ctx.module is not None and ctx.module.startswith(
-            ("fault/", "store/")
+            ("coord/", "fault/", "store/")
         )
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:

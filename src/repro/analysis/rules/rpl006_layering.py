@@ -4,7 +4,8 @@ The dependency architecture, bottom to top: numerics (``autograd``) →
 modelling (``nn``, ``quant``, ``optim``, ``models``, ``data``) →
 training (``core``) → fault machinery (``fault``) → compiled inference
 (``runtime``) → persistence (``store``) → evaluation (``eval``) →
-serving (``serve``) → entry points (``cli``).  Lower layers must never
+serving (``serve``) → coordination (``coord``) → entry points
+(``cli``).  Lower layers must never
 import higher ones — in particular ``nn``/``runtime``/``fault`` must
 not reach into ``serve``/``cli``/``store`` — or the ROADMAP's
 multi-host control plane inherits an import cycle instead of a layer
@@ -85,6 +86,12 @@ LAYER_DAG: dict[str, frozenset[str]] = {
             "store",
             "utils",
         }
+    ),
+    # coord layers the lease/work-stealing control plane over the store;
+    # its watch front mounts serve's Router (lazily, in WatchApp) so the
+    # /v1/campaign status view rides the same transport as inference.
+    "coord": frozenset(
+        {"errors", "fault", "obs", "serve", "store", "utils"}
     ),
     "cli": _ANY,
     # The repro facade (src/repro/__init__.py) re-exports the public

@@ -503,15 +503,14 @@ def _require_run_recipe(store_path: str, run_meta: dict[str, object]) -> None:
         )
 
 
-def _cmd_campaign_run(args: argparse.Namespace) -> int:
+def _requested_run_meta(args: argparse.Namespace) -> dict[str, object]:
+    """The run recipe a ``campaign run``/``serve-store`` request implies."""
     from repro.errors import ConfigurationError
-    from repro.store import CampaignStore
 
     if not args.rates:
         raise ConfigurationError("--rates needs at least one fault rate")
     preset = _preset_from_args(args)
-    shard = _parse_shard_spec(args.shard)
-    run_meta: dict[str, object] = {
+    return {
         "checkpoint": args.checkpoint,
         "rates": [float(rate) for rate in args.rates],
         "preset": args.preset,
@@ -522,38 +521,62 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         "runtime": bool(args.runtime),
         "replicas": args.replicas if args.replicas is not None else "auto",
     }
+
+
+def _verify_run_recipe(
+    store, run_meta: dict[str, object], shard: "tuple[int, int] | None"
+) -> dict[str, object]:
+    """Match a request against an existing store's recorded recipe.
+
+    Re-running against an existing store is a resume (and joining one as
+    a coordinated worker is an admission): the store's recipe (evaluator
+    sizes included — they shape the accuracy stream) must match the
+    request, or the journal would silently mix trials from two different
+    campaigns.  Returns the stored meta (which keeps the recorded
+    clean_accuracy baseline); the caller closes the store on error.
+    """
+    from repro.errors import ConfigurationError
+
+    stored = store.meta
+    _require_run_recipe(store.path, stored)
+    mismatched = [
+        field
+        for field in (
+            "checkpoint",
+            "rates",
+            "preset",
+            "trials",
+            "seed",
+            "test_samples",
+            "runtime",
+        )
+        if run_meta[field] != stored.get(field)
+    ]
+    if shard != store.shard:
+        mismatched.append("shard")
+    if mismatched:
+        raise ConfigurationError(
+            f"store {store.path!r} was created with different settings "
+            f"(mismatched: {', '.join(mismatched)}); resume it with "
+            "'repro campaign resume', or pass matching arguments, or "
+            "pick a fresh --store"
+        )
+    return dict(stored)
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.store import CampaignStore
+
+    shard = _parse_shard_spec(args.shard)
+    run_meta = _requested_run_meta(args)
     if CampaignStore.exists(args.store):
-        # Re-running against an existing store is a resume: the store's
-        # recorded recipe (evaluator sizes included — they shape the
-        # accuracy stream) must match the request, or the journal would
-        # silently mix trials from two different campaigns.
         store = CampaignStore.open(args.store)
-        stored = store.meta
-        _require_run_recipe(args.store, stored)
-        mismatched = [
-            field
-            for field in (
-                "checkpoint",
-                "rates",
-                "preset",
-                "trials",
-                "seed",
-                "test_samples",
-                "runtime",
-            )
-            if run_meta[field] != stored.get(field)
-        ]
-        if shard != store.shard:
-            mismatched.append("shard")
-        if mismatched:
+        try:
+            run_meta = _verify_run_recipe(store, run_meta, shard)
+        except ConfigurationError:
             store.close()
-            raise ConfigurationError(
-                f"store {args.store!r} was created with different settings "
-                f"(mismatched: {', '.join(mismatched)}); resume it with "
-                "'repro campaign resume', or pass matching arguments, or "
-                "pick a fresh --store"
-            )
-        run_meta = dict(stored)  # keeps the recorded clean_accuracy baseline
+            raise
         if args.workers is not None:
             run_meta["workers"] = args.workers  # scheduling only
         if args.replicas is not None:
@@ -833,6 +856,147 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     print(text)
     print(f"wrote {report_path} and {atlas_path}")
     return 0
+
+
+def _cmd_campaign_serve_store(args: argparse.Namespace) -> int:
+    """Join a shared store as a coordinated lease-holding worker.
+
+    Create-or-join: the first worker to arrive creates the store and
+    registers the full sweep (the manifest is written exactly once);
+    every later worker validates its recipe against the stored one and
+    is admitted as a journal-segment writer.  Racing creators are
+    benign — identical recipes produce identical manifests, and the
+    loser of the create race falls through to the join path.
+    """
+    import signal
+
+    from repro.coord import DEFAULT_CHUNK, DEFAULT_EXPIRY_S, CampaignWorker
+    from repro.errors import ConfigurationError
+    from repro.fault.fault_model import BitFlipFaultModel
+    from repro.store import CampaignStore, StoreError
+
+    run_meta = _requested_run_meta(args)
+    campaign = None
+    if not CampaignStore.exists(args.store):
+        campaign, evaluator, model, checkpoint_meta = _campaign_for_meta(
+            run_meta, None
+        )
+        for field in ("model", "dataset", "method"):
+            if field in checkpoint_meta:
+                run_meta[field] = checkpoint_meta[field]
+        run_meta["clean_accuracy"] = evaluator.accuracy(model)
+        try:
+            store = CampaignStore.for_campaign(
+                args.store, campaign, meta=run_meta
+            )
+        except StoreError:
+            # Lost the create race to a peer worker with (necessarily,
+            # per the recipe check below) the same recipe: join instead.
+            campaign.close()
+            campaign = None
+        else:
+            with store:
+                store.register_configs(
+                    [BitFlipFaultModel.at_rate(r) for r in args.rates]
+                )
+            print(
+                f"created campaign store {args.store} "
+                f"({len(args.rates)} configs x {run_meta['trials']} trials, "
+                f"clean {float(run_meta['clean_accuracy']):.2%})",
+                flush=True,
+            )
+    if campaign is None:
+        store = CampaignStore.open(args.store)
+        try:
+            run_meta = _verify_run_recipe(store, run_meta, None)
+        except ConfigurationError:
+            store.close()
+            raise
+        store.close()
+        if args.workers is not None:
+            run_meta["workers"] = args.workers  # scheduling only
+        if args.replicas is not None:
+            run_meta["replicas"] = args.replicas  # scheduling only
+        campaign, _, _, _ = _campaign_for_meta(run_meta, None)
+    fault_models = [
+        BitFlipFaultModel.at_rate(float(r)) for r in run_meta["rates"]
+    ]
+    with campaign:
+        worker = CampaignWorker(
+            campaign,
+            args.store,
+            fault_models,
+            worker_id=args.worker_id,
+            chunk=args.chunk if args.chunk is not None else DEFAULT_CHUNK,
+            expiry_s=args.expiry if args.expiry is not None else DEFAULT_EXPIRY_S,
+            poll_s=args.poll,
+            max_trials=args.limit,
+        )
+        # SIGTERM drains gracefully: finish the in-flight trial, hand
+        # the rest of the range back, release the lease.  (SIGKILL is
+        # the crash path the lease protocol itself covers.)
+        previous = signal.signal(
+            signal.SIGTERM, lambda signum, frame: worker.request_stop()
+        )
+        try:
+            print(
+                f"worker {worker.worker_id} joining {args.store} "
+                f"(chunk {worker.chunk}, lease expiry {worker.expiry_s:g}s)",
+                flush=True,
+            )
+            report = worker.run()
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+    summary = (
+        f"worker {report['worker']}: {report['trials']} trials across "
+        f"{report['claims']} claims, {report['steals']} steals"
+    )
+    if report["complete"]:
+        print(f"store complete; {summary}")
+    else:
+        print(
+            f"stopped with work left; {summary} — rerun serve-store "
+            "(or let peers finish) to drain the remainder"
+        )
+    return 0
+
+
+def _cmd_campaign_watch(args: argparse.Namespace) -> int:
+    """Live control-plane view: convergence, worker liveness, claims."""
+    import time
+
+    from repro.coord import WatchApp, coord_status, render_watch, update_gauges
+    from repro.coord.watch import RateMeter
+    from repro.store.encoding import exact_json_dumps
+
+    server = None
+    if args.http is not None:
+        from repro.serve.http import ReproServer
+
+        server = ReproServer(
+            WatchApp(args.store), host=args.host, port=args.http
+        )
+        server.start()
+        print(f"watch endpoint: {server.url}/v1/campaign", flush=True)
+    meter = RateMeter()
+    try:
+        while True:
+            status = coord_status(args.store)
+            update_gauges(status)
+            rate = meter.update(int(status["journaled"]))
+            if args.format == "json":
+                print(exact_json_dumps(status, sort_keys=True), flush=True)
+            else:
+                print(render_watch(status, rate), flush=True)
+            if args.once:
+                return 0
+            if status["complete"]:
+                print(f"complete: {status['path']}", flush=True)
+                return 0
+            time.sleep(args.interval)
+    finally:
+        if server is not None:
+            server.stop()
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -1368,6 +1532,124 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact directory (default: the store itself)",
     )
     c.set_defaults(func=_cmd_campaign_report)
+
+    c = campaign_sub.add_parser(
+        "serve-store",
+        help=(
+            "join a shared store as a coordinated worker (lease + "
+            "work-stealing; the first worker creates the store and "
+            "registers the sweep)"
+        ),
+    )
+    c.add_argument("--checkpoint", required=True, help="protected checkpoint (.npz)")
+    c.add_argument(
+        "--store",
+        required=True,
+        help="shared campaign store directory (created by the first worker)",
+    )
+    c.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        required=True,
+        help="fault rates of the sweep (must match the store's recipe)",
+    )
+    c.add_argument(
+        "--worker-id",
+        default=None,
+        help=(
+            "unique worker id — names the lease and this worker's journal "
+            "segment (default: per-process unique; multi-host fleets "
+            "should pass hostname-derived ids)"
+        ),
+    )
+    c.add_argument(
+        "--chunk",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help=(
+            "trials per claimed range (default: 8) — smaller chunks "
+            "rebalance stragglers faster, larger ones amortise claim I/O"
+        ),
+    )
+    c.add_argument(
+        "--expiry",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "lease expiry (default: 30) — peers may steal this worker's "
+            "ranges after this long without a heartbeat"
+        ),
+    )
+    c.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="idle re-scan interval while peers hold all remaining work",
+    )
+    c.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="journal at most N fresh trials, then hand back the rest",
+    )
+    c.add_argument(
+        "--runtime",
+        action="store_true",
+        help="evaluate trials through the compiled inference runtime",
+    )
+    c.add_argument(
+        "--replicas",
+        type=_replicas_spec,
+        default=None,
+        metavar="N|auto|off",
+        help="replica-batched evaluation (scheduling only; see 'run')",
+    )
+    _add_preset_arguments(c)
+    c.set_defaults(func=_cmd_campaign_serve_store)
+
+    c = campaign_sub.add_parser(
+        "watch",
+        help=(
+            "live control-plane view of a shared store: convergence, "
+            "per-worker liveness, in-flight claims, steal counts"
+        ),
+    )
+    c.add_argument("--store", required=True)
+    c.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="table (human) or json (one exact-float payload per poll)",
+    )
+    c.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="polling interval (default: 2)",
+    )
+    c.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit",
+    )
+    c.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "also serve the status over HTTP (GET /v1/campaign, plus "
+            "/v1/metrics and /v1/healthz) on this port; 0 = ephemeral"
+        ),
+    )
+    c.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
+    c.set_defaults(func=_cmd_campaign_watch)
 
     p = sub.add_parser(
         "profile",

@@ -26,10 +26,10 @@ from repro.fault.injector import FaultInjector
 from repro.fault.parallel import (
     GroupTrialRunner,
     TrialExecutor,
-    TrialGroup,
     TrialOutcome,
     TrialRunner,
     TrialWork,
+    group_works,
     make_executor,
 )
 from repro.obs.trace import span
@@ -405,6 +405,90 @@ class FaultCampaign:
             return []
         return metadata(sites)
 
+    def _sampled_works(
+        self, fault_model: FaultModel, tag: str, indices: Sequence[int]
+    ) -> list[TrialWork]:
+        """Sample fault sites for exactly ``indices``, in the parent.
+
+        Each trial's seed is independent, so any subset — a resume's
+        missing tail, a coord worker's claimed range — skips the
+        fault-space-sized sampling of every other trial, and workers
+        only ever see concrete site arrays: fault models (with their
+        possibly unpicklable ``param_filter``s) never cross a process
+        boundary.
+        """
+        seeds = self.trial_seeds(fault_model, tag)
+        return [
+            TrialWork(
+                index=trial,
+                sites=self.injector.sample(fault_model, rng=seeds[trial]),
+            )
+            for trial in indices
+        ]
+
+    def _dispatch(self, pending: Sequence[TrialWork]) -> Iterator[TrialOutcome]:
+        """Hand works to the executor, streaming outcomes in index order.
+
+        The replica-batched path groups consecutive works into lanes of
+        one shared-forward evaluation; the flattened stream keeps trial
+        order, so consumers (journal, early stop, aggregation) are
+        oblivious — and bit-identical to the per-trial stream.
+        """
+        if not pending:
+            return iter(())
+        if self._group_runner is not None:
+            groups = group_works(pending, self.replicas)
+            return self.executor.run_groups(self._group_runner, groups)
+        return self.executor.run_trials(self._runner, pending)
+
+    def iter_range(
+        self,
+        fault_model: FaultModel,
+        indices: Sequence[int],
+        tag: str = "",
+    ) -> Iterator[tuple[TrialOutcome, list[tuple[int, int]]]]:
+        """Evaluate exactly ``indices`` of one configuration, streaming.
+
+        The coordination layer's entry point (:mod:`repro.coord`): a
+        worker that claimed a dynamic trial range evaluates just that
+        range.  Yields ``(outcome, sites)`` pairs in ascending trial
+        order — ``sites`` being the journal-ready applied-site metadata
+        :meth:`run` records — with duplicates collapsed.  Trial seeds
+        depend only on the trial index, never on scheduling, so any
+        partition of the trial space (static shards, stolen ranges, a
+        serial run) produces bit-identical per-trial results.
+
+        Closing the generator early (a lost fence check, a worker
+        shutting down) closes the executor stream, which terminates any
+        speculative pooled work.
+        """
+        plan = sorted({int(trial) for trial in indices})
+        if plan and not 0 <= plan[0] <= plan[-1] < self.trials:
+            raise ConfigurationError(
+                f"trial indices must lie in [0, {self.trials}), "
+                f"got {plan[0]}..{plan[-1]}"
+            )
+        pending = self._sampled_works(fault_model, tag, plan)
+        outcomes = self._dispatch(pending)
+        try:
+            for work in pending:
+                outcome = next(outcomes)
+                if outcome.index != work.index:
+                    raise ConfigurationError(
+                        f"executor yielded trial {outcome.index} where "
+                        f"{work.index} was scheduled"
+                    )
+                yield outcome, self._site_metadata(work.sites)
+            sentinel = object()
+            if next(outcomes, sentinel) is not sentinel:
+                raise ConfigurationError(
+                    "executor yielded more outcomes than scheduled works"
+                )
+        finally:
+            close = getattr(outcomes, "close", None)
+            if close is not None:
+                close()
+
     def run(
         self,
         fault_model: FaultModel,
@@ -471,39 +555,10 @@ class FaultCampaign:
             budget = store.remaining_budget()
             if budget is not None:
                 missing = missing[:budget]
-        # Sample sites in the parent, and only for the trials that will
-        # actually execute: each trial's seed is independent, so a
-        # replayed-heavy resume (or a tight ``--limit`` budget) skips
-        # the fault-space-sized sampling of every other trial, and
-        # workers only ever see concrete site arrays — fault models
-        # (with their possibly unpicklable ``param_filter``s) never
-        # cross a process boundary.
-        seeds = self.trial_seeds(fault_model, tag)
-        works = {
-            trial: TrialWork(
-                index=trial,
-                sites=self.injector.sample(fault_model, rng=seeds[trial]),
-            )
-            for trial in missing
-        }
-        pending = [works[trial] for trial in missing]
+        pending = self._sampled_works(fault_model, tag, missing)
+        works = {work.index: work for work in pending}
         aggregator = CampaignAggregator()
-        outcomes: Iterator[TrialOutcome]
-        if not pending:
-            outcomes = iter(())
-        elif self._group_runner is not None:
-            # Replica-batched path: consecutive pending trials become
-            # lanes of one shared-forward evaluation.  The flattened
-            # stream keeps trial-index order, so everything downstream
-            # (journal, early stop, aggregation) is unchanged — and
-            # bit-identical to the per-trial stream.
-            groups = [
-                TrialGroup(works=tuple(pending[at : at + self.replicas]))
-                for at in range(0, len(pending), self.replicas)
-            ]
-            outcomes = self.executor.run_groups(self._group_runner, groups)
-        else:
-            outcomes = self.executor.run_trials(self._runner, pending)
+        outcomes = self._dispatch(pending)
         stopped_early = False
         try:
             fresh = 0

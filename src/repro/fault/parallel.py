@@ -35,7 +35,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -60,6 +60,7 @@ __all__ = [
     "TrialWork",
     "available_workers",
     "default_start_method",
+    "group_works",
     "make_executor",
 ]
 
@@ -128,6 +129,23 @@ class TrialRunner:
             flips=int(count),
             seconds=seconds,
         )
+
+
+def group_works(works: "Sequence[TrialWork]", width: int) -> list["TrialGroup"]:
+    """Pack an ordered work list into replica groups of ``width`` lanes.
+
+    The single grouping policy shared by every dispatch path (full runs,
+    resumes, and the coord layer's dynamic ranges): consecutive works
+    become lanes of one group, the last group holding the remainder.
+    Grouping is scheduling only — outcomes stream back flattened in the
+    original order, bit-identical to per-trial execution.
+    """
+    if width < 2:
+        raise ConfigurationError(f"replica group width must be >= 2, got {width}")
+    return [
+        TrialGroup(works=tuple(works[at : at + width]))
+        for at in range(0, len(works), width)
+    ]
 
 
 @dataclass(frozen=True)

@@ -61,6 +61,7 @@ _PREDICT = "/v1/predict"
 _MODELS = "/v1/models"
 _HEALTHZ = "/v1/healthz"
 _METRICS = "/v1/metrics"
+_CAMPAIGN = "/v1/campaign"
 
 
 @dataclass(frozen=True)
@@ -180,11 +181,24 @@ class Router:
     # Handlers
     # ------------------------------------------------------------------
     def _route_get(self, endpoint: str, query: str) -> dict[str, Any] | str:
+        # Optional-capability dispatch: an app advertises a GET route by
+        # having its handler attribute at all.  The serving tier's
+        # ServeApp has models/predict but no campaign view; the coord
+        # watch front (repro.coord.watch.WatchApp) is the reverse.  A
+        # missing handler is a plain 404, same as an unknown path.
         app = self.app
         if endpoint == _HEALTHZ:
             return app.health()
         if endpoint == _MODELS:
-            return app.describe_models()
+            describe = getattr(app, "describe_models", None)
+            if describe is None:
+                raise _NoRoute(endpoint)
+            return describe()
+        if endpoint == _CAMPAIGN:
+            campaign_status = getattr(app, "campaign_status", None)
+            if campaign_status is None:
+                raise _NoRoute(endpoint)
+            return campaign_status()
         if endpoint == _METRICS:
             params = parse_qs(query)
             if params.get("format", ["json"])[-1] == "prometheus":
@@ -199,10 +213,11 @@ class Router:
         alias: tuple[tuple[str, str], ...],
         started: float,
     ) -> PendingPredict:
+        submit = getattr(self.app, "submit_predict", None)
+        if submit is None:  # status-only hosts (WatchApp) take no predicts
+            raise _NoRoute(endpoint)
         request = PredictRequest.from_payload(self._parse_body(body))
-        name, future = self.app.submit_predict(
-            request.inputs, model=request.model
-        )
+        name, future = submit(request.inputs, model=request.model)
         return PendingPredict(
             router=self,
             endpoint=endpoint,

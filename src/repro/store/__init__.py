@@ -11,16 +11,20 @@ from repro.store.atlas import build_atlas
 from repro.store.store import (
     CampaignInterrupted,
     CampaignStore,
+    JournalProgress,
     StoredFaultModel,
     StoreError,
     TrialRecord,
+    config_key,
 )
 
 __all__ = [
     "CampaignInterrupted",
     "CampaignStore",
+    "JournalProgress",
     "StoreError",
     "StoredFaultModel",
     "TrialRecord",
     "build_atlas",
+    "config_key",
 ]

@@ -29,7 +29,20 @@ Because campaign trial seeds are schedule-independent (see
 
 Floats round-trip exactly through JSON (``repr`` shortest-round-trip),
 so replayed accuracies are the bit-identical float64s the evaluator
-produced.  One store has one writer; shard hosts write their own stores.
+produced.
+
+Each journal *file* has one writer.  ``trials.jsonl`` belongs to the
+classic single-writer path (``campaign run``/``resume``); coordinated
+workers (:mod:`repro.coord`) open the store with a ``segment`` name and
+append to their own ``trials.<segment>.jsonl`` instead, so N workers
+share one store directory without ever sharing a file descriptor.
+Loading folds the shared journal plus every segment together: a
+(config, trial) pair journaled twice must hold *equal* records (trial
+seeds are schedule-independent, so honest re-execution is byte-equal
+modulo timing) and is deduplicated; unequal copies are a corruption
+error.  Worker names live only in file names, never in record bytes —
+artifacts derived from a multi-writer store are byte-identical to a
+single-writer run's.
 """
 
 from __future__ import annotations
@@ -55,9 +68,11 @@ if TYPE_CHECKING:
 __all__ = [
     "CampaignInterrupted",
     "CampaignStore",
+    "JournalProgress",
     "StoreError",
     "StoredFaultModel",
     "TrialRecord",
+    "config_key",
 ]
 
 _logger = get_logger("store")
@@ -71,6 +86,13 @@ _TRIALS_JOURNALED = default_registry().counter(
 
 _MANIFEST = "manifest.json"
 _JOURNAL = "trials.jsonl"
+_SEGMENT_PREFIX = "trials."
+_SEGMENT_SUFFIX = ".jsonl"
+#: Segment names become file names; keep them flat and unambiguous
+#: (no dots, so ``trials.<segment>.jsonl`` parses back uniquely).
+_SEGMENT_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_"
+)
 _VERSION = 1
 
 
@@ -134,8 +156,35 @@ class TrialRecord:
         )
 
 
-def _config_key(tag: str, spec: str) -> str:
+def config_key(tag: str, spec: str) -> str:
+    """The journal key of one (tag, fault-spec) configuration.
+
+    Public so read-only consumers (:mod:`repro.coord` admission checks,
+    the watch view) can name configs without registering them.
+    """
     return f"{tag}::{spec}"
+
+
+_config_key = config_key
+
+
+@dataclass(frozen=True)
+class JournalProgress:
+    """A cheap scan of every journal file's (config, trial) coverage.
+
+    ``indices`` maps config key to the set of journaled trial indices
+    (union over all writers); ``segments`` maps writer name to its
+    parsed record count, with ``""`` standing for the shared
+    single-writer journal.  Produced by
+    :meth:`CampaignStore.scan_progress` without building records, so
+    coordination loops can poll it while other workers append.
+    """
+
+    indices: dict[str, set[int]]
+    segments: dict[str, int]
+
+    def journaled(self, key: str) -> set[int]:
+        return self.indices.get(key, set())
 
 
 def _identity_hash(identity: Mapping[str, object]) -> str:
@@ -169,11 +218,13 @@ class CampaignStore:
         manifest: dict[str, Any],
         records: dict[str, dict[int, TrialRecord]],
         journal_end: int,
+        segment: str | None = None,
     ) -> None:
         self.path = path
         self._manifest = manifest
         self._records = records
         self._journal_end = journal_end
+        self._segment = segment
         self._writer: BinaryIO | None = None
         self.appended = 0
         #: Journal at most this many new trials, then raise
@@ -248,10 +299,31 @@ class CampaignStore:
         store._write_manifest()
         return store
 
+    @staticmethod
+    def _validated_segment(segment: str | None) -> str | None:
+        if segment is None:
+            return None
+        if not segment or not set(segment) <= _SEGMENT_CHARS:
+            raise StoreError(
+                f"invalid segment name {segment!r}: use letters, digits, "
+                "'-' and '_' only"
+            )
+        return segment
+
     @classmethod
-    def open(cls, path: str | os.PathLike[str]) -> "CampaignStore":
-        """Load an existing store, tolerating a torn trailing record."""
+    def open(
+        cls, path: str | os.PathLike[str], segment: str | None = None
+    ) -> "CampaignStore":
+        """Load an existing store, tolerating a torn trailing record.
+
+        With ``segment``, this instance's appends go to the private
+        journal file ``trials.<segment>.jsonl`` instead of the shared
+        ``trials.jsonl`` — the multi-writer mode :mod:`repro.coord`
+        workers use.  Reading always folds every journal file together
+        regardless of ``segment``.
+        """
         path = os.fspath(path)
+        segment = cls._validated_segment(segment)
         manifest_path = os.path.join(path, _MANIFEST)
         try:
             with open(manifest_path, "r", encoding="utf-8") as handle:
@@ -272,7 +344,7 @@ class CampaignStore:
                 f"{path!r}: manifest config hash does not match its "
                 "identity block (the manifest was edited or corrupted)"
             )
-        store = cls(path, manifest, {}, journal_end=0)
+        store = cls(path, manifest, {}, journal_end=0, segment=segment)
         store._load_journal()
         return store
 
@@ -320,7 +392,16 @@ class CampaignStore:
 
     @property
     def _journal_path(self) -> str:
-        return os.path.join(self.path, _JOURNAL)
+        if self._segment is None:
+            return os.path.join(self.path, _JOURNAL)
+        return os.path.join(
+            self.path, _SEGMENT_PREFIX + self._segment + _SEGMENT_SUFFIX
+        )
+
+    @property
+    def segment(self) -> str | None:
+        """This writer's segment name (None = the shared journal)."""
+        return self._segment
 
     @property
     def identity(self) -> dict[str, Any]:
@@ -381,64 +462,113 @@ class CampaignStore:
             os.fsync(handle.fileno())
         os.replace(tmp, self._manifest_path)
 
+    @staticmethod
+    def _journal_file_names(path: str) -> list[str]:
+        """All journal files in load order: shared first, then segments.
+
+        Sorted segment names make the fold order deterministic, so two
+        hosts opening the same directory agree on which copy of a
+        duplicated record is "first" (they are equal anyway — the order
+        only matters for error attribution).
+        """
+        names = [_JOURNAL]
+        for name in sorted(os.listdir(path)):
+            if (
+                name != _JOURNAL
+                and name.startswith(_SEGMENT_PREFIX)
+                and name.endswith(_SEGMENT_SUFFIX)
+            ):
+                names.append(name)
+        return names
+
     def _load_journal(self) -> None:
-        try:
-            with open(self._journal_path, "rb") as handle:
-                data = handle.read()
-        except FileNotFoundError:
-            self._journal_end = 0
-            return
+        own = os.path.basename(self._journal_path)
+        self._journal_end = 0
         known = set(self.config_keys())
-        offset = 0
-        lines = data.split(b"\n")
-        body, tail = lines[:-1], lines[-1]
-        for number, line in enumerate(body, start=1):
-            if not line:
-                offset += 1
-                continue
+        origins: dict[tuple[str, int], str] = {}
+        for name in self._journal_file_names(self.path):
+            file_path = os.path.join(self.path, name)
             try:
-                raw = json.loads(line)
-                record = TrialRecord(
-                    index=int(raw["t"]),
-                    accuracy=float(raw["a"]),
-                    flips=int(raw["f"]),
-                    sites=tuple(
-                        (int(layer), int(bit)) for layer, bit in raw["s"]
-                    ),
-                    seconds=float(raw.get("sec", 0.0)),
+                with open(file_path, "rb") as handle:
+                    data = handle.read()
+            except FileNotFoundError:
+                continue
+            offset = 0
+            lines = data.split(b"\n")
+            body, tail = lines[:-1], lines[-1]
+            local: set[tuple[str, int]] = set()
+            for number, line in enumerate(body, start=1):
+                if not line:
+                    offset += 1
+                    continue
+                try:
+                    raw = json.loads(line)
+                    record = TrialRecord(
+                        index=int(raw["t"]),
+                        accuracy=float(raw["a"]),
+                        flips=int(raw["f"]),
+                        sites=tuple(
+                            (int(layer), int(bit)) for layer, bit in raw["s"]
+                        ),
+                        seconds=float(raw.get("sec", 0.0)),
+                    )
+                    key = str(raw["c"])
+                except (ValueError, KeyError, TypeError) as error:
+                    raise StoreError(
+                        f"{file_path!r}: corrupt record on line "
+                        f"{number}: {error}"
+                    )
+                if key not in known:
+                    raise StoreError(
+                        f"{file_path!r}: line {number} references "
+                        f"config {key!r} absent from the manifest"
+                    )
+                if (key, record.index) in local:
+                    # One writer journaling a trial twice is corruption;
+                    # only *cross-file* duplicates can be honest re-runs.
+                    raise StoreError(
+                        f"{file_path!r}: duplicate record for "
+                        f"config {key!r} trial {record.index}"
+                    )
+                local.add((key, record.index))
+                per_config = self._records.setdefault(key, {})
+                prior = per_config.get(record.index)
+                if prior is None:
+                    per_config[record.index] = record
+                    origins[(key, record.index)] = name
+                elif prior != record:
+                    raise StoreError(
+                        f"{file_path!r}: config {key!r} trial "
+                        f"{record.index} conflicts with the copy in "
+                        f"{origins[(key, record.index)]!r} "
+                        f"({prior.accuracy!r} vs {record.accuracy!r})"
+                    )
+                offset += len(line) + 1
+            if tail and name == own:
+                _logger.warning(
+                    "%s: ignoring torn trailing record (%d bytes) — the "
+                    "previous run crashed mid-write; it will be truncated "
+                    "on the next append",
+                    file_path,
+                    len(tail),
                 )
-                key = str(raw["c"])
-            except (ValueError, KeyError, TypeError) as error:
-                raise StoreError(
-                    f"{self._journal_path!r}: corrupt record on line "
-                    f"{number}: {error}"
+            elif tail:
+                # Another writer's tail may simply be an append in
+                # flight; its owner truncates real torn tails itself.
+                _logger.debug(
+                    "%s: ignoring %d trailing bytes (torn or in-flight)",
+                    file_path,
+                    len(tail),
                 )
-            if key not in known:
-                raise StoreError(
-                    f"{self._journal_path!r}: line {number} references "
-                    f"config {key!r} absent from the manifest"
-                )
-            per_config = self._records.setdefault(key, {})
-            if record.index in per_config:
-                raise StoreError(
-                    f"{self._journal_path!r}: duplicate record for "
-                    f"config {key!r} trial {record.index}"
-                )
-            per_config[record.index] = record
-            offset += len(line) + 1
-        if tail:
-            _logger.warning(
-                "%s: ignoring torn trailing record (%d bytes) — the "
-                "previous run crashed mid-write; it will be truncated "
-                "on the next append",
-                self._journal_path,
-                len(tail),
-            )
-        self._journal_end = offset
+            if name == own:
+                self._journal_end = offset
 
     def _append(self, key: str, record: TrialRecord) -> None:
         writer = self._writer
         if writer is None:
+            # A fresh segment writer's file doesn't exist yet.
+            with open(self._journal_path, "ab"):
+                pass
             # Reclaim any torn tail before the first append of this
             # session, so the journal stays a clean sequence of lines.
             writer = open(self._journal_path, "r+b")
@@ -486,6 +616,77 @@ class CampaignStore:
         )
         self._write_manifest()
         return key
+
+    def register_configs(
+        self, fault_models: Iterable[Describable], tag: str = ""
+    ) -> list[str]:
+        """Register a batch of configurations with one manifest write.
+
+        Idempotent, like :meth:`open_config`.  The coordination layer
+        (:mod:`repro.coord`) relies on this to keep the manifest
+        single-writer: the store *creator* registers the whole sweep up
+        front, joining workers only ever read it — no worker races
+        another's atomic manifest rewrite.
+        """
+        keys: list[str] = []
+        registered = {str(entry["key"]) for entry in self._configs}
+        added = False
+        for fault_model in fault_models:
+            spec = fault_model.describe()
+            key = _config_key(tag, spec)
+            keys.append(key)
+            if key in registered:
+                continue
+            self._configs.append(
+                {"key": key, "tag": tag, "spec": spec, "converged_at": None}
+            )
+            registered.add(key)
+            added = True
+        if added:
+            self._write_manifest()
+        return keys
+
+    @classmethod
+    def scan_progress(cls, path: str | os.PathLike[str]) -> JournalProgress:
+        """Scan (config, trial) coverage across every journal file.
+
+        Reads only keys and indices — no records, no conflict checking
+        (:meth:`open` stays the authority on corruption) — and tolerates
+        each file's unterminated last line, so a coordination loop can
+        poll progress cheaply while other workers are mid-append.
+        """
+        path = os.fspath(path)
+        if not cls.exists(path):
+            raise StoreError(f"{path!r} is not a campaign store (no {_MANIFEST})")
+        indices: dict[str, set[int]] = {}
+        segments: dict[str, int] = {}
+        for name in cls._journal_file_names(path):
+            file_path = os.path.join(path, name)
+            try:
+                with open(file_path, "rb") as handle:
+                    data = handle.read()
+            except FileNotFoundError:
+                continue
+            writer = ""
+            if name != _JOURNAL:
+                writer = name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+            count = 0
+            for line in data.split(b"\n")[:-1]:
+                if not line:
+                    continue
+                try:
+                    raw = json.loads(line)
+                    key = str(raw["c"])
+                    index = int(raw["t"])
+                except (ValueError, KeyError, TypeError):
+                    # A torn line mid-file would be real corruption, but
+                    # this scanner is a progress probe: leave diagnosis
+                    # to open() and just don't count the line.
+                    continue
+                indices.setdefault(key, set()).add(index)
+                count += 1
+            segments[writer] = count
+        return JournalProgress(indices=indices, segments=segments)
 
     def journaled(self, key: str) -> dict[int, TrialOutcome]:
         """Already-recorded outcomes of one config, by trial index."""

@@ -223,6 +223,25 @@ class TestRPL004:
         """
         assert "RPL004" not in rules_in(src, "src/repro/fault/foo.py")
 
+    def test_coord_is_a_journaled_path_too(self):
+        # PR 10: lease staleness must come from fs_now (filesystem
+        # clock), never a local wall-clock read.
+        src = """
+            import time
+
+            def age(mtime):
+                return time.time() - mtime
+        """
+        assert rules_in(src, "src/repro/coord/lease.py") == [
+            "RPL004",
+            "RPL009",
+        ]
+        src = """
+            def drain(workers):
+                return [w for w in set(workers)]
+        """
+        assert rules_in(src, "src/repro/coord/scheduler.py") == ["RPL004"]
+
 
 # ----------------------------------------------------------------------
 # RPL005 — raw json in store/
@@ -310,6 +329,23 @@ class TestRPL006:
             from repro.serve.http import ReproServer
         """
         assert rules_in(src, "src/repro/cli/foo.py") == []
+
+    def test_coord_sits_above_store_and_serve(self):
+        src = """
+            from repro.store import CampaignStore
+            from repro.serve.routes import Router
+        """
+        assert rules_in(src, "src/repro/coord/foo.py") == []
+
+    def test_coord_must_not_import_runtime_and_store_not_coord(self):
+        src = """
+            from repro.runtime.plan import compile_model
+        """
+        assert rules_in(src, "src/repro/coord/foo.py") == ["RPL006"]
+        src = """
+            from repro.coord import WorkerLease
+        """
+        assert rules_in(src, "src/repro/store/foo.py") == ["RPL006"]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,201 @@
+"""``repro campaign serve-store`` / ``watch``: the control-plane CLI.
+
+The heavyweight acceptance (SIGKILL + steal + byte-identity) lives in
+tests/coord/test_takeover.py against library-level workers; this module
+covers the CLI wiring — create-or-join, recipe admission, graceful
+completion, and the watch views — with one worker end to end.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+TINY = [
+    "--preset",
+    "smoke",
+    "--train-samples",
+    "250",
+    "--test-samples",
+    "100",
+    "--epochs",
+    "6",
+    "--post-epochs",
+    "1",
+]
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    root = tmp_path_factory.mktemp("coord-cli")
+    cache_before = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root / "cache")
+    try:
+        path = root / "model.npz"
+        code = main(
+            [
+                "protect",
+                "--model",
+                "lenet",
+                "--method",
+                "clipact",
+                "--out",
+                str(path),
+                *TINY,
+            ]
+        )
+        assert code == 0
+        yield str(path)
+    finally:
+        if cache_before is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = cache_before
+
+
+def _serve(checkpoint, store, *extra):
+    return main(
+        [
+            "campaign",
+            "serve-store",
+            "--checkpoint",
+            checkpoint,
+            "--store",
+            str(store),
+            "--rates",
+            "1e-5",
+            "3e-5",
+            *TINY,
+            "--trials",
+            "3",
+            "--chunk",
+            "2",
+            *extra,
+        ]
+    )
+
+
+class TestServeStore:
+    def test_first_worker_creates_drains_and_matches_plain_run(
+        self, checkpoint, tmp_path, capsys
+    ):
+        coord = tmp_path / "coord"
+        assert _serve(checkpoint, coord, "--worker-id", "alpha") == 0
+        out = capsys.readouterr().out
+        assert "created campaign store" in out
+        assert "worker alpha joining" in out
+        assert "store complete" in out
+
+        straight = tmp_path / "straight"
+        code = main(
+            [
+                "campaign",
+                "run",
+                "--checkpoint",
+                checkpoint,
+                "--store",
+                str(straight),
+                "--rates",
+                "1e-5",
+                "3e-5",
+                *TINY,
+                "--trials",
+                "3",
+            ]
+        )
+        assert code == 0
+        for store in (coord, straight):
+            assert main(["campaign", "report", "--store", str(store)]) == 0
+        capsys.readouterr()
+        # The identity contract, through the CLI: a coordinated drain's
+        # artifacts are byte-identical to a plain run's.
+        assert (coord / "report.md").read_bytes() == (
+            straight / "report.md"
+        ).read_bytes()
+        assert (coord / "atlas.json").read_bytes() == (
+            straight / "atlas.json"
+        ).read_bytes()
+
+    def test_joining_a_complete_store_is_a_noop(
+        self, checkpoint, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        assert _serve(checkpoint, store, "--worker-id", "alpha") == 0
+        assert _serve(checkpoint, store, "--worker-id", "beta") == 0
+        out = capsys.readouterr().out
+        assert "worker beta: 0 trials" in out
+
+    def test_limit_hands_back_then_a_peer_finishes(
+        self, checkpoint, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        assert _serve(checkpoint, store, "--worker-id", "a", "--limit", "2") == 0
+        out = capsys.readouterr().out
+        assert "stopped with work left" in out
+        assert _serve(checkpoint, store, "--worker-id", "b") == 0
+        out = capsys.readouterr().out
+        assert "store complete" in out
+
+    def test_mismatched_recipe_is_refused_admission(
+        self, checkpoint, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        assert _serve(checkpoint, store, "--worker-id", "alpha") == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "campaign",
+                "serve-store",
+                "--checkpoint",
+                checkpoint,
+                "--store",
+                str(store),
+                "--rates",
+                "9e-4",
+                *TINY,
+                "--trials",
+                "3",
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "different settings" in err
+        assert "rates" in err
+
+
+class TestWatch:
+    def test_once_renders_workers_and_configs(self, checkpoint, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert _serve(checkpoint, store, "--worker-id", "alpha") == 0
+        capsys.readouterr()
+        assert main(["campaign", "watch", "--store", str(store), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "(complete)" in out
+        assert "worker alpha: released" in out
+
+    def test_json_format_round_trips(self, checkpoint, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert _serve(checkpoint, store, "--worker-id", "alpha") == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "campaign",
+                "watch",
+                "--store",
+                str(store),
+                "--once",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["complete"] is True
+        assert status["workers"][0]["worker"] == "alpha"
+        assert status["claims"] == []
+
+    def test_watch_on_missing_store_errors(self, tmp_path, capsys):
+        assert main(["campaign", "watch", "--store", str(tmp_path / "no")]) == 1
+        assert "not a campaign store" in capsys.readouterr().err

@@ -1,0 +1,127 @@
+"""Work-stealing range claims: atomic acquisition, fencing, GC."""
+
+import os
+
+import pytest
+
+from repro.coord import CoordError, RangeScheduler, WorkerLease, list_claims
+from repro.coord.lease import list_leases
+from repro.coord.scheduler import read_claim
+
+CFG = "::rate=1e-03"
+
+
+def scheduler(tmp_path, worker, trials=8, chunk=3, configs=(CFG,)):
+    return RangeScheduler(
+        tmp_path, worker, trials=trials, chunk=chunk, configs=list(configs)
+    )
+
+
+class TestRanges:
+    def test_chunk_aligned_with_ragged_tail(self, tmp_path):
+        assert scheduler(tmp_path, "a").ranges() == [(0, 3), (3, 6), (6, 8)]
+
+    def test_bad_parameters_rejected(self, tmp_path):
+        with pytest.raises(CoordError, match="chunk"):
+            scheduler(tmp_path, "a", chunk=0)
+        with pytest.raises(CoordError, match="trials"):
+            scheduler(tmp_path, "a", trials=0)
+
+
+class TestClaiming:
+    def test_first_claim_wins_and_orders_by_trial(self, tmp_path):
+        sched = scheduler(tmp_path, "a")
+        handle = sched.next_claim({}, {})
+        assert (handle.claim.start, handle.claim.stop) == (0, 3)
+        assert handle.claim.worker == "a"
+        assert handle.claim.fence == 1
+
+    def test_peer_skips_claimed_range_of_live_owner(self, tmp_path):
+        with WorkerLease(tmp_path, "a"):
+            first = scheduler(tmp_path, "a").next_claim({}, {})
+            assert first.claim.start == 0
+            peer = scheduler(tmp_path, "b").next_claim(
+                {}, list_leases(tmp_path)
+            )
+            assert peer.claim.start == 3  # next free range, no steal
+            assert peer.claim.fence == 1
+
+    def test_own_claim_is_resumed_not_restolen(self, tmp_path):
+        sched = scheduler(tmp_path, "a")
+        first = sched.next_claim({}, {})
+        again = sched.next_claim({}, {})
+        assert (again.claim.start, again.claim.fence) == (
+            first.claim.start,
+            first.claim.fence,
+        )
+
+    def test_nothing_claimable_returns_none(self, tmp_path):
+        done = {CFG: set(range(8))}
+        assert scheduler(tmp_path, "a").next_claim(done, {}) is None
+
+    def test_partial_progress_skips_complete_ranges(self, tmp_path):
+        done = {CFG: {0, 1, 2, 3, 4}}  # [0,3) done, [3,6) half done
+        handle = scheduler(tmp_path, "a").next_claim(done, {})
+        assert (handle.claim.start, handle.claim.stop) == (3, 6)
+
+    def test_configs_walked_in_manifest_order(self, tmp_path):
+        sched = scheduler(tmp_path, "a", configs=[CFG, "::rate=5e-03"])
+        done = {CFG: set(range(8))}
+        handle = sched.next_claim(done, {})
+        assert handle.claim.config == "::rate=5e-03"
+
+
+class TestStealing:
+    def _claim_as_corpse(self, tmp_path):
+        """A claim whose owner's lease has expired (or never existed)."""
+        return scheduler(tmp_path, "dead").next_claim({}, {})
+
+    def test_steals_from_ownerless_claim(self, tmp_path):
+        stale = self._claim_as_corpse(tmp_path)
+        fired = []
+        handle = scheduler(tmp_path, "thief").next_claim(
+            {}, {}, on_steal=lambda: fired.append(1)
+        )
+        assert handle.claim.worker == "thief"
+        assert handle.claim.fence == stale.claim.fence + 1
+        assert fired == [1]
+
+    def test_steals_from_released_owner(self, tmp_path):
+        with WorkerLease(tmp_path, "dead"):
+            self._claim_as_corpse(tmp_path)
+        handle = scheduler(tmp_path, "thief").next_claim(
+            {}, list_leases(tmp_path)
+        )
+        assert (handle.claim.worker, handle.claim.fence) == ("thief", 2)
+
+    def test_fencing_invalidates_the_old_handle(self, tmp_path):
+        stale = self._claim_as_corpse(tmp_path)
+        assert stale.verify()
+        scheduler(tmp_path, "thief").next_claim({}, {})
+        assert not stale.verify()
+        # And the corpse's release must not erase the thief's claim.
+        stale.release()
+        current = read_claim(stale.path)
+        assert current is not None and current.worker == "thief"
+
+    def test_thief_handle_survives_its_own_release(self, tmp_path):
+        self._claim_as_corpse(tmp_path)
+        handle = scheduler(tmp_path, "thief").next_claim({}, {})
+        handle.release()
+        assert read_claim(handle.path) is None
+
+
+class TestGarbageCollection:
+    def test_complete_range_claim_is_collected(self, tmp_path):
+        handle = scheduler(tmp_path, "a").next_claim({}, {})
+        assert os.path.exists(handle.path)
+        done = {CFG: set(range(8))}
+        assert scheduler(tmp_path, "b").next_claim(done, {}) is None
+        assert list_claims(tmp_path) == []
+
+    def test_released_claim_reclaimable_immediately(self, tmp_path):
+        handle = scheduler(tmp_path, "a").next_claim({}, {})
+        handle.release()
+        again = scheduler(tmp_path, "b").next_claim({}, {})
+        assert (again.claim.worker, again.claim.start) == ("b", 0)
+        assert again.claim.fence == 1  # fresh claim, not a steal

@@ -1,0 +1,146 @@
+"""Status views: coord_status payload, gauges, rendering, HTTP front."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.coord import (
+    WatchApp,
+    WorkerLease,
+    coord_status,
+    render_watch,
+    update_gauges,
+)
+from repro.coord.scheduler import RangeScheduler
+from repro.coord.watch import RateMeter
+from repro.obs.metrics import default_registry
+
+from tests.coord.conftest import RATES, TRIALS
+from tests.coord.test_worker import run_worker
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    default_registry().reset()
+    yield
+    default_registry().reset()
+
+
+class TestCoordStatus:
+    def test_plain_store_has_empty_coord_sections(self, store_path):
+        status = coord_status(store_path)
+        assert status["workers"] == []
+        assert status["claims"] == []
+        assert status["workers_live"] == 0
+        assert status["steals"] == 0
+
+    def test_drained_store_reports_workers_and_totals(self, store_path):
+        run_worker(store_path, "alpha")
+        status = coord_status(store_path)
+        assert status["complete"]
+        (row,) = status["workers"]
+        assert row["worker"] == "alpha"
+        assert row["released"] and not row["live"]
+        assert row["trials"] == len(RATES) * TRIALS
+        assert status["workers_live"] == 0
+
+    def test_inflight_claims_and_live_leases_surface(self, store_path):
+        with WorkerLease(store_path, "alpha"):
+            scheduler = RangeScheduler(
+                store_path,
+                "alpha",
+                trials=TRIALS,
+                chunk=3,
+                configs=["::rate=1e-03"],
+            )
+            scheduler.next_claim({}, {})
+            status = coord_status(store_path)
+        (claim,) = status["claims"]
+        assert claim["worker"] == "alpha"
+        assert (claim["start"], claim["stop"], claim["fence"]) == (0, 3, 1)
+        (row,) = status["workers"]
+        assert row["live"]
+        assert status["workers_live"] == 1
+
+
+class TestGauges:
+    def test_update_gauges_feeds_worker_series(self, store_path):
+        run_worker(store_path, "alpha")
+        update_gauges(coord_status(store_path))
+        snapshot = default_registry().snapshot()
+        trials = snapshot["repro_campaign_worker_trials"]["series"]
+        (series,) = trials
+        assert series["labels"]["worker"] == "alpha"
+        assert series["value"] == float(len(RATES) * TRIALS)
+        live = snapshot["repro_campaign_worker_live"]["series"]
+        assert live[0]["value"] == 0.0  # released
+
+
+class TestRendering:
+    def test_render_covers_configs_workers_claims(self, store_path):
+        run_worker(store_path, "alpha")
+        text = render_watch(coord_status(store_path), rate=2.5)
+        assert "(complete)" in text
+        assert "2.5 trials/s" in text
+        assert "config ::rate=0.001" in text
+        assert "worker alpha: released" in text
+
+    def test_render_notes_single_writer_stores(self, store_path):
+        text = render_watch(coord_status(store_path))
+        assert "workers: none (single-writer store)" in text
+
+    def test_rate_meter_needs_two_polls(self):
+        meter = RateMeter()
+        assert meter.update(0) is None
+        assert meter.update(10) is not None
+
+
+class TestHttpFront:
+    def test_watch_app_serves_campaign_status(self, store_path):
+        from repro.serve.http import ReproServer
+
+        run_worker(store_path, "alpha")
+        server = ReproServer(WatchApp(store_path))
+        server.start()
+        try:
+            status = json.load(
+                urllib.request.urlopen(server.url + "/v1/campaign")
+            )
+            assert status["complete"]
+            assert status["workers"][0]["worker"] == "alpha"
+            health = json.load(
+                urllib.request.urlopen(server.url + "/v1/healthz")
+            )
+            assert health["status"] == "ok"
+            assert health["journaled"] == len(RATES) * TRIALS
+            prom = (
+                urllib.request.urlopen(
+                    server.url + "/v1/metrics?format=prometheus"
+                )
+                .read()
+                .decode()
+            )
+            assert "repro_campaign_worker_trials" in prom
+        finally:
+            server.stop()
+
+    def test_inference_routes_404_on_the_watch_front(self, store_path):
+        from repro.serve.http import ReproServer
+
+        server = ReproServer(WatchApp(store_path))
+        server.start()
+        try:
+            for path, method, body in (
+                ("/v1/models", "GET", None),
+                ("/v1/predict", "POST", b"{}"),
+            ):
+                request = urllib.request.Request(
+                    server.url + path, data=body, method=method
+                )
+                with pytest.raises(urllib.error.HTTPError) as caught:
+                    urllib.request.urlopen(request)
+                assert caught.value.code == 404
+        finally:
+            server.stop()
